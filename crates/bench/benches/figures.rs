@@ -1,0 +1,27 @@
+//! `cargo bench` entry point that regenerates every paper table and figure
+//! at the current `FEDSC_SCALE` (default `quick`).
+//!
+//! Each harness prints the same rows/series the corresponding figure/table
+//! in the paper reports; see `EXPERIMENTS.md` for paper-vs-measured notes.
+
+use fedsc_bench::figures;
+
+fn main() {
+    let scale = std::env::var("FEDSC_SCALE").unwrap_or_else(|_| "quick".into());
+    let sections: [(&str, fn()); 8] = [
+        ("fig4", figures::fig4::run),
+        ("fig5", figures::fig5::run),
+        ("fig6", figures::fig6::run),
+        ("fig7", figures::fig7::run),
+        ("table3", figures::table3::run),
+        ("table4", figures::table4::run),
+        ("ablation", figures::ablation::run),
+        ("privacy", figures::privacy::run),
+    ];
+    for (name, run) in sections {
+        println!("\n=============================================================");
+        println!("==> regenerating {name} (FEDSC_SCALE = {scale})");
+        println!("=============================================================");
+        run();
+    }
+}

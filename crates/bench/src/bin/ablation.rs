@@ -1,0 +1,5 @@
+//! Thin wrapper: see `fedsc_bench::figures::ablation`.
+
+fn main() {
+    fedsc_bench::figures::ablation::run();
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: see `fedsc_bench::figures::fig4`.
+
+fn main() {
+    fedsc_bench::figures::fig4::run();
+}

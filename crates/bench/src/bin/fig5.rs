@@ -1,0 +1,5 @@
+//! Thin wrapper: see `fedsc_bench::figures::fig5`.
+
+fn main() {
+    fedsc_bench::figures::fig5::run();
+}

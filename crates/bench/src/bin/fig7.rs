@@ -1,0 +1,5 @@
+//! Thin wrapper: see `fedsc_bench::figures::fig7`.
+
+fn main() {
+    fedsc_bench::figures::fig7::run();
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: see `fedsc_bench::figures::privacy`.
+
+fn main() {
+    fedsc_bench::figures::privacy::run();
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: see `fedsc_bench::figures::table3`.
+
+fn main() {
+    fedsc_bench::figures::table3::run();
+}

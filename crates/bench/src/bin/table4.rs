@@ -1,0 +1,5 @@
+//! Thin wrapper: see `fedsc_bench::figures::table4`.
+
+fn main() {
+    fedsc_bench::figures::table4::run();
+}

@@ -1,0 +1,70 @@
+//! Figure 4: ACC and NMI of Fed-SC (SSC), Fed-SC (TSC), and k-FED as
+//! functions of the number of devices `Z`, under IID (L' = L = 20),
+//! Non-IID-10, and Non-IID-2 partitions; synthetic data (L = 20 subspaces,
+//! d = 5, n = 20).
+//!
+//! Expected shape (paper): both Fed-SC variants far above k-FED everywhere;
+//! Fed-SC (TSC) below Fed-SC (SSC) at small Z, converging at large Z;
+//! non-IID partitions beat IID for every federated method.
+
+use fedsc::CentralBackend;
+use crate::harness::{cell, pick, print_header, scale};
+use crate::methods::{run_fed_sc_fixed, run_kfed};
+use fedsc_data::synthetic::{generate, SyntheticConfig};
+use fedsc_federated::partition::{partition_dataset, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Regenerates Figure 4: ACC/NMI of the federated methods vs the number of devices under IID / Non-IID-10 / Non-IID-2 partitions.
+pub fn run() {
+    let s = scale();
+    let l = 20usize;
+    let z_grid = pick(s, &[40, 80, 140], &[200, 400, 800, 1200, 1600, 2000]);
+    // Points per (cluster, owner-device) pair: every owner gets this many
+    // points of each of its clusters (>= d + 1 = 6 for the theory).
+    let m = 7usize;
+    let partitions: [(&str, usize); 3] = [("IID", l), ("Non-IID-10", 10), ("Non-IID-2", 2)];
+
+    println!("# Figure 4: federated methods vs number of devices Z");
+    println!("# synthetic: L = {l}, d = 5, n = 20, {m} points per cluster-owner");
+    print_header(&[
+        ("partition", 10),
+        ("Z", 6),
+        ("method", 14),
+        ("ACC%", 8),
+        ("NMI%", 8),
+        ("T(s)", 8),
+    ]);
+
+    for (pname, l_prime) in partitions {
+        for &z in &z_grid {
+            let mut rng = StdRng::seed_from_u64(0xf14 + z as u64);
+            // Owners per cluster ~ Z * L' / L; total points per cluster.
+            let owners = (z * l_prime).div_ceil(l).max(1);
+            let per_cluster = m * owners;
+            let ds = generate(&SyntheticConfig::paper(l, per_cluster), &mut rng);
+            let part = if l_prime >= l {
+                Partition::Iid
+            } else {
+                Partition::NonIid { l_prime }
+            };
+            let fed = partition_dataset(&ds.data, z, part, &mut rng);
+
+            let results = [
+                run_fed_sc_fixed(&fed, l, l_prime, CentralBackend::Ssc, 0xf14, false),
+                run_fed_sc_fixed(&fed, l, l_prime, CentralBackend::Tsc { q: None }, 0xf14, false),
+                run_kfed(&fed, l, l_prime, None, 0xf14),
+            ];
+            for r in results {
+                println!(
+                    "{pname:>10}  {z:>6}  {:>14}  {:>8}  {:>8}  {:>8}",
+                    r.name,
+                    cell(r.acc, 2),
+                    cell(r.nmi, 2),
+                    cell(r.secs(), 2),
+                );
+            }
+        }
+        println!();
+    }
+}

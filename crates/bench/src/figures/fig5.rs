@@ -1,0 +1,63 @@
+//! Figure 5: clustering accuracy of Fed-SC (SSC) and Fed-SC (TSC) as a
+//! function of the heterogeneity ratio L'/L and the number of subspaces L,
+//! at fixed Z (paper: 400). Printed as one heatmap per method (rows = L,
+//! columns = L'/L; brighter/larger = better).
+//!
+//! Expected shape (paper): accuracy decreases as L'/L grows (less
+//! heterogeneity) and as L grows; Fed-SC (TSC) additionally degrades at
+//! very small L' (too few samples per subspace for its q-NN graph).
+
+use fedsc::CentralBackend;
+use crate::harness::{pick, scale, Scale};
+use crate::methods::run_fed_sc_fixed;
+use fedsc_data::synthetic::{generate, SyntheticConfig};
+use fedsc_federated::partition::{partition_dataset, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Regenerates Figure 5: Fed-SC accuracy heatmaps vs the ratio L'/L and the number of subspaces L.
+pub fn run() {
+    let s = scale();
+    let z = match s {
+        Scale::Quick => 60,
+        Scale::Full => 400,
+    };
+    let l_grid = pick(s, &[10, 20, 30], &[10, 20, 30, 40, 50, 60]);
+    let ratio_grid = pick(
+        s,
+        &[0.15, 0.4, 1.0],
+        &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+    );
+    let m = 6usize;
+
+    println!("# Figure 5: Fed-SC accuracy vs L'/L and L (Z = {z})");
+    for (name, backend) in [
+        ("Fed-SC (SSC)", CentralBackend::Ssc),
+        ("Fed-SC (TSC)", CentralBackend::Tsc { q: None }),
+    ] {
+        println!("\n## {name}: rows = L, cols = L'/L");
+        print!("{:>6}", "L\\L'/L");
+        for r in &ratio_grid {
+            print!("  {r:>6.2}");
+        }
+        println!();
+        for &l in &l_grid {
+            print!("{l:>6}");
+            for &ratio in &ratio_grid {
+                let l_prime = ((l as f64 * ratio).round() as usize).clamp(1, l);
+                let mut rng = StdRng::seed_from_u64(0xf15 + (l * 1000) as u64 + l_prime as u64);
+                let owners = (z * l_prime).div_ceil(l).max(1);
+                let ds = generate(&SyntheticConfig::paper(l, m * owners), &mut rng);
+                let part = if l_prime >= l {
+                    Partition::Iid
+                } else {
+                    Partition::NonIid { l_prime }
+                };
+                let fed = partition_dataset(&ds.data, z, part, &mut rng);
+                let r = run_fed_sc_fixed(&fed, l, l_prime, backend, 0xf15, false);
+                print!("  {:>6.1}", r.acc);
+            }
+            println!();
+        }
+    }
+}

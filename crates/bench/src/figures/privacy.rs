@@ -1,0 +1,69 @@
+//! Privacy–utility tradeoff of differentially private Fed-SC — the paper's
+//! Section VII future-work direction, measured: sweep the per-sample
+//! privacy budget `epsilon` of the Gaussian mechanism on the uplink and
+//! report clustering accuracy plus the composed per-device `(eps, delta)`
+//! cost.
+//!
+//! Expected shape: accuracy is flat at large epsilon (weak privacy),
+//! degrades through a transition band, and collapses to chance at strong
+//! privacy — the classical DP utility curve.
+
+use crate::harness::print_header;
+use fedsc::{CentralBackend, ClusterCountPolicy, FedSc, FedScConfig};
+use fedsc_clustering::{clustering_accuracy, normalized_mutual_information};
+use fedsc_data::synthetic::{generate, SyntheticConfig};
+use fedsc_federated::partition::{partition_dataset, Partition};
+use fedsc_federated::privacy::DpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the privacy-utility sweep.
+pub fn run() {
+    let l = 10usize;
+    let l_prime = 2usize;
+    let z = 60usize;
+    let mut rng = StdRng::seed_from_u64(0xd9);
+    let owners = (z * l_prime).div_ceil(l).max(1);
+    let ds = generate(&SyntheticConfig::paper(l, 10 * owners), &mut rng);
+    let fed = partition_dataset(&ds.data, z, Partition::NonIid { l_prime }, &mut rng);
+    let truth = fed.global_truth();
+
+    println!("# Privacy-utility tradeoff (Gaussian mechanism on the uplink)");
+    println!("# synthetic: L = {l}, Non-IID-{l_prime}, Z = {z}, delta = 1e-5/sample");
+    print_header(&[
+        ("epsilon", 9),
+        ("sigma", 9),
+        ("ACC%", 8),
+        ("NMI%", 8),
+        ("device eps", 11),
+    ]);
+
+    // epsilon = inf row: no DP at all, the baseline.
+    {
+        let mut cfg = FedScConfig::new(l, CentralBackend::Ssc);
+        cfg.cluster_count = ClusterCountPolicy::Fixed(l_prime);
+        let out = FedSc::new(cfg).run(&fed).expect("Fed-SC run");
+        println!(
+            "{:>9}  {:>9}  {:>8.2}  {:>8.2}  {:>11}",
+            "inf",
+            "0",
+            clustering_accuracy(&truth, &out.predictions),
+            normalized_mutual_information(&truth, &out.predictions),
+            "-"
+        );
+    }
+    for &eps in &[1024.0, 512.0, 256.0, 128.0, 64.0, 16.0, 4.0, 1.0] {
+        let dp = DpConfig::new(eps, 1e-5);
+        let mut cfg = FedScConfig::new(l, CentralBackend::Ssc);
+        cfg.cluster_count = ClusterCountPolicy::Fixed(l_prime);
+        cfg.dp = Some(dp);
+        let out = FedSc::new(cfg).run(&fed).expect("Fed-SC run");
+        println!(
+            "{eps:>9.1}  {:>9.3}  {:>8.2}  {:>8.2}  {:>11.1}",
+            dp.sigma(),
+            clustering_accuracy(&truth, &out.predictions),
+            normalized_mutual_information(&truth, &out.predictions),
+            out.privacy.max_device_epsilon,
+        );
+    }
+}

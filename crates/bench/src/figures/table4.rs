@@ -1,0 +1,102 @@
+//! Table IV: clustering accuracy of the federated methods on the surrogate
+//! high-dimensional datasets as the number of local clusters L' grows
+//! (L' in {2, 4, 6, 8, 10}).
+//!
+//! Expected shape (paper): every federated method degrades as L' grows
+//! (statistical heterogeneity shrinks); Fed-SC stays on top throughout;
+//! k-FED + PCA is uniformly poor.
+
+use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig};
+use crate::harness::{cell, pick, print_header, scale, Scale};
+use crate::methods::{run_fed_sc_with, run_kfed};
+use fedsc_data::realworld::{generate, SurrogateSpec};
+use fedsc_federated::partition::{partition_dataset, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Regenerates Table IV: federated-method accuracy vs the number of local clusters L'.
+pub fn run() {
+    let s = scale();
+    let (specs, z) = match s {
+        Scale::Quick => (
+            vec![
+                SurrogateSpec::emnist_like(0.06).with_classes(12).with_class_size(90),
+                SurrogateSpec::coil100_like(0.1).with_classes(16).with_class_size(70),
+            ],
+            40usize,
+        ),
+        Scale::Full => (
+            vec![SurrogateSpec::emnist_like(0.5), SurrogateSpec::coil100_like(0.5)],
+            400usize,
+        ),
+    };
+    let lprime_grid = pick(s, &[2usize, 4, 6, 8, 10], &[2usize, 4, 6, 8, 10]);
+
+    for spec in specs {
+        let l = spec.num_classes;
+        println!("\n# Table IV — {} (L = {l}, Z = {z}): ACC% vs L'", spec.name);
+        let mut header: Vec<(&str, usize)> = vec![("method", 16)];
+        let cols: Vec<String> = lprime_grid.iter().map(|lp| format!("L'={lp}")).collect();
+        for c in &cols {
+            header.push((c.as_str(), 8));
+        }
+        print_header(&header);
+
+        type MethodRunner = Box<dyn Fn(&fedsc_federated::FederatedDataset, usize) -> f64>;
+        let methods: Vec<(&str, MethodRunner)> = vec![
+            (
+                "Fed-SC (SSC)",
+                Box::new(move |fed, lp| {
+                    let mut c = FedScConfig::new(l, CentralBackend::Ssc);
+                    c.cluster_count = ClusterCountPolicy::Fixed(lp + 1);
+                    c.basis_dim = BasisDim::Fixed(1);
+                    run_fed_sc_with(fed, c, false).acc
+                }),
+            ),
+            (
+                "Fed-SC (TSC)",
+                Box::new(move |fed, lp| {
+                    let mut c = FedScConfig::new(l, CentralBackend::Tsc { q: None });
+                    c.cluster_count = ClusterCountPolicy::Fixed(lp + 1);
+                    c.basis_dim = BasisDim::Fixed(1);
+                    run_fed_sc_with(fed, c, false).acc
+                }),
+            ),
+            ("k-FED", Box::new(move |fed, lp| run_kfed(fed, l, lp, None, 1).acc)),
+            (
+                "k-FED + PCA-10",
+                Box::new(move |fed, lp| run_kfed(fed, l, lp, Some(10), 1).acc),
+            ),
+            (
+                "k-FED + PCA-100",
+                Box::new(move |fed, lp| run_kfed(fed, l, lp, Some(100), 1).acc),
+            ),
+        ];
+
+        // Pre-build one partition per L' so all methods see the same split.
+        let feds: Vec<_> = lprime_grid
+            .iter()
+            .map(|&lp| {
+                let mut rng = StdRng::seed_from_u64(0x7ab4 + lp as u64);
+                let ds = generate(&spec, &mut rng);
+                (
+                    lp,
+                    partition_dataset(
+                        &ds.data,
+                        z,
+                        Partition::NonIid { l_prime: lp },
+                        &mut rng,
+                    ),
+                )
+            })
+            .collect();
+
+        for (name, runner) in methods {
+            print!("{name:>16}");
+            for (lp, fed) in &feds {
+                print!("  {:>8}", cell(runner(fed, *lp), 2));
+            }
+            println!();
+        }
+    }
+}

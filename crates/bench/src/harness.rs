@@ -1,0 +1,72 @@
+//! Scale selection and table printing shared by the harness binaries.
+
+/// Run scale, selected by the `FEDSC_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale grids (default).
+    Quick,
+    /// Paper-scale grids (long-running).
+    Full,
+}
+
+/// Reads `FEDSC_SCALE` (`quick` | `full`, case-insensitive; default quick).
+pub fn scale() -> Scale {
+    match std::env::var("FEDSC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "full" => Scale::Full,
+        _ => Scale::Quick,
+    }
+}
+
+/// Picks the quick or full variant of a grid.
+pub fn pick<T: Clone>(s: Scale, quick: &[T], full: &[T]) -> Vec<T> {
+    match s {
+        Scale::Quick => quick.to_vec(),
+        Scale::Full => full.to_vec(),
+    }
+}
+
+/// Prints a header row followed by a separator, with the given column
+/// widths.
+pub fn print_header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = *w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+}
+
+/// Formats a float cell, mapping NaN to `-` (the paper's "metric cannot be
+/// computed" marker).
+pub fn cell(v: f64, decimals: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The test environment does not set FEDSC_SCALE=full.
+        if std::env::var("FEDSC_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Quick);
+        }
+    }
+
+    #[test]
+    fn pick_selects_grid() {
+        assert_eq!(pick(Scale::Quick, &[1, 2], &[3, 4]), vec![1, 2]);
+        assert_eq!(pick(Scale::Full, &[1, 2], &[3, 4]), vec![3, 4]);
+    }
+
+    #[test]
+    fn nan_prints_dash() {
+        assert_eq!(cell(f64::NAN, 2), "-");
+        assert_eq!(cell(1.234, 2), "1.23");
+    }
+}

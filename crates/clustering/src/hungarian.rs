@@ -1,0 +1,177 @@
+//! Hungarian (Kuhn–Munkres) assignment.
+//!
+//! The paper's clustering-accuracy metric (Eq. (10)) maximizes the confusion
+//! matrix trace over all label permutations; that maximization is a linear
+//! assignment problem, solved here exactly in `O(n^3)` with the standard
+//! potentials formulation (JV-style shortest augmenting paths).
+
+/// Solves the minimum-cost assignment for a square `n x n` cost matrix given
+/// in row-major order. Returns `(assignment, total_cost)` where
+/// `assignment[row] = col`.
+///
+/// # Panics
+///
+/// Panics when `cost.len() != n * n` or any cost is non-finite.
+pub fn min_cost_assignment(n: usize, cost: &[f64]) -> (Vec<usize>, f64) {
+    assert_eq!(cost.len(), n * n, "cost matrix must be n x n");
+    assert!(cost.iter().all(|c| c.is_finite()), "costs must be finite");
+    if n == 0 {
+        return (vec![], 0.0);
+    }
+    const INF: f64 = f64::INFINITY;
+    // Potentials and matching, 1-indexed internally (index 0 is a sentinel).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total: f64 = assignment.iter().enumerate().map(|(r, &c)| cost[r * n + c]).sum();
+    (assignment, total)
+}
+
+/// Maximum-weight assignment (negates and delegates).
+pub fn max_weight_assignment(n: usize, weight: &[f64]) -> (Vec<usize>, f64) {
+    let neg: Vec<f64> = weight.iter().map(|w| -w).collect();
+    let (assignment, cost) = min_cost_assignment(n, &neg);
+    (assignment, -cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_costs() {
+        // Cheapest choice is the diagonal.
+        let cost = [0.0, 9.0, 9.0, 9.0, 0.0, 9.0, 9.0, 9.0, 0.0];
+        let (a, c) = min_cost_assignment(3, &cost);
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn classic_three_by_three() {
+        // Known instance with optimum 5 (1->b, 2->a, 3->c scaled).
+        let cost = [
+            1.0, 2.0, 3.0, //
+            2.0, 4.0, 6.0, //
+            3.0, 6.0, 9.0,
+        ];
+        let (_, c) = min_cost_assignment(3, &cost);
+        assert_eq!(c, 10.0); // 3 + 4 + 3
+    }
+
+    #[test]
+    fn anti_diagonal_forced() {
+        let cost = [
+            10.0, 10.0, 0.0, //
+            10.0, 0.0, 10.0, //
+            0.0, 10.0, 10.0,
+        ];
+        let (a, c) = min_cost_assignment(3, &cost);
+        assert_eq!(a, vec![2, 1, 0]);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn beats_greedy() {
+        // Greedy picks (0,0)=1 then forced (1,1)=100: total 101.
+        // Optimal is (0,1)=2 + (1,0)=2 = 4.
+        let cost = [1.0, 2.0, 2.0, 100.0];
+        let (_, c) = min_cost_assignment(2, &cost);
+        assert_eq!(c, 4.0);
+    }
+
+    #[test]
+    fn max_weight_mirrors_min_cost() {
+        let w = [5.0, 1.0, 1.0, 5.0];
+        let (a, total) = max_weight_assignment(2, &w);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn single_element_and_empty() {
+        let (a, c) = min_cost_assignment(1, &[7.0]);
+        assert_eq!(a, vec![0]);
+        assert_eq!(c, 7.0);
+        let (a, c) = min_cost_assignment(0, &[]);
+        assert!(a.is_empty());
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        // Pseudo-random 6x6 instance: result must be a permutation and no
+        // worse than the identity assignment.
+        let n = 6;
+        let mut cost = vec![0.0; n * n];
+        let mut s = 12345u64;
+        for v in &mut cost {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = (s >> 33) as f64 / 1e9;
+        }
+        let (a, c) = min_cost_assignment(n, &cost);
+        let mut seen = vec![false; n];
+        for &col in &a {
+            assert!(!seen[col], "duplicate column");
+            seen[col] = true;
+        }
+        let identity: f64 = (0..n).map(|i| cost[i * n + i]).sum();
+        assert!(c <= identity + 1e-12);
+    }
+}

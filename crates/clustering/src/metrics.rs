@@ -1,0 +1,203 @@
+//! Clustering evaluation metrics: the paper's ACC (Eq. (10)), NMI
+//! (Eq. (11)), plus ARI as an additional sanity metric for tests.
+
+use crate::hungarian::max_weight_assignment;
+
+/// Clustering accuracy in percent (paper Eq. (10)): the best label-aligned
+/// agreement over all permutations of predicted labels, found exactly with
+/// the Hungarian algorithm on the confusion matrix.
+///
+/// Label values may be arbitrary `usize`s; they are compacted internally.
+///
+/// ```
+/// use fedsc_clustering::clustering_accuracy;
+///
+/// // Same partition under a different labeling scores 100.
+/// assert_eq!(clustering_accuracy(&[0, 0, 1, 1], &[7, 7, 3, 3]), 100.0);
+/// // One of four points misplaced scores 75.
+/// assert_eq!(clustering_accuracy(&[0, 0, 1, 1], &[0, 0, 1, 0]), 75.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the two labelings have different lengths.
+pub fn clustering_accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "labelings must have equal length");
+    let n = truth.len();
+    if n == 0 {
+        return 100.0;
+    }
+    let (t_ids, t_k) = compact(truth);
+    let (p_ids, p_k) = compact(pred);
+    let k = t_k.max(p_k);
+    // Confusion counts as weights; pad to square.
+    let mut w = vec![0.0f64; k * k];
+    for (&t, &p) in t_ids.iter().zip(&p_ids) {
+        w[t * k + p] += 1.0;
+    }
+    let (_, matched) = max_weight_assignment(k, &w);
+    100.0 * matched / n as f64
+}
+
+/// Normalized mutual information in percent (paper Eq. (11)):
+/// `100 * 2 MI(T; P) / (H(T) + H(P))`, with the convention that two
+/// single-cluster labelings (both entropies zero) score 100.
+pub fn normalized_mutual_information(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "labelings must have equal length");
+    let n = truth.len();
+    if n == 0 {
+        return 100.0;
+    }
+    let (t_ids, t_k) = compact(truth);
+    let (p_ids, p_k) = compact(pred);
+    let mut joint = vec![0.0f64; t_k * p_k];
+    let mut pt = vec![0.0f64; t_k];
+    let mut pp = vec![0.0f64; p_k];
+    let inv_n = 1.0 / n as f64;
+    for (&t, &p) in t_ids.iter().zip(&p_ids) {
+        joint[t * p_k + p] += inv_n;
+        pt[t] += inv_n;
+        pp[p] += inv_n;
+    }
+    let h = |dist: &[f64]| -> f64 {
+        dist.iter().filter(|&&q| q > 0.0).map(|&q| -q * q.ln()).sum()
+    };
+    let ht = h(&pt);
+    let hp = h(&pp);
+    let mut mi = 0.0;
+    for t in 0..t_k {
+        for p in 0..p_k {
+            let q = joint[t * p_k + p];
+            if q > 0.0 {
+                mi += q * (q / (pt[t] * pp[p])).ln();
+            }
+        }
+    }
+    if ht + hp <= 0.0 {
+        // Both labelings are constant: identical by definition.
+        return 100.0;
+    }
+    (100.0 * 2.0 * mi / (ht + hp)).clamp(0.0, 100.0)
+}
+
+/// Adjusted Rand index in `[-1, 1]` (0 expected for random labelings,
+/// 1 for identical partitions). Used as a cross-check metric in tests.
+pub fn adjusted_rand_index(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "labelings must have equal length");
+    let n = truth.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (t_ids, t_k) = compact(truth);
+    let (p_ids, p_k) = compact(pred);
+    let mut joint = vec![0u64; t_k * p_k];
+    let mut rows = vec![0u64; t_k];
+    let mut cols = vec![0u64; p_k];
+    for (&t, &p) in t_ids.iter().zip(&p_ids) {
+        joint[t * p_k + p] += 1;
+        rows[t] += 1;
+        cols[p] += 1;
+    }
+    let c2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_joint: f64 = joint.iter().map(|&x| c2(x)).sum();
+    let sum_rows: f64 = rows.iter().map(|&x| c2(x)).sum();
+    let sum_cols: f64 = cols.iter().map(|&x| c2(x)).sum();
+    let total = c2(n as u64);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        return if (sum_joint - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+/// Compacts arbitrary labels to `0..k` ids; returns `(ids, k)`.
+fn compact(labels: &[usize]) -> (Vec<usize>, usize) {
+    let mut map = std::collections::HashMap::new();
+    let mut ids = Vec::with_capacity(labels.len());
+    for &l in labels {
+        let next = map.len();
+        let id = *map.entry(l).or_insert(next);
+        ids.push(id);
+    }
+    (ids, map.len().max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_100() {
+        let t = [0, 0, 1, 1, 2, 2];
+        assert_eq!(clustering_accuracy(&t, &t), 100.0);
+        assert!((normalized_mutual_information(&t, &t) - 100.0).abs() < 1e-9);
+        assert_eq!(adjusted_rand_index(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn accuracy_is_permutation_invariant() {
+        let t = [0, 0, 1, 1, 2, 2];
+        let p = [2, 2, 0, 0, 1, 1]; // relabeled but identical partition
+        assert_eq!(clustering_accuracy(&t, &p), 100.0);
+        assert!((normalized_mutual_information(&t, &p) - 100.0).abs() < 1e-9);
+        assert_eq!(adjusted_rand_index(&t, &p), 1.0);
+    }
+
+    #[test]
+    fn one_mistake_out_of_four() {
+        let t = [0, 0, 1, 1];
+        let p = [0, 0, 1, 0];
+        assert_eq!(clustering_accuracy(&t, &p), 75.0);
+        assert!(normalized_mutual_information(&t, &p) < 100.0);
+        assert!(adjusted_rand_index(&t, &p) < 1.0);
+    }
+
+    #[test]
+    fn different_cluster_counts_are_handled() {
+        // Prediction over-segments: 2 true clusters, 4 predicted.
+        let t = [0, 0, 0, 0, 1, 1, 1, 1];
+        let p = [0, 0, 1, 1, 2, 2, 3, 3];
+        // Best matching maps two of the predicted clusters; accuracy 50%.
+        assert_eq!(clustering_accuracy(&t, &p), 50.0);
+        // NMI is positive (prediction is informative) but below 100.
+        let nmi = normalized_mutual_information(&t, &p);
+        assert!(nmi > 50.0 && nmi < 100.0, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn constant_prediction_has_zero_nmi() {
+        let t = [0, 0, 1, 1];
+        let p = [0, 0, 0, 0];
+        assert!(normalized_mutual_information(&t, &p) < 1e-9);
+        assert_eq!(clustering_accuracy(&t, &p), 50.0);
+    }
+
+    #[test]
+    fn empty_labelings() {
+        assert_eq!(clustering_accuracy(&[], &[]), 100.0);
+        assert_eq!(normalized_mutual_information(&[], &[]), 100.0);
+    }
+
+    #[test]
+    fn noncontiguous_labels_work() {
+        let t = [10, 10, 77, 77];
+        let p = [3, 3, 9, 9];
+        assert_eq!(clustering_accuracy(&t, &p), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        clustering_accuracy(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn ari_negative_for_anti_correlated_split() {
+        // Each predicted cluster takes exactly half of each true cluster —
+        // worse than chance, hand-computed ARI is -0.5.
+        let t = [0, 0, 1, 1];
+        let p = [0, 1, 0, 1];
+        assert!((adjusted_rand_index(&t, &p) + 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Normalized spectral clustering (Ng–Jordan–Weiss).
+//!
+//! The segmentation step every SC method in the paper shares: embed the
+//! nodes with the `k` smallest eigenvectors of the normalized Laplacian,
+//! row-normalize the embedding, and k-means the rows.
+
+use crate::kmeans::{kmeans, KMeansOptions};
+use fedsc_graph::laplacian::normalized_laplacian;
+use fedsc_graph::AffinityGraph;
+use fedsc_linalg::eigh::k_smallest;
+use fedsc_linalg::{vector, Matrix, Result};
+use rand::Rng;
+
+/// Options for spectral clustering.
+#[derive(Debug, Clone)]
+pub struct SpectralOptions {
+    /// Number of clusters.
+    pub k: usize,
+    /// k-means options for the embedding step (its `k` field is overridden).
+    pub kmeans: KMeansOptions,
+}
+
+impl SpectralOptions {
+    /// Default options for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self { k, kmeans: KMeansOptions { k, restarts: 5, ..Default::default() } }
+    }
+}
+
+/// Clusters the nodes of an affinity graph into `opts.k` groups.
+///
+/// Returns one label in `0..k` per node.
+pub fn spectral_clustering<R: Rng + ?Sized>(
+    g: &AffinityGraph,
+    opts: &SpectralOptions,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    let n = g.len();
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    let k = opts.k.clamp(1, n);
+    let lap = normalized_laplacian(g);
+    let eig = k_smallest(&lap, k)?;
+    // Embedding: rows of the eigenvector matrix, row-normalized (NJW).
+    // Our k-means consumes columns, so build the transposed embedding
+    // (`k x n`, one column per node).
+    let mut emb = Matrix::zeros(k, n);
+    for node in 0..n {
+        for c in 0..k {
+            emb[(c, node)] = eig.eigenvectors[(node, c)];
+        }
+        vector::normalize(emb.col_mut(node), 1e-12);
+    }
+    let km_opts = KMeansOptions { k, ..opts.kmeans.clone() };
+    Ok(kmeans(&emb, &km_opts, rng).labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn block_graph(sizes: &[usize], within: f64, between: f64) -> AffinityGraph {
+        let n: usize = sizes.iter().sum();
+        let mut block = vec![0usize; n];
+        let mut idx = 0;
+        for (b, &s) in sizes.iter().enumerate() {
+            for _ in 0..s {
+                block[idx] = b;
+                idx += 1;
+            }
+        }
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m[(i, j)] = if block[i] == block[j] { within } else { between };
+                }
+            }
+        }
+        AffinityGraph::from_symmetric(&m)
+    }
+
+    #[test]
+    fn recovers_two_blocks() {
+        let g = block_graph(&[5, 5], 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = spectral_clustering(&g, &SpectralOptions::new(2), &mut rng).unwrap();
+        assert!(labels[..5].iter().all(|&l| l == labels[0]));
+        assert!(labels[5..].iter().all(|&l| l == labels[5]));
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn recovers_three_blocks_with_weak_noise() {
+        let g = block_graph(&[4, 4, 4], 1.0, 0.02);
+        let mut rng = StdRng::seed_from_u64(2);
+        let labels = spectral_clustering(&g, &SpectralOptions::new(3), &mut rng).unwrap();
+        for b in 0..3 {
+            let base = labels[b * 4];
+            assert!(labels[b * 4..(b + 1) * 4].iter().all(|&l| l == base));
+        }
+        assert_ne!(labels[0], labels[4]);
+        assert_ne!(labels[4], labels[8]);
+        assert_ne!(labels[0], labels[8]);
+    }
+
+    #[test]
+    fn many_blocks_above_lanczos_threshold() {
+        // 30 blocks of 17 nodes = 510 > the 400-node Lanczos cutover in
+        // k_smallest: the near-degenerate 30-fold zero eigenvalue exercises
+        // the deflated restart path (regression test for the bug where a
+        // single Krylov sequence found only one copy per degenerate
+        // eigenvalue and clustering collapsed).
+        let g = block_graph(&vec![17; 30], 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let labels = spectral_clustering(&g, &SpectralOptions::new(30), &mut rng).unwrap();
+        // Every block must be pure and blocks must be separated.
+        let mut block_label = Vec::new();
+        for b in 0..30 {
+            let base = labels[b * 17];
+            assert!(
+                labels[b * 17..(b + 1) * 17].iter().all(|&l| l == base),
+                "block {b} is split"
+            );
+            block_label.push(base);
+        }
+        block_label.sort_unstable();
+        block_label.dedup();
+        assert_eq!(block_label.len(), 30, "blocks were merged");
+    }
+
+    #[test]
+    fn k_one_gives_single_cluster() {
+        let g = block_graph(&[3, 3], 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels = spectral_clustering(&g, &SpectralOptions::new(1), &mut rng).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_labels() {
+        let g = AffinityGraph::from_symmetric(&Matrix::zeros(0, 0));
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(spectral_clustering(&g, &SpectralOptions::new(2), &mut rng)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn k_clamped_to_node_count() {
+        let g = block_graph(&[2], 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let labels = spectral_clustering(&g, &SpectralOptions::new(10), &mut rng).unwrap();
+        assert_eq!(labels.len(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the clustering layer: k-means objective
+//! monotonicity, Hungarian optimality bounds, and metric consistency.
+
+use fedsc_clustering::hungarian::{max_weight_assignment, min_cost_assignment};
+use fedsc_clustering::kmeans::{kmeans, KMeansOptions};
+use fedsc_clustering::{adjusted_rand_index, clustering_accuracy};
+use fedsc_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, n * dim)
+        .prop_map(move |data| Matrix::from_col_major(dim, n, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_labels_in_range_and_inertia_nonincreasing_in_k(
+        data in (4usize..12).prop_flat_map(|n| points(n, 3)),
+        seed in 0u64..100,
+    ) {
+        let n = data.cols();
+        let mut prev = f64::INFINITY;
+        for k in 1..=n.min(4) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let res = kmeans(&data, &KMeansOptions { k, restarts: 4, ..Default::default() }, &mut rng);
+            prop_assert_eq!(res.labels.len(), n);
+            prop_assert!(res.labels.iter().all(|&l| l < k));
+            prop_assert!(res.inertia >= -1e-9);
+            // More clusters never needs to cost more (up to solver noise).
+            prop_assert!(res.inertia <= prev + 1e-6, "k={k}: {} > {prev}", res.inertia);
+            prev = res.inertia.min(prev);
+        }
+    }
+
+    #[test]
+    fn hungarian_is_a_permutation_no_worse_than_identity(
+        n in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / 1e9
+        };
+        let cost: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let (assign, total) = min_cost_assignment(n, &cost);
+        // Permutation.
+        let mut seen = vec![false; n];
+        for &c in &assign {
+            prop_assert!(!seen[c]);
+            seen[c] = true;
+        }
+        // Optimal <= identity and <= reversed diagonal.
+        let identity: f64 = (0..n).map(|i| cost[i * n + i]).sum();
+        let reversed: f64 = (0..n).map(|i| cost[i * n + (n - 1 - i)]).sum();
+        prop_assert!(total <= identity + 1e-9);
+        prop_assert!(total <= reversed + 1e-9);
+        // Max-weight is consistent with min-cost under negation.
+        let (_, best) = max_weight_assignment(n, &cost);
+        let neg: Vec<f64> = cost.iter().map(|c| -c).collect();
+        let (_, worst_neg) = min_cost_assignment(n, &neg);
+        prop_assert!((best + worst_neg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_dominates_random_and_ari_agrees_on_perfection(
+        truth in proptest::collection::vec(0usize..3, 6..24),
+    ) {
+        // ACC of the truth against itself is 100 and ARI 1.
+        prop_assert_eq!(clustering_accuracy(&truth, &truth), 100.0);
+        prop_assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12);
+        // ACC can never fall below the share of the largest cluster when
+        // predicting a single constant label.
+        let constant = vec![0usize; truth.len()];
+        let acc = clustering_accuracy(&truth, &constant);
+        let mut counts = [0usize; 3];
+        for &t in &truth {
+            counts[t] += 1;
+        }
+        let largest = *counts.iter().max().unwrap() as f64;
+        let expect = 100.0 * largest / truth.len() as f64;
+        prop_assert!((acc - expect).abs() < 1e-9, "{acc} vs {expect}");
+    }
+}

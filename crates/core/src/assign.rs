@@ -1,0 +1,176 @@
+//! Out-of-sample extension: assign points that were *not* part of the
+//! one-shot round to the global clusters, using only information the
+//! federation already shares.
+//!
+//! After a Fed-SC run the server holds the pooled samples `Theta` and their
+//! global assignments `tau`. A new point (on any device) can be labeled
+//! locally without another round: for each global cluster, estimate the
+//! subspace spanned by that cluster's samples and pick the cluster whose
+//! subspace explains the point best (largest projection-energy ratio
+//! `||P_l x||^2 / ||x||^2`). This is exactly the residual-minimization rule
+//! classical SC uses for unseen data, run against Fed-SC's shared sketch
+//! instead of raw data — so the privacy and communication story of the
+//! one-shot round is unchanged.
+
+use crate::scheme::FedScOutput;
+use fedsc_linalg::svd::dominant_basis;
+use fedsc_linalg::{vector, LinalgError, Matrix, Result};
+
+/// A server-side (or broadcast) classifier for unseen points, built from
+/// the pooled samples of a completed Fed-SC run.
+#[derive(Debug, Clone)]
+pub struct ClusterAssigner {
+    /// One orthonormal basis per global cluster, estimated from that
+    /// cluster's samples.
+    bases: Vec<Matrix>,
+}
+
+impl ClusterAssigner {
+    /// Builds the assigner from a run's pooled samples and assignments.
+    ///
+    /// `max_dim` caps each cluster's estimated subspace dimension (pass the
+    /// data's expected subspace dimension; it is further capped by the
+    /// cluster's sample count). Clusters with no samples get an empty basis
+    /// and are never selected.
+    pub fn from_output(output: &FedScOutput, num_clusters: usize, max_dim: usize) -> Result<Self> {
+        let dim = output.samples.rows();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+        for (s, &tau) in output.sample_assignment.iter().enumerate() {
+            if tau < num_clusters {
+                members[tau].push(s);
+            }
+        }
+        let mut bases = Vec::with_capacity(num_clusters);
+        for m in members {
+            if m.is_empty() {
+                bases.push(Matrix::zeros(dim, 0));
+                continue;
+            }
+            let cluster = output.samples.select_columns(&m);
+            let d = max_dim.clamp(1, cluster.cols().min(dim));
+            bases.push(dominant_basis(&cluster, d)?);
+        }
+        Ok(Self { bases })
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Assigns one point: the cluster whose subspace captures the largest
+    /// fraction of the point's energy. Returns the label and that ratio in
+    /// `[0, 1]` (a confidence proxy).
+    ///
+    /// Returns an error when the point's dimension does not match.
+    pub fn assign(&self, x: &[f64]) -> Result<(usize, f64)> {
+        let norm_sq = vector::dot(x, x);
+        if norm_sq <= 0.0 {
+            return Err(LinalgError::InvalidArgument("cannot assign the zero vector"));
+        }
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (l, basis) in self.bases.iter().enumerate() {
+            if basis.cols() == 0 {
+                continue;
+            }
+            let coeff = basis.tr_matvec(x)?;
+            let energy = vector::dot(&coeff, &coeff) / norm_sq;
+            if energy > best.1 {
+                best = (l, energy);
+            }
+        }
+        if best.1 < 0.0 {
+            return Err(LinalgError::InvalidArgument("no cluster has samples"));
+        }
+        Ok(best)
+    }
+
+    /// Assigns every column of `points`.
+    pub fn assign_all(&self, points: &Matrix) -> Result<Vec<usize>> {
+        (0..points.cols()).map(|j| self.assign(points.col(j)).map(|(l, _)| l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CentralBackend, FedScConfig};
+    use crate::scheme::FedSc;
+    use fedsc_clustering::clustering_accuracy;
+    use fedsc_federated::partition::{partition_dataset, Partition};
+    use fedsc_subspace::SubspaceModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_and_build(seed: u64) -> (ClusterAssigner, SubspaceModel, FedScOutput, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 4);
+        let ds = model.sample_dataset(&mut rng, &[60, 60, 60, 60], 0.0);
+        let fed = partition_dataset(&ds, 20, Partition::NonIid { l_prime: 2 }, &mut rng);
+        let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+        let truth = fed.global_truth();
+        let assigner = ClusterAssigner::from_output(&out, 4, 3).unwrap();
+        (assigner, model, out, truth)
+    }
+
+    #[test]
+    fn unseen_points_get_consistent_labels() {
+        let (assigner, model, out, truth) = run_and_build(1);
+        // The assigner's labels on unseen points must agree with the run's
+        // clustering of seen points (same permutation): evaluate accuracy
+        // of assigner labels vs truth *through* the run's confusion.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut new_truth = Vec::new();
+        let mut new_pred = Vec::new();
+        for l in 0..4 {
+            for _ in 0..20 {
+                let x = model.sample_point(&mut rng, l);
+                let (label, conf) = assigner.assign(&x).unwrap();
+                assert!(conf > 0.8, "confidence {conf}");
+                new_truth.push(l);
+                new_pred.push(label);
+            }
+        }
+        // Consistency: combined (seen + unseen) accuracy stays high, which
+        // forces the unseen labels into the same permutation as the run's.
+        let mut all_truth = truth.clone();
+        all_truth.extend_from_slice(&new_truth);
+        let mut all_pred = out.predictions.clone();
+        all_pred.extend_from_slice(&new_pred);
+        let acc = clustering_accuracy(&all_truth, &all_pred);
+        assert!(acc > 95.0, "combined accuracy {acc}");
+    }
+
+    #[test]
+    fn confidence_reflects_subspace_membership() {
+        let (assigner, model, _, _) = run_and_build(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        // In-subspace point: near-1 confidence.
+        let x = model.sample_point(&mut rng, 0);
+        let (_, conf_in) = assigner.assign(&x).unwrap();
+        assert!(conf_in > 0.9);
+        // Random ambient point: markedly lower energy capture.
+        let y = fedsc_linalg::random::unit_sphere(&mut rng, 30);
+        let (_, conf_out) = assigner.assign(&y).unwrap();
+        assert!(conf_out < conf_in, "{conf_out} vs {conf_in}");
+    }
+
+    #[test]
+    fn zero_vector_rejected() {
+        let (assigner, _, _, _) = run_and_build(3);
+        assert!(assigner.assign(&[0.0; 30]).is_err());
+    }
+
+    #[test]
+    fn assign_all_matches_pointwise() {
+        let (assigner, model, _, _) = run_and_build(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts: Vec<Vec<f64>> = (0..6).map(|i| model.sample_point(&mut rng, i % 4)).collect();
+        let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let m = Matrix::from_columns(&refs).unwrap();
+        let batch = assigner.assign_all(&m).unwrap();
+        for (j, p) in pts.iter().enumerate() {
+            assert_eq!(batch[j], assigner.assign(p).unwrap().0);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Phase 2 of Algorithm 1: central clustering of the pooled samples.
+//!
+//! The pooled `Theta` is uniformly distributed on the unit spheres of the
+//! estimated subspaces — the semi-random model — so the server may run
+//! either SSC or TSC (the paper's Fed-SC (SSC) / Fed-SC (TSC) variants).
+//! The TSC neighbor count defaults to the paper's rule
+//! `q = max(3, ceil(Z / L))`.
+
+use crate::config::CentralBackend;
+use fedsc_clustering::spectral::{spectral_clustering, SpectralOptions};
+use fedsc_graph::AffinityGraph;
+use fedsc_linalg::{Matrix, Result};
+use fedsc_subspace::{Ssc, SubspaceClusterer, Tsc};
+use rand::Rng;
+
+/// Result of the central clustering step.
+#[derive(Debug, Clone)]
+pub struct CentralOutput {
+    /// Global cluster assignment `tau` per pooled sample.
+    pub assignments: Vec<usize>,
+    /// The affinity graph the server built over the samples (used for the
+    /// induced global graph and the CONN diagnostics).
+    pub graph: AffinityGraph,
+}
+
+/// Clusters the pooled samples into `l` global clusters.
+///
+/// `num_devices` feeds the TSC `q` rule; it is ignored by the SSC backend.
+pub fn central_cluster<R: Rng + ?Sized>(
+    samples: &Matrix,
+    l: usize,
+    num_devices: usize,
+    backend: CentralBackend,
+    rng: &mut R,
+) -> Result<CentralOutput> {
+    let graph = match backend {
+        CentralBackend::Ssc => Ssc::default().affinity(samples)?,
+        CentralBackend::Tsc { q } => {
+            let q = q.unwrap_or_else(|| Tsc::fed_sc_q(num_devices, l));
+            Tsc::new(q).affinity(samples)?
+        }
+    };
+    let assignments = spectral_clustering(&graph, &SpectralOptions::new(l), rng)?;
+    Ok(CentralOutput { assignments, graph })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsc_clustering::clustering_accuracy;
+    use fedsc_linalg::random::{random_orthonormal_basis, sample_on_subspace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Simulates the semi-random model: samples uniform on the unit spheres
+    /// of random subspaces (exactly what devices upload).
+    fn semi_random_samples(
+        rng: &mut StdRng,
+        n: usize,
+        d: usize,
+        l: usize,
+        per: usize,
+    ) -> (Matrix, Vec<usize>) {
+        let bases: Vec<_> = (0..l).map(|_| random_orthonormal_basis(rng, n, d)).collect();
+        let mut cols = Vec::new();
+        let mut truth = Vec::new();
+        for (s, basis) in bases.iter().enumerate() {
+            for _ in 0..per {
+                cols.push(sample_on_subspace(rng, basis));
+                truth.push(s);
+            }
+        }
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        (Matrix::from_columns(&refs).unwrap(), truth)
+    }
+
+    #[test]
+    fn ssc_backend_clusters_semi_random_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 3, 15);
+        let out = central_cluster(&samples, 3, 45, CentralBackend::Ssc, &mut rng).unwrap();
+        let acc = clustering_accuracy(&truth, &out.assignments);
+        assert!(acc > 95.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn tsc_backend_clusters_semi_random_samples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 3, 20);
+        let out =
+            central_cluster(&samples, 3, 60, CentralBackend::Tsc { q: None }, &mut rng).unwrap();
+        let acc = clustering_accuracy(&truth, &out.assignments);
+        assert!(acc > 90.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn fixed_q_override() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 2, 15);
+        let out =
+            central_cluster(&samples, 2, 30, CentralBackend::Tsc { q: Some(5) }, &mut rng)
+                .unwrap();
+        let acc = clustering_accuracy(&truth, &out.assignments);
+        assert!(acc > 90.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn graph_is_returned_for_diagnostics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (samples, _) = semi_random_samples(&mut rng, 10, 2, 2, 5);
+        let out = central_cluster(&samples, 2, 10, CentralBackend::Ssc, &mut rng).unwrap();
+        assert_eq!(out.graph.len(), 10);
+        assert_eq!(out.assignments.len(), 10);
+    }
+}

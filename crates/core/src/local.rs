@@ -1,0 +1,284 @@
+//! Algorithm 2: local clustering and sampling on one client device.
+//!
+//! 1. Solve the SSC Lasso for every local point and form
+//!    `W^(z) = |C^(z)| + |C^(z)|^T`.
+//! 2. Estimate the local cluster count `r^(z)` — eigengap heuristic
+//!    (Eq. (3)) or the fixed upper bound (Remark 1).
+//! 3. Normalized spectral clustering into `r^(z)` partitions `T^(z)`.
+//! 4. Per partition: estimate an orthonormal basis `U_{d_t}` by truncated
+//!    SVD and draw the uniform unit-sphere sample
+//!    `theta = U alpha / ||U alpha||`, `alpha ~ N(0, I)` (Eq. (5)).
+
+use crate::config::{BasisDim, ClusterCountPolicy, FedScConfig, LocalBackend};
+use fedsc_clustering::spectral::{spectral_clustering, SpectralOptions};
+use fedsc_graph::laplacian::{eigengap_cluster_count, laplacian_spectrum, relative_eigengap_cluster_count};
+use fedsc_linalg::random::sample_on_subspace;
+use fedsc_linalg::svd::truncated_svd;
+use fedsc_linalg::{Matrix, Result};
+use fedsc_subspace::{Ssc, SubspaceClusterer as _, Tsc};
+use rand::Rng;
+
+/// Output of Algorithm 2 on one device.
+#[derive(Debug, Clone)]
+pub struct LocalOutput {
+    /// Local cluster index per local point (`T^(z)` in label form).
+    pub local_labels: Vec<usize>,
+    /// Number of local clusters `r^(z)` actually produced.
+    pub num_local_clusters: usize,
+    /// Generated samples `Theta^(z)` as columns
+    /// (`n x (r^(z) * samples_per_cluster)`).
+    pub samples: Matrix,
+    /// `sample_cluster[s]` = local cluster index the `s`-th sample
+    /// represents.
+    pub sample_cluster: Vec<usize>,
+    /// Estimated basis dimension `d_t` per local cluster (diagnostics).
+    pub basis_dims: Vec<usize>,
+}
+
+/// Runs local clustering and sampling (Algorithm 2) on one device's data.
+pub fn local_cluster_and_sample<R: Rng + ?Sized>(
+    data: &Matrix,
+    cfg: &FedScConfig,
+    rng: &mut R,
+) -> Result<LocalOutput> {
+    let n_points = data.cols();
+    let dim = data.rows();
+    if n_points == 0 {
+        return Ok(LocalOutput {
+            local_labels: vec![],
+            num_local_clusters: 0,
+            samples: Matrix::zeros(dim, 0),
+            sample_cluster: vec![],
+            basis_dims: vec![],
+        });
+    }
+
+    // Steps 1-2: local affinity graph (SSC per the paper; TSC as ablation).
+    let graph = match cfg.local {
+        LocalBackend::Ssc => {
+            let ssc = Ssc { alpha: cfg.ssc_alpha, lasso: cfg.lasso.clone(), normalize: true };
+            ssc.affinity(data)?
+        }
+        LocalBackend::Tsc { q } => Tsc::new(q).affinity(data)?,
+    };
+
+    // Step 3: estimate r^(z).
+    let r = match cfg.cluster_count {
+        ClusterCountPolicy::Eigengap { max, relative } => {
+            let spec = laplacian_spectrum(&graph)?;
+            if relative {
+                relative_eigengap_cluster_count(&spec.eigenvalues, max)
+            } else {
+                eigengap_cluster_count(&spec.eigenvalues, max)
+            }
+        }
+        ClusterCountPolicy::Fixed(r) => r,
+    }
+    .clamp(1, n_points);
+
+    // Step 4: spectral clustering into r partitions.
+    let local_labels = spectral_clustering(&graph, &SpectralOptions::new(r), rng)?;
+
+    // Steps 5-8: per-partition basis estimation and sampling.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); r];
+    for (i, &t) in local_labels.iter().enumerate() {
+        members[t].push(i);
+    }
+    let mut sample_cols: Vec<Vec<f64>> = Vec::new();
+    let mut sample_cluster = Vec::new();
+    let mut basis_dims = Vec::new();
+    for (t, idx) in members.iter().enumerate() {
+        if idx.is_empty() {
+            // Spectral k-means can leave a cluster empty when r was
+            // over-estimated; skip it (no sample, no basis).
+            basis_dims.push(0);
+            continue;
+        }
+        let cluster = data.select_columns(idx);
+        let basis = estimate_basis(&cluster, cfg.basis_dim)?;
+        basis_dims.push(basis.cols());
+        for _ in 0..cfg.samples_per_cluster.max(1) {
+            sample_cols.push(sample_on_subspace(rng, &basis));
+            sample_cluster.push(t);
+        }
+    }
+    let refs: Vec<&[f64]> = sample_cols.iter().map(|c| c.as_slice()).collect();
+    let samples = Matrix::from_columns(&refs)?;
+    // An all-empty sample set can only happen when every cluster was empty,
+    // which the n_points == 0 guard already excluded.
+    let samples = if samples.cols() == 0 && samples.rows() == 0 {
+        Matrix::zeros(dim, 0)
+    } else {
+        samples
+    };
+    Ok(LocalOutput {
+        local_labels,
+        num_local_clusters: r,
+        samples,
+        sample_cluster,
+        basis_dims,
+    })
+}
+
+/// Footnote 3: estimate the basis of `span(cluster)` with a truncated SVD.
+fn estimate_basis(cluster: &Matrix, policy: BasisDim) -> Result<Matrix> {
+    let max_rank = cluster.rows().min(cluster.cols());
+    let d = match policy {
+        BasisDim::Fixed(d) => d.clamp(1, max_rank),
+        BasisDim::Auto { rel_tol, max_dim } => {
+            let probe = truncated_svd(cluster, max_rank.min(max_dim.max(1)))?;
+            let smax = probe.s.first().copied().unwrap_or(0.0);
+            if smax <= 0.0 {
+                1
+            } else {
+                probe
+                    .s
+                    .iter()
+                    .take_while(|&&s| s > rel_tol.max(f64::EPSILON) * smax)
+                    .count()
+                    .clamp(1, max_rank)
+            }
+        }
+    };
+    truncated_svd(cluster, d).map(|svd| svd.u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CentralBackend;
+    use fedsc_linalg::vector;
+    use fedsc_subspace::SubspaceModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FedScConfig {
+        FedScConfig::new(4, CentralBackend::Ssc)
+    }
+
+    #[test]
+    fn empty_device_produces_empty_output() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = local_cluster_and_sample(&Matrix::zeros(10, 0), &cfg(), &mut rng).unwrap();
+        assert_eq!(out.num_local_clusters, 0);
+        assert_eq!(out.samples.cols(), 0);
+    }
+
+    #[test]
+    fn two_orthogonalish_subspaces_give_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[15, 15], 0.0);
+        let out = local_cluster_and_sample(&ds.data, &cfg(), &mut rng).unwrap();
+        assert_eq!(out.num_local_clusters, 2);
+        // Partition must match the ground truth up to relabeling.
+        let acc = fedsc_clustering::clustering_accuracy(&ds.labels, &out.local_labels);
+        assert!(acc > 95.0, "local accuracy {acc}");
+    }
+
+    #[test]
+    fn samples_are_unit_norm_and_span_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SubspaceModel::random(&mut rng, 20, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[12, 12], 0.0);
+        let out = local_cluster_and_sample(&ds.data, &cfg(), &mut rng).unwrap();
+        assert_eq!(out.samples.cols(), out.sample_cluster.len());
+        for s in 0..out.samples.cols() {
+            assert!((vector::norm2(out.samples.col(s)) - 1.0).abs() < 1e-10);
+            // The sample lies in the span of its ground-truth subspace: the
+            // projection onto the true basis reproduces it.
+            let cluster = out.sample_cluster[s];
+            // Majority ground-truth label of the local cluster.
+            let mut votes = [0usize; 2];
+            for (i, &t) in out.local_labels.iter().enumerate() {
+                if t == cluster {
+                    votes[ds.labels[i]] += 1;
+                }
+            }
+            let true_subspace = if votes[0] >= votes[1] { 0 } else { 1 };
+            let basis = &model.bases[true_subspace];
+            let coeff = basis.tr_matvec(out.samples.col(s)).unwrap();
+            let proj = basis.matvec(&coeff).unwrap();
+            let err: f64 = proj
+                .iter()
+                .zip(out.samples.col(s))
+                .map(|(p, t)| (p - t).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-8, "sample {s} leaves its subspace by {err}");
+        }
+    }
+
+    #[test]
+    fn fixed_cluster_count_is_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = SubspaceModel::random(&mut rng, 20, 2, 2);
+        let ds = model.sample_dataset(&mut rng, &[10, 10], 0.0);
+        let mut c = cfg();
+        c.cluster_count = ClusterCountPolicy::Fixed(3);
+        let out = local_cluster_and_sample(&ds.data, &c, &mut rng).unwrap();
+        assert_eq!(out.num_local_clusters, 3);
+        // At most 3 samples (empty clusters may drop some).
+        assert!(out.samples.cols() <= 3);
+    }
+
+    #[test]
+    fn fixed_basis_dim_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = SubspaceModel::random(&mut rng, 20, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[10, 10], 0.0);
+        let mut c = cfg();
+        c.basis_dim = BasisDim::Fixed(1);
+        let out = local_cluster_and_sample(&ds.data, &c, &mut rng).unwrap();
+        assert!(out.basis_dims.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn auto_basis_dim_recovers_subspace_dimension() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = SubspaceModel::random(&mut rng, 25, 4, 1);
+        let ds = model.sample_dataset(&mut rng, &[20], 0.0);
+        let out = local_cluster_and_sample(&ds.data, &cfg(), &mut rng).unwrap();
+        // One subspace of dimension 4: every non-empty cluster basis has
+        // dimension 4 (noiseless data has exact rank).
+        assert!(out.basis_dims.iter().all(|&d| d == 0 || d == 4), "{:?}", out.basis_dims);
+    }
+
+    #[test]
+    fn multiple_samples_per_cluster() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = SubspaceModel::random(&mut rng, 15, 2, 1);
+        let ds = model.sample_dataset(&mut rng, &[10], 0.0);
+        let mut c = cfg();
+        c.cluster_count = ClusterCountPolicy::Fixed(1);
+        c.samples_per_cluster = 3;
+        let out = local_cluster_and_sample(&ds.data, &c, &mut rng).unwrap();
+        assert_eq!(out.samples.cols(), 3);
+        assert_eq!(out.sample_cluster, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn tsc_local_backend_runs() {
+        // The ablation backend: TSC locally instead of SSC. On uniform
+        // synthetic data it still segments well-separated subspaces.
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[20, 20], 0.0);
+        let mut c = cfg();
+        c.local = crate::config::LocalBackend::Tsc { q: 5 };
+        c.cluster_count = ClusterCountPolicy::Fixed(2);
+        let out = local_cluster_and_sample(&ds.data, &c, &mut rng).unwrap();
+        let acc = fedsc_clustering::clustering_accuracy(&ds.labels, &out.local_labels);
+        assert!(acc > 90.0, "TSC-local accuracy {acc}");
+    }
+
+    #[test]
+    fn single_point_device() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = Matrix::from_columns(&[&[1.0, 0.0, 0.0]]).unwrap();
+        let out = local_cluster_and_sample(&data, &cfg(), &mut rng).unwrap();
+        assert_eq!(out.num_local_clusters, 1);
+        assert_eq!(out.samples.cols(), 1);
+        // The only possible unit sample is +-x itself.
+        assert!((out.samples[(0, 0)].abs() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,224 @@
+//! Wire-level execution of the Fed-SC round: devices and the server run as
+//! separate threads exchanging **encoded byte messages** over channels —
+//! the deployment shape of Algorithm 1, as opposed to the in-process
+//! orchestration of [`crate::scheme::FedSc`].
+//!
+//! Every device thread runs Algorithm 2 on its shard, serializes its
+//! samples into an [`UplinkMessage`] payload, and sends the bytes to the
+//! server thread; the server decodes and pools the payloads, runs the
+//! central clustering, and answers each device with an encoded
+//! [`DownlinkMessage`] of assignments; devices decode and perform the local
+//! update. With a lossless channel the result is **bit-identical** to
+//! `FedSc::run` under the same seeds (tested), so the in-process scheme and
+//! the wire protocol cannot drift apart.
+//!
+//! [`UplinkMessage`]: fedsc_federated::channel::UplinkMessage
+//! [`DownlinkMessage`]: fedsc_federated::channel::DownlinkMessage
+
+use crate::central::central_cluster;
+use crate::config::FedScConfig;
+use crate::local::local_cluster_and_sample;
+use bytes::Bytes;
+use fedsc_federated::channel::{DownlinkMessage, UplinkMessage};
+use fedsc_federated::partition::FederatedDataset;
+use fedsc_linalg::{LinalgError, Matrix, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of a wire-level run.
+#[derive(Debug, Clone)]
+pub struct WireRunOutput {
+    /// Predicted global cluster per point, in global-point order.
+    pub predictions: Vec<usize>,
+    /// Total bytes that crossed the uplink (encoded payload sizes).
+    pub uplink_bytes: usize,
+    /// Total bytes that crossed the downlink.
+    pub downlink_bytes: usize,
+}
+
+/// Runs the Fed-SC round with per-device threads and encoded messages.
+///
+/// The channel is lossless (byte-faithful); noise/quantization modelling
+/// lives in [`crate::scheme::FedSc`]. Errors from any thread are propagated.
+pub fn run_over_wire(fed: &FederatedDataset, cfg: &FedScConfig) -> Result<WireRunOutput> {
+    let z_count = fed.devices.len();
+    let (uplink_tx, uplink_rx) = crossbeam::channel::unbounded::<(usize, Bytes)>();
+    let mut downlink_txs = Vec::with_capacity(z_count);
+    let mut downlink_rxs = Vec::with_capacity(z_count);
+    for _ in 0..z_count {
+        let (tx, rx) = crossbeam::channel::bounded::<Bytes>(1);
+        downlink_txs.push(tx);
+        downlink_rxs.push(rx);
+    }
+
+    // Per-device results come back through a second channel so the scope
+    // can end cleanly even if the server fails.
+    let (result_tx, result_rx) =
+        crossbeam::channel::unbounded::<(usize, Result<Vec<usize>>)>();
+
+    let mut server_result: Option<Result<(usize, usize)>> = None;
+    crossbeam::thread::scope(|scope| {
+        // Device threads: phase 1, send uplink, await downlink, phase 3.
+        for z in 0..z_count {
+            let uplink_tx = uplink_tx.clone();
+            let downlink_rx = downlink_rxs[z].clone();
+            let result_tx = result_tx.clone();
+            let device = &fed.devices[z];
+            scope.spawn(move |_| {
+                let work = || -> Result<Vec<usize>> {
+                    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
+                    let out = local_cluster_and_sample(&device.data, cfg, &mut rng)?;
+                    let msg = UplinkMessage { dim: out.samples.rows(), samples: out.samples.clone() };
+                    uplink_tx
+                        .send((z, msg.encode()))
+                        .map_err(|_| LinalgError::InvalidArgument("server hung up"))?;
+                    let reply = downlink_rx
+                        .recv()
+                        .map_err(|_| LinalgError::InvalidArgument("no downlink reply"))?;
+                    let down = DownlinkMessage::decode(reply)
+                        .ok_or(LinalgError::InvalidArgument("malformed downlink"))?;
+                    if down.assignments.len() != out.sample_cluster.len() {
+                        return Err(LinalgError::InvalidArgument(
+                            "downlink assignment count mismatch",
+                        ));
+                    }
+                    // Phase 3: relabel local clusters by their (first)
+                    // sample's assignment, mirroring FedSc::run.
+                    let mut cluster_to_global = vec![0usize; out.num_local_clusters.max(1)];
+                    let mut votes =
+                        vec![vec![0usize; cfg.num_clusters.max(1)]; out.num_local_clusters.max(1)];
+                    for (s, &t) in out.sample_cluster.iter().enumerate() {
+                        votes[t][down.assignments[s] as usize] += 1;
+                    }
+                    for (t, vote) in votes.iter().enumerate() {
+                        if let Some((best, _)) = vote
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|&(_, &c)| c)
+                            .filter(|&(_, &c)| c > 0)
+                        {
+                            cluster_to_global[t] = best;
+                        }
+                    }
+                    Ok(out.local_labels.iter().map(|&t| cluster_to_global[t]).collect())
+                };
+                let _ = result_tx.send((z, work()));
+            });
+        }
+        drop(uplink_tx);
+        drop(result_tx);
+
+        // Server: collect all uplinks, cluster, answer each device.
+        let server = || -> Result<(usize, usize)> {
+            let mut payloads: Vec<Option<UplinkMessage>> = (0..z_count).map(|_| None).collect();
+            let mut uplink_bytes = 0usize;
+            for _ in 0..z_count {
+                // recv_timeout rather than recv: if a device dies before
+                // sending, the still-blocked healthy devices keep their
+                // sender clones alive, so a plain recv would deadlock
+                // instead of erroring.
+                let (z, bytes) = uplink_rx
+                    .recv_timeout(std::time::Duration::from_secs(300))
+                    .map_err(|_| LinalgError::InvalidArgument("a device hung up"))?;
+                uplink_bytes += bytes.len();
+                let msg = UplinkMessage::decode(bytes)
+                    .ok_or(LinalgError::InvalidArgument("malformed uplink"))?;
+                payloads[z] = Some(msg);
+            }
+            let mut mats = Vec::with_capacity(z_count);
+            let mut counts = Vec::with_capacity(z_count);
+            for p in payloads.into_iter() {
+                let m = p.expect("every device reported").samples;
+                counts.push(m.cols());
+                mats.push(m);
+            }
+            let refs: Vec<&Matrix> = mats.iter().collect();
+            let pooled = Matrix::hcat(&refs)?;
+            let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
+            let central =
+                central_cluster(&pooled, cfg.num_clusters, z_count, cfg.central, &mut server_rng)?;
+            let mut downlink_bytes = 0usize;
+            let mut offset = 0usize;
+            for (z, &r) in counts.iter().enumerate() {
+                let assignments: Vec<u32> = central.assignments[offset..offset + r]
+                    .iter()
+                    .map(|&a| a as u32)
+                    .collect();
+                offset += r;
+                let reply = DownlinkMessage { assignments }.encode();
+                downlink_bytes += reply.len();
+                downlink_txs[z]
+                    .send(reply)
+                    .map_err(|_| LinalgError::InvalidArgument("device hung up"))?;
+            }
+            Ok((uplink_bytes, downlink_bytes))
+        };
+        server_result = Some(server());
+    })
+    .expect("threads do not panic");
+
+    let (uplink_bytes, downlink_bytes) = server_result.expect("server ran")?;
+    let mut per_device: Vec<Option<Vec<usize>>> = (0..z_count).map(|_| None).collect();
+    for (z, res) in result_rx.iter() {
+        per_device[z] = Some(res?);
+    }
+    let per_device: Vec<Vec<usize>> =
+        per_device.into_iter().map(|p| p.expect("every device reported")).collect();
+    Ok(WireRunOutput {
+        predictions: fed.scatter_predictions(&per_device),
+        uplink_bytes,
+        downlink_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CentralBackend, FedScConfig};
+    use crate::scheme::FedSc;
+    use fedsc_federated::partition::{partition_dataset, Partition};
+    use fedsc_subspace::SubspaceModel;
+
+    fn fixture(seed: u64) -> (FederatedDataset, FedScConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = SubspaceModel::random(&mut rng, 20, 3, 3);
+        let ds = model.sample_dataset(&mut rng, &[48, 48, 48], 0.0);
+        let fed = partition_dataset(&ds, 12, Partition::NonIid { l_prime: 2 }, &mut rng);
+        let cfg = FedScConfig::new(3, CentralBackend::Ssc);
+        (fed, cfg)
+    }
+
+    #[test]
+    fn wire_run_matches_in_process_run_exactly() {
+        let (fed, cfg) = fixture(1);
+        let in_process = FedSc::new(cfg.clone()).run(&fed).unwrap();
+        let wire = run_over_wire(&fed, &cfg).unwrap();
+        // Same seeds, lossless channel: the two execution shapes must agree
+        // bit for bit.
+        assert_eq!(wire.predictions, in_process.predictions);
+    }
+
+    #[test]
+    fn wire_byte_counts_match_payload_sizes() {
+        let (fed, cfg) = fixture(2);
+        let wire = run_over_wire(&fed, &cfg).unwrap();
+        let in_process = FedSc::new(cfg).run(&fed).unwrap();
+        let samples = in_process.samples.cols();
+        // Uplink: per device 16-byte header + 8 bytes per entry.
+        assert_eq!(
+            wire.uplink_bytes,
+            16 * fed.devices.len() + 8 * 20 * samples
+        );
+        // Downlink: per device 8-byte header + 4 bytes per sample.
+        assert_eq!(wire.downlink_bytes, 8 * fed.devices.len() + 4 * samples);
+    }
+
+    #[test]
+    fn wire_run_clusters_correctly() {
+        let (fed, cfg) = fixture(3);
+        let wire = run_over_wire(&fed, &cfg).unwrap();
+        let acc =
+            fedsc_clustering::clustering_accuracy(&fed.global_truth(), &wire.predictions);
+        assert!(acc > 90.0, "accuracy {acc}");
+    }
+}

@@ -1,0 +1,17 @@
+//! # fedsc-data
+//!
+//! Workload generators for the Fed-SC reproduction.
+//!
+//! * [`synthetic`] — the paper's Section VI-A generator (`L` subspaces of
+//!   dimension 5 in `R^20`, Gaussian coefficients).
+//! * [`realworld`] — surrogate high-dimensional datasets standing in for
+//!   EMNIST scatter features and augmented COIL100 (see the module docs for
+//!   the substitution argument; also documented in `DESIGN.md`).
+
+#![warn(missing_docs)]
+
+pub mod realworld;
+pub mod synthetic;
+
+pub use realworld::{SurrogateDataset, SurrogateSpec};
+pub use synthetic::{SyntheticConfig, SyntheticDataset};

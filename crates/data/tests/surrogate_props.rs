@@ -1,0 +1,107 @@
+//! Property-based tests for the surrogate generators: the structural
+//! guarantees the Table III/IV substitution argument rests on.
+
+use fedsc_data::realworld::{generate, SurrogateSpec};
+use fedsc_data::synthetic::{generate as gen_synth, SyntheticConfig};
+use fedsc_linalg::{angles, vector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn surrogate_points_are_unit_norm_and_fully_labeled(
+        seed in 0u64..200,
+        classes in 3usize..8,
+    ) {
+        let spec = SurrogateSpec::emnist_like(0.03).with_classes(classes).with_class_size(10);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = generate(&spec, &mut rng);
+        prop_assert_eq!(ds.class_sizes.len(), classes);
+        let total: usize = ds.class_sizes.iter().sum();
+        prop_assert_eq!(ds.data.len(), total);
+        for j in 0..ds.data.len() {
+            prop_assert!((vector::norm2(ds.data.data.col(j)) - 1.0).abs() < 1e-9);
+            prop_assert!(ds.data.labels[j] < classes);
+        }
+        // Imbalance is monotone non-increasing by construction.
+        for w in ds.class_sizes.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn class_means_are_distinct_under_offset(seed in 0u64..200) {
+        // The mean-offset design must give classes separated centroids —
+        // the property that lets k-FED function on the surrogates.
+        let spec = SurrogateSpec::coil100_like(0.08).with_classes(4).with_class_size(40);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = generate(&spec, &mut rng);
+        let n = ds.data.data.rows();
+        let mut means = vec![vec![0.0f64; n]; 4];
+        let mut counts = [0usize; 4];
+        for j in 0..ds.data.len() {
+            let l = ds.data.labels[j];
+            counts[l] += 1;
+            vector::axpy(1.0, ds.data.data.col(j), &mut means[l]);
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            vector::scale(m, 1.0 / c.max(1) as f64);
+        }
+        // Every class mean is far from zero (offset visible)...
+        for m in &means {
+            prop_assert!(vector::norm2(m) > 0.3, "mean norm {}", vector::norm2(m));
+        }
+        // ...and most pairs are well separated.
+        let mut separated = 0;
+        for a in 0..4 {
+            for b in 0..a {
+                if vector::dist2_sq(&means[a], &means[b]).sqrt() > 0.3 {
+                    separated += 1;
+                }
+            }
+        }
+        prop_assert!(separated >= 5, "only {separated}/6 pairs separated");
+    }
+
+    #[test]
+    fn shared_component_couples_class_subspaces(seed in 0u64..100) {
+        let spec = SurrogateSpec::emnist_like(0.04).with_classes(4).with_class_size(10);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = generate(&spec, &mut rng);
+        // With shared dims > 0 every pair of class bases has affinity well
+        // above independent random subspaces in this ambient dimension.
+        let mut min_aff = f64::INFINITY;
+        for a in 0..4 {
+            for b in 0..a {
+                let aff = angles::subspace_affinity(&ds.model.bases[a], &ds.model.bases[b])
+                    .unwrap();
+                min_aff = min_aff.min(aff);
+            }
+        }
+        prop_assert!(min_aff > 0.05, "min affinity {min_aff}");
+    }
+
+    #[test]
+    fn synthetic_generator_respects_counts_and_model(
+        seed in 0u64..200,
+        l in 2usize..6,
+        per in 4usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = gen_synth(&SyntheticConfig::paper(l, per), &mut rng);
+        prop_assert_eq!(ds.data.len(), l * per);
+        prop_assert_eq!(ds.model.num_subspaces(), l);
+        // Every point is exactly on its model subspace.
+        for j in 0..ds.data.len() {
+            let basis = &ds.model.bases[ds.data.labels[j]];
+            let x = ds.data.data.col(j);
+            let c = basis.tr_matvec(x).unwrap();
+            let p = basis.matvec(&c).unwrap();
+            let err: f64 = p.iter().zip(x).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            prop_assert!(err < 1e-9);
+        }
+    }
+}

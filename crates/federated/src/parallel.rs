@@ -1,0 +1,125 @@
+//! Parallel per-device execution.
+//!
+//! Device-local clustering dominates every federated run and devices are
+//! independent, so the simulator fans the per-device work out over a scoped
+//! thread pool (crossbeam scope + a shared atomic work queue). Results come
+//! back in device order. The same helper reports the *parallel* wall time
+//! the paper's scalability analysis quotes (`max_z T^(z)` instead of
+//! `sum_z T^(z)`).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Maps `f` over `0..count` in parallel, returning results in index order
+/// together with each item's wall time.
+///
+/// `f` must be deterministic per index if reproducibility is required —
+/// callers derive per-device RNGs from a base seed, never share one.
+pub fn par_map_timed<T, F>(count: usize, threads: usize, f: F) -> Vec<(T, Duration)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    let mut out: Vec<Option<(T, Duration)>> = (0..count).map(|_| None).collect();
+    if count == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..count)
+            .map(|i| {
+                let t0 = Instant::now();
+                let r = f(i);
+                (r, t0.elapsed())
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots = Mutex::new(&mut out);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let t0 = Instant::now();
+                let r = f(i);
+                let dt = t0.elapsed();
+                slots.lock()[i] = Some((r, dt));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    out.into_iter().map(|s| s.expect("every index processed")).collect()
+}
+
+/// Default worker count: available parallelism, floor 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Wall-time summary of a federated phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTiming {
+    /// `sum_z T^(z)` — the paper's sequential client time.
+    pub sequential: Duration,
+    /// `max_z T^(z)` — the parallel client time.
+    pub parallel: Duration,
+}
+
+impl PhaseTiming {
+    /// Aggregates per-item durations.
+    pub fn from_durations(durations: impl IntoIterator<Item = Duration>) -> Self {
+        let mut seq = Duration::ZERO;
+        let mut par = Duration::ZERO;
+        for d in durations {
+            seq += d;
+            par = par.max(d);
+        }
+        Self { sequential: seq, parallel: par }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let r = par_map_timed(16, 4, |i| i * i);
+        let vals: Vec<usize> = r.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(vals, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let r = par_map_timed(3, 1, |i| i + 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[2].0, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = par_map_timed(0, 8, |i| i);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn timing_aggregation() {
+        let t = PhaseTiming::from_durations([
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+            Duration::from_millis(20),
+        ]);
+        assert_eq!(t.sequential, Duration::from_millis(60));
+        assert_eq!(t.parallel, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let r = par_map_timed(2, 64, |i| i);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Data partitioners: distribute a labeled dataset over `Z` devices.
+//!
+//! The paper's two regimes (Section VI-A):
+//!
+//! * **IID** — points are spread uniformly at random; every device tends to
+//!   see all `L` clusters (`L' = L`).
+//! * **Non-IID(L')** — each device receives points from a random subset of
+//!   `L'` clusters, the paper's statistical-heterogeneity knob.
+//!
+//! Invariants (property-tested): every point is assigned to exactly one
+//! device; under Non-IID every device holds at most `L'` distinct clusters;
+//! every cluster with points is held by at least one device.
+
+use fedsc_subspace::model::LabeledData;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt as _};
+
+/// How to spread the data over devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Uniformly random point-to-device assignment.
+    Iid,
+    /// Each device draws `l_prime` clusters; points of a cluster go only to
+    /// devices that drew it.
+    NonIid {
+        /// Number of clusters per device (`L'`).
+        l_prime: usize,
+    },
+}
+
+/// A dataset distributed over devices, with the bookkeeping needed to map
+/// local results back to global point indices.
+#[derive(Debug, Clone)]
+pub struct FederatedDataset {
+    /// Per-device local datasets.
+    pub devices: Vec<LabeledData>,
+    /// `global_index[z][i]` is the index in the original dataset of local
+    /// point `i` on device `z`.
+    pub global_index: Vec<Vec<usize>>,
+    /// Total number of points.
+    pub total_points: usize,
+    /// Number of global clusters `L` (max label + 1 in the source data).
+    pub num_clusters: usize,
+}
+
+impl FederatedDataset {
+    /// Ground-truth labels flattened in global-point order.
+    pub fn global_truth(&self) -> Vec<usize> {
+        let mut truth = vec![0usize; self.total_points];
+        for (z, dev) in self.devices.iter().enumerate() {
+            for (i, &l) in dev.labels.iter().enumerate() {
+                truth[self.global_index[z][i]] = l;
+            }
+        }
+        truth
+    }
+
+    /// Scatters per-device predicted labels back to global-point order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the prediction shape does not match the partition.
+    pub fn scatter_predictions(&self, per_device: &[Vec<usize>]) -> Vec<usize> {
+        assert_eq!(per_device.len(), self.devices.len(), "one label vector per device");
+        let mut pred = vec![0usize; self.total_points];
+        for (z, labels) in per_device.iter().enumerate() {
+            assert_eq!(labels.len(), self.devices[z].len(), "device {z} label count");
+            for (i, &l) in labels.iter().enumerate() {
+                pred[self.global_index[z][i]] = l;
+            }
+        }
+        pred
+    }
+
+    /// Per-device ground-truth label vectors (for heterogeneity/active-set
+    /// analysis).
+    pub fn device_labels(&self) -> Vec<Vec<usize>> {
+        self.devices.iter().map(|d| d.labels.clone()).collect()
+    }
+
+    /// Reassembles the pooled dataset in global-point order — what a
+    /// centralized baseline sees when run on "the same data".
+    pub fn pooled(&self) -> LabeledData {
+        let rows = self.devices.iter().map(|d| d.data.rows()).max().unwrap_or(0);
+        let mut data = fedsc_linalg::Matrix::zeros(rows, self.total_points);
+        let mut labels = vec![0usize; self.total_points];
+        for (z, dev) in self.devices.iter().enumerate() {
+            for (i, &g) in self.global_index[z].iter().enumerate() {
+                data.col_mut(g).copy_from_slice(dev.data.col(i));
+                labels[g] = dev.labels[i];
+            }
+        }
+        LabeledData { data, labels }
+    }
+}
+
+/// Splits `data` over `num_devices` devices.
+///
+/// Devices are guaranteed non-empty as long as there are at least
+/// `num_devices` points; clusters present in the data are guaranteed to be
+/// held by at least one device under both regimes.
+pub fn partition_dataset<R: Rng + ?Sized>(
+    data: &LabeledData,
+    num_devices: usize,
+    scheme: Partition,
+    rng: &mut R,
+) -> FederatedDataset {
+    assert!(num_devices > 0, "need at least one device");
+    let n = data.len();
+    let num_clusters = data.labels.iter().copied().max().map_or(0, |m| m + 1);
+    let assignment: Vec<usize> = match scheme {
+        Partition::Iid => {
+            // Balanced random assignment: shuffle then deal round-robin.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(rng);
+            let mut a = vec![0usize; n];
+            for (slot, &point) in order.iter().enumerate() {
+                a[point] = slot % num_devices;
+            }
+            a
+        }
+        Partition::NonIid { l_prime } => {
+            let l_prime = l_prime.clamp(1, num_clusters.max(1));
+            let device_clusters = draw_device_clusters(num_clusters, num_devices, l_prime, rng);
+            // owners[l] = devices that drew cluster l.
+            let mut owners: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+            for (z, clusters) in device_clusters.iter().enumerate() {
+                for &c in clusters {
+                    owners[c].push(z);
+                }
+            }
+            let mut a = vec![0usize; n];
+            // Per-cluster round-robin over owner devices, on a shuffled
+            // point order so device loads stay balanced in distribution.
+            let mut by_cluster: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+            for (i, &l) in data.labels.iter().enumerate() {
+                by_cluster[l].push(i);
+            }
+            for (l, points) in by_cluster.iter_mut().enumerate() {
+                if points.is_empty() {
+                    continue;
+                }
+                points.shuffle(rng);
+                let devs = &owners[l];
+                debug_assert!(!devs.is_empty(), "cluster {l} has no owner");
+                for (k, &p) in points.iter().enumerate() {
+                    a[p] = devs[k % devs.len()];
+                }
+            }
+            a
+        }
+    };
+
+    let mut global_index: Vec<Vec<usize>> = vec![Vec::new(); num_devices];
+    for (i, &z) in assignment.iter().enumerate() {
+        global_index[z].push(i);
+    }
+    let devices: Vec<LabeledData> =
+        global_index.iter().map(|idx| data.select(idx)).collect();
+    FederatedDataset { devices, global_index, total_points: n, num_clusters }
+}
+
+/// Draws `l_prime` distinct clusters per device, then repairs coverage so
+/// every cluster is owned by at least one device (swapping into devices that
+/// own a multiply-covered cluster).
+fn draw_device_clusters<R: Rng + ?Sized>(
+    num_clusters: usize,
+    num_devices: usize,
+    l_prime: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    let mut all: Vec<usize> = (0..num_clusters).collect();
+    let mut device_clusters: Vec<Vec<usize>> = (0..num_devices)
+        .map(|_| {
+            all.shuffle(rng);
+            let mut picks = all[..l_prime].to_vec();
+            picks.sort_unstable();
+            picks
+        })
+        .collect();
+    // Coverage repair.
+    let mut count = vec![0usize; num_clusters];
+    for clusters in &device_clusters {
+        for &c in clusters {
+            count[c] += 1;
+        }
+    }
+    for orphan in 0..num_clusters {
+        if count[orphan] > 0 {
+            continue;
+        }
+        // Prefer swapping into a slot holding a multiply-covered cluster so
+        // the L' cap is preserved.
+        let mut placed = false;
+        'devices: for z in 0..num_devices {
+            if device_clusters[z].contains(&orphan) {
+                continue;
+            }
+            for slot in 0..device_clusters[z].len() {
+                let old = device_clusters[z][slot];
+                if count[old] > 1 {
+                    count[old] -= 1;
+                    device_clusters[z][slot] = orphan;
+                    device_clusters[z].sort_unstable();
+                    count[orphan] += 1;
+                    placed = true;
+                    break 'devices;
+                }
+            }
+        }
+        if !placed {
+            // Not enough slots (Z * L' < L): coverage beats the cap — add
+            // the orphan to a random device.
+            let z = rng.random_range(0..num_devices);
+            device_clusters[z].push(orphan);
+            device_clusters[z].sort_unstable();
+            count[orphan] += 1;
+        }
+    }
+    device_clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsc_subspace::SubspaceModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(l: usize, per: usize, rng: &mut StdRng) -> LabeledData {
+        let model = SubspaceModel::random(rng, 10, 2, l);
+        model.sample_dataset(rng, &vec![per; l], 0.0)
+    }
+
+    #[test]
+    fn every_point_assigned_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = dataset(4, 10, &mut rng);
+        for scheme in [Partition::Iid, Partition::NonIid { l_prime: 2 }] {
+            let fed = partition_dataset(&data, 5, scheme, &mut rng);
+            let mut seen = [false; 40];
+            for idx in &fed.global_index {
+                for &i in idx {
+                    assert!(!seen[i], "point {i} assigned twice");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+            assert_eq!(fed.total_points, 40);
+        }
+    }
+
+    #[test]
+    fn non_iid_caps_clusters_per_device() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = dataset(6, 20, &mut rng);
+        let fed = partition_dataset(&data, 8, Partition::NonIid { l_prime: 2 }, &mut rng);
+        for dev in &fed.devices {
+            assert!(dev.num_classes() <= 2, "device holds {} classes", dev.num_classes());
+        }
+    }
+
+    #[test]
+    fn every_cluster_survives_partitioning() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = dataset(10, 5, &mut rng);
+        let fed = partition_dataset(&data, 4, Partition::NonIid { l_prime: 2 }, &mut rng);
+        let mut present = vec![false; 10];
+        for dev in &fed.devices {
+            for &l in &dev.labels {
+                present[l] = true;
+            }
+        }
+        assert!(present.iter().all(|&p| p), "a cluster vanished: {present:?}");
+    }
+
+    #[test]
+    fn iid_spreads_clusters_widely() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = dataset(3, 40, &mut rng);
+        let fed = partition_dataset(&data, 4, Partition::Iid, &mut rng);
+        // With 40 points/cluster over 4 devices, each device should see all
+        // 3 clusters with overwhelming probability.
+        for dev in &fed.devices {
+            assert_eq!(dev.num_classes(), 3);
+        }
+    }
+
+    #[test]
+    fn truth_round_trips_through_scatter() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = dataset(4, 8, &mut rng);
+        let fed = partition_dataset(&data, 3, Partition::NonIid { l_prime: 2 }, &mut rng);
+        let truth = fed.global_truth();
+        assert_eq!(truth, data.labels);
+        // Scattering the per-device truths reproduces the global truth.
+        let per_device: Vec<Vec<usize>> = fed.devices.iter().map(|d| d.labels.clone()).collect();
+        assert_eq!(fed.scatter_predictions(&per_device), truth);
+    }
+
+    #[test]
+    fn pooled_reconstructs_original() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = dataset(3, 7, &mut rng);
+        let fed = partition_dataset(&data, 4, Partition::NonIid { l_prime: 2 }, &mut rng);
+        let pooled = fed.pooled();
+        assert_eq!(pooled.labels, data.labels);
+        for j in 0..data.len() {
+            assert_eq!(pooled.data.col(j), data.data.col(j));
+        }
+    }
+
+    #[test]
+    fn l_prime_larger_than_l_degrades_to_iid_style() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = dataset(2, 10, &mut rng);
+        let fed = partition_dataset(&data, 2, Partition::NonIid { l_prime: 99 }, &mut rng);
+        assert_eq!(fed.total_points, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = dataset(2, 4, &mut rng);
+        partition_dataset(&data, 0, Partition::Iid, &mut rng);
+    }
+}

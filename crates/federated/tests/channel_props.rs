@@ -1,0 +1,85 @@
+//! Property-based tests for the channel layer: codec round trips,
+//! quantization error bounds, and communication-cost accounting.
+
+use bytes::Bytes;
+use fedsc_federated::channel::{
+    account_downlink, transmit_uplink, ChannelConfig, CommStats, DownlinkMessage, UplinkMessage,
+};
+use fedsc_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..8, 0usize..6).prop_flat_map(|(n, r)| {
+        proptest::collection::vec(-1.0f64..1.0, n * r)
+            .prop_map(move |data| Matrix::from_col_major(n, r, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uplink_codec_round_trips(m in sample_matrix()) {
+        let msg = UplinkMessage { dim: m.rows(), samples: m };
+        let decoded = UplinkMessage::decode(msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn downlink_codec_round_trips(assignments in proptest::collection::vec(0u32..1000, 0..32)) {
+        let msg = DownlinkMessage { assignments };
+        let decoded = DownlinkMessage::decode(msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected(m in sample_matrix()) {
+        let msg = UplinkMessage { dim: m.rows(), samples: m };
+        let bytes = msg.encode();
+        if bytes.len() > 16 {
+            let cut = bytes.slice(0..bytes.len() - 1);
+            prop_assert!(UplinkMessage::decode(cut).is_none());
+        }
+        prop_assert!(UplinkMessage::decode(Bytes::new()).is_none());
+    }
+
+    #[test]
+    fn quantization_error_within_half_step(m in sample_matrix(), bits in 2u32..16) {
+        let cfg = ChannelConfig { bits_per_scalar: bits, noise_delta: 0.0 };
+        let mut stats = CommStats::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = transmit_uplink(&cfg, &m, &mut stats, &mut rng);
+        let step = 2.0 / (1u64 << bits) as f64;
+        for (a, b) in out.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() <= step + 1e-12, "{a} vs {b} at {bits} bits");
+            prop_assert!((-1.0..=1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn comm_accounting_is_additive(
+        shapes in proptest::collection::vec((1usize..6, 0usize..5), 1..6),
+        bits in 1u32..64,
+        l in 2usize..40,
+    ) {
+        let cfg = ChannelConfig { bits_per_scalar: bits, noise_delta: 0.0 };
+        let mut stats = CommStats::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut expect_up = 0u64;
+        let mut expect_down = 0u64;
+        let bits_per_label = (usize::BITS - (l.max(2) - 1).leading_zeros()).max(1) as u64;
+        for &(n, r) in &shapes {
+            let m = Matrix::zeros(n, r);
+            transmit_uplink(&cfg, &m, &mut stats, &mut rng);
+            account_downlink(&mut stats, r, l);
+            expect_up += (n * r) as u64 * bits as u64;
+            expect_down += r as u64 * bits_per_label;
+        }
+        prop_assert_eq!(stats.uplink_bits, expect_up);
+        prop_assert_eq!(stats.downlink_bits, expect_down);
+        prop_assert_eq!(stats.uplink_messages as usize, shapes.len());
+        prop_assert_eq!(stats.total_bits(), expect_up + expect_down);
+    }
+}

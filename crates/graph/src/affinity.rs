@@ -1,0 +1,247 @@
+//! Symmetric affinity graphs.
+//!
+//! Every spectral-based SC method in the paper reduces to building a
+//! non-negative symmetric affinity matrix `W` over the data points and
+//! feeding it to spectral clustering. This module is the shared
+//! representation: a dense symmetric matrix wrapper with the constructors the
+//! SC algorithms need (`|C| + |C|^T` from self-expression codes, k-NN
+//! affinities from similarity scores).
+//!
+//! Affinity graphs in this workspace are at most a few thousand nodes
+//! (local device data or the pooled server samples), so a dense symmetric
+//! store keeps the spectral path simple; the sparse `CsrMatrix` remains
+//! available upstream for code storage.
+
+use fedsc_linalg::Matrix;
+
+/// A non-negative symmetric affinity matrix with zero diagonal.
+#[derive(Debug, Clone)]
+pub struct AffinityGraph {
+    w: Matrix,
+}
+
+impl AffinityGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.w.rows() == 0
+    }
+
+    /// The affinity matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Edge weight between `i` and `j`.
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        self.w[(i, j)]
+    }
+
+    /// Builds `W = |C| + |C|^T` from a (generally asymmetric) coefficient
+    /// matrix, zeroing the diagonal — the SSC affinity construction.
+    pub fn from_coefficients(c: &Matrix) -> Self {
+        assert_eq!(c.rows(), c.cols(), "coefficient matrix must be square");
+        let n = c.rows();
+        let mut w = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                if i == j {
+                    continue;
+                }
+                let v = c[(i, j)].abs() + c[(j, i)].abs();
+                w[(i, j)] = v;
+            }
+        }
+        Self { w }
+    }
+
+    /// Builds a symmetric k-NN affinity graph: node `i` keeps edges to the
+    /// `q` nodes with the largest `similarity(i, j)`, `j != i`, weighted by
+    /// that similarity; the result is symmetrized by max. This is the TSC
+    /// construction with `similarity = |cos|` of spherical distance.
+    pub fn from_knn_similarity<F>(n: usize, q: usize, similarity: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64,
+    {
+        let mut w = Matrix::zeros(n, n);
+        let q = q.min(n.saturating_sub(1));
+        let mut sims: Vec<(f64, usize)> = Vec::with_capacity(n.saturating_sub(1));
+        for i in 0..n {
+            sims.clear();
+            for j in 0..n {
+                if j != i {
+                    sims.push((similarity(i, j), j));
+                }
+            }
+            // Partial selection of the q largest similarities.
+            sims.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("similarities are finite"));
+            for &(s, j) in sims.iter().take(q) {
+                if s > 0.0 {
+                    let cur = w[(i, j)];
+                    if s > cur {
+                        w[(i, j)] = s;
+                        w[(j, i)] = s;
+                    }
+                }
+            }
+        }
+        Self { w }
+    }
+
+    /// Wraps an existing symmetric non-negative matrix. Symmetry and
+    /// non-negativity are enforced by averaging with the transpose, taking
+    /// absolute values, and zeroing the diagonal.
+    pub fn from_symmetric(m: &Matrix) -> Self {
+        assert_eq!(m.rows(), m.cols(), "affinity matrix must be square");
+        let n = m.rows();
+        let mut w = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                if i != j {
+                    w[(i, j)] = 0.5 * (m[(i, j)].abs() + m[(j, i)].abs());
+                }
+            }
+        }
+        Self { w }
+    }
+
+    /// Node degrees (row sums).
+    pub fn degrees(&self) -> Vec<f64> {
+        let n = self.len();
+        (0..n).map(|i| (0..n).map(|j| self.w[(i, j)]).sum()).collect()
+    }
+
+    /// The subgraph induced by `nodes` (in the given order).
+    pub fn subgraph(&self, nodes: &[usize]) -> AffinityGraph {
+        let k = nodes.len();
+        let mut w = Matrix::zeros(k, k);
+        for (a, &i) in nodes.iter().enumerate() {
+            for (b, &j) in nodes.iter().enumerate() {
+                w[(a, b)] = self.w[(i, j)];
+            }
+        }
+        AffinityGraph { w }
+    }
+
+    /// Connected components under strictly positive edge weights above
+    /// `eps`. Returns a component id per node (ids are dense, starting at 0,
+    /// in first-seen order).
+    pub fn connected_components(&self, eps: f64) -> Vec<usize> {
+        let n = self.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = next;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for v in 0..n {
+                    if comp[v] == usize::MAX && self.w[(u, v)] > eps {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Number of connected components (edges above `eps`).
+    pub fn num_components(&self, eps: f64) -> usize {
+        self.connected_components(eps).iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coefficients_symmetrizes_and_zeroes_diagonal() {
+        let c = Matrix::from_rows(&[
+            &[5.0, -1.0, 0.0],
+            &[2.0, 5.0, 0.0],
+            &[0.0, 0.0, 5.0],
+        ])
+        .unwrap();
+        let g = AffinityGraph::from_coefficients(&c);
+        assert_eq!(g.weight(0, 1), 3.0);
+        assert_eq!(g.weight(1, 0), 3.0);
+        assert_eq!(g.weight(0, 0), 0.0);
+        assert_eq!(g.weight(2, 2), 0.0);
+    }
+
+    #[test]
+    fn knn_keeps_top_q() {
+        // similarity = 1/(1+|i-j|): nearest indices are most similar.
+        let g = AffinityGraph::from_knn_similarity(5, 1, |i, j| {
+            1.0 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        // Node 0's best neighbor is 1.
+        assert!(g.weight(0, 1) > 0.0);
+        assert_eq!(g.weight(0, 3), 0.0);
+        // Symmetry.
+        assert_eq!(g.weight(1, 0), g.weight(0, 1));
+    }
+
+    #[test]
+    fn connected_components_two_blocks() {
+        let m = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 2.0],
+            &[0.0, 0.0, 2.0, 0.0],
+        ])
+        .unwrap();
+        let g = AffinityGraph::from_symmetric(&m);
+        let comp = g.connected_components(0.0);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(g.num_components(0.0), 2);
+    }
+
+    #[test]
+    fn eps_threshold_cuts_weak_edges() {
+        let m = Matrix::from_rows(&[&[0.0, 0.1], &[0.1, 0.0]]).unwrap();
+        let g = AffinityGraph::from_symmetric(&m);
+        assert_eq!(g.num_components(0.0), 1);
+        assert_eq!(g.num_components(0.5), 2);
+    }
+
+    #[test]
+    fn subgraph_extracts_block() {
+        let m = Matrix::from_rows(&[
+            &[0.0, 1.0, 2.0],
+            &[1.0, 0.0, 3.0],
+            &[2.0, 3.0, 0.0],
+        ])
+        .unwrap();
+        let g = AffinityGraph::from_symmetric(&m);
+        let sub = g.subgraph(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.weight(0, 1), 2.0);
+    }
+
+    #[test]
+    fn degrees_are_row_sums() {
+        let m = Matrix::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]).unwrap();
+        let g = AffinityGraph::from_symmetric(&m);
+        assert_eq!(g.degrees(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AffinityGraph::from_symmetric(&Matrix::zeros(0, 0));
+        assert!(g.is_empty());
+        assert_eq!(g.num_components(0.0), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # fedsc-graph
+//!
+//! Spectral-graph machinery for the Fed-SC reproduction.
+//!
+//! * [`affinity::AffinityGraph`] — symmetric non-negative affinity matrices
+//!   with the SSC (`|C| + |C|^T`) and TSC (k-NN similarity) constructors,
+//!   subgraphs, and connected components.
+//! * [`laplacian`] — normalized/unnormalized Laplacians, spectra, the
+//!   paper's Eq. (3) eigengap cluster-count estimate, and algebraic
+//!   connectivity for the CONN metric.
+
+#![warn(missing_docs)]
+// Indexed loops over matrix dimensions are the idiom in numerical kernels
+// (parallel indexing of several buffers); iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod affinity;
+pub mod laplacian;
+
+pub use affinity::AffinityGraph;

@@ -1,0 +1,54 @@
+//! Error type shared by the linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape (or leading dimension) the operation required.
+        expected: (usize, usize),
+        /// Shape that was supplied.
+        got: (usize, usize),
+    },
+    /// Rows of different lengths were supplied to a constructor.
+    RaggedRows,
+    /// The matrix is singular (or numerically singular) for the requested
+    /// factorization or solve.
+    Singular,
+    /// The matrix is not positive definite (Cholesky).
+    NotPositiveDefinite,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside the routine's domain (e.g. `k` larger than the
+    /// number of columns for a truncated factorization).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            LinalgError::RaggedRows => write!(f, "rows have different lengths"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,44 @@
+//! # fedsc-linalg
+//!
+//! Dense linear-algebra substrate for the Fed-SC reproduction.
+//!
+//! Subspace clustering leans on a handful of numerical kernels that general
+//! Rust array crates don't provide out of the box — symmetric
+//! eigendecomposition for spectral clustering and eigengap estimation, thin
+//! and truncated SVD for subspace-basis extraction, principal angles for the
+//! theory's affinity measure — so this crate implements them from scratch:
+//!
+//! * [`matrix::Matrix`] — column-major dense matrix (data sets are columns
+//!   of points).
+//! * [`vector`] — slice-level kernels (dot, norms, axpy, soft-thresholding).
+//! * [`qr`] — Householder QR, least squares, rank-revealing orthonormal
+//!   bases.
+//! * [`eigh`] — symmetric eigendecomposition (tred2/tql2), ascending order.
+//! * [`lanczos`] — Lanczos iteration for the k smallest eigenpairs of
+//!   large symmetric matrices (big spectral-clustering instances).
+//! * [`svd`] — thin SVD via Gram eigendecomposition, one-sided Jacobi SVD,
+//!   truncated SVD for the paper's basis estimates.
+//! * [`solve`] — LU and Cholesky direct solvers.
+//! * [`random`] — Gaussian/Stiefel sampling, including the paper's Eq. (5)
+//!   uniform-on-subspace sampler.
+//! * [`angles`] — principal angles and the paper's Definition 5 subspace
+//!   affinity.
+
+#![warn(missing_docs)]
+// Indexed loops over matrix dimensions are the idiom in numerical kernels
+// (parallel indexing of several buffers); iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod angles;
+pub mod eigh;
+pub mod lanczos;
+pub mod error;
+pub mod matrix;
+pub mod qr;
+pub mod random;
+pub mod solve;
+pub mod svd;
+pub mod vector;
+
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;

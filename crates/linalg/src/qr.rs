@@ -1,0 +1,284 @@
+//! Householder QR factorization.
+//!
+//! Used for orthonormal-basis extraction (thin `Q`), least-squares solves,
+//! and the orthogonalization step of random-subspace generation.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Compact Householder QR of an `m x n` matrix (requires `m >= n` for the
+/// thin factors exposed here).
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; `R` on and above it.
+    factors: Matrix,
+    /// `tau[k]` is the scalar of the k-th Householder reflector.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` (consumed) as `a = Q R`.
+    pub fn new(a: Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument("QR requires rows >= cols"));
+        }
+        let mut f = a;
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the reflector annihilating f[k+1.., k].
+            let alpha = f[(k, k)];
+            let mut norm_x_sq = 0.0;
+            for i in k + 1..m {
+                norm_x_sq += f[(i, k)] * f[(i, k)];
+            }
+            if norm_x_sq == 0.0 && alpha >= 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let beta = -(alpha.signum()) * (alpha * alpha + norm_x_sq).sqrt();
+            tau[k] = (beta - alpha) / beta;
+            let scale = 1.0 / (alpha - beta);
+            for i in k + 1..m {
+                f[(i, k)] *= scale;
+            }
+            f[(k, k)] = beta;
+            // Apply (I - tau v v^T) to the trailing columns.
+            for j in k + 1..n {
+                let mut w = f[(k, j)];
+                for i in k + 1..m {
+                    w += f[(i, k)] * f[(i, j)];
+                }
+                w *= tau[k];
+                f[(k, j)] -= w;
+                for i in k + 1..m {
+                    let vik = f[(i, k)];
+                    f[(i, j)] -= w * vik;
+                }
+            }
+        }
+        Ok(Self { factors: f, tau })
+    }
+
+    /// The upper-triangular `n x n` factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.factors.cols();
+        let mut r = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                r[(i, j)] = self.factors[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// The thin `m x n` orthonormal factor `Q`.
+    pub fn thin_q(&self) -> Matrix {
+        let (m, n) = self.factors.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        // Accumulate reflectors from the last to the first.
+        for k in (0..n).rev() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut w = q[(k, j)];
+                for i in k + 1..m {
+                    w += self.factors[(i, k)] * q[(i, j)];
+                }
+                w *= self.tau[k];
+                q[(k, j)] -= w;
+                for i in k + 1..m {
+                    let vik = self.factors[(i, k)];
+                    q[(i, j)] -= w * vik;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Q^T` to a vector of length `m`, in place.
+    pub fn apply_qt(&self, x: &mut [f64]) -> Result<()> {
+        let (m, n) = self.factors.shape();
+        if x.len() != m {
+            return Err(LinalgError::ShapeMismatch { expected: (m, 1), got: (x.len(), 1) });
+        }
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut w = x[k];
+            for i in k + 1..m {
+                w += self.factors[(i, k)] * x[i];
+            }
+            w *= self.tau[k];
+            x[k] -= w;
+            for i in k + 1..m {
+                x[i] -= w * self.factors[(i, k)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the least-squares problem `min ||a x - b||_2` using the stored
+    /// factorization. Returns an error when `R` is numerically singular.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.factors.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch { expected: (m, 1), got: (b.len(), 1) });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y)?;
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.factors[(i, j)] * x[j];
+            }
+            let d = self.factors[(i, i)];
+            if d.abs() < 1e-14 * self.factors.max_abs().max(1.0) {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+/// Returns an orthonormal basis for the column span of `a`, dropping
+/// numerically dependent columns (rank-revealing via column norms of the
+/// Gram-Schmidt residuals).
+///
+/// This is the workhorse behind "estimate the basis of
+/// `span({x_i}_{i in T})`" when the cluster rank is *not* known a priori; the
+/// paper's truncated-SVD basis estimate lives in [`crate::svd`].
+pub fn orthonormal_basis(a: &Matrix, tol: f64) -> Matrix {
+    let (m, n) = a.shape();
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    for j in 0..n {
+        let mut v = a.col(j).to_vec();
+        // Two rounds of modified Gram-Schmidt for numerical safety.
+        for _ in 0..2 {
+            for b in &basis {
+                let c = vector::dot(b, &v);
+                vector::axpy(-c, b, &mut v);
+            }
+        }
+        let norm = vector::norm2(&v);
+        if norm > tol {
+            vector::scale(&mut v, 1.0 / norm);
+            basis.push(v);
+        }
+        if basis.len() == m {
+            break;
+        }
+    }
+    let refs: Vec<&[f64]> = basis.iter().map(|b| b.as_slice()).collect();
+    Matrix::from_columns(&refs).expect("basis columns share length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ])
+        .unwrap();
+        let qr = Qr::new(a.clone()).unwrap();
+        let q = qr.thin_q();
+        let r = qr.r();
+        let qr_prod = q.matmul(&r).unwrap();
+        assert!(qr_prod.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn thin_q_is_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[-1.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let q = Qr::new(a).unwrap().thin_q();
+        let qtq = q.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(qtq[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]).unwrap();
+        let r = Qr::new(a).unwrap().r();
+        assert_eq!(r[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Overdetermined fit of y = 2x + 1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]).unwrap();
+        let b = [1.0, 3.0, 5.0, 7.0];
+        let x = Qr::new(a).unwrap().solve_least_squares(&b).unwrap();
+        assert_close(x[0], 2.0, 1e-12);
+        assert_close(x[1], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn least_squares_with_residual() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let b = [1.0, 2.0, 6.0];
+        let x = Qr::new(a).unwrap().solve_least_squares(&b).unwrap();
+        assert_close(x[0], 3.0, 1e-12); // the mean minimizes the residual
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrix() {
+        assert!(Qr::new(Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn singular_r_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::new(a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn orthonormal_basis_drops_dependent_columns() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let b = orthonormal_basis(&a, 1e-10);
+        assert_eq!(b.cols(), 2);
+        // Columns are orthonormal.
+        let g = b.gram();
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((g[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!(g[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthonormal_basis_of_empty_matrix_is_empty() {
+        let b = orthonormal_basis(&Matrix::zeros(3, 0), 1e-10);
+        assert_eq!(b.cols(), 0);
+    }
+}

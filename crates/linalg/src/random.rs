@@ -1,0 +1,175 @@
+//! Random linear-algebra primitives: Gaussian vectors, unit-sphere samples,
+//! and random orthonormal subspace bases.
+//!
+//! Gaussian variates come from a Box–Muller transform on top of `rand`'s
+//! uniform source, so no distribution crate is needed. Everything is generic
+//! over `rand::Rng`, and all experiment code seeds `StdRng` explicitly so
+//! runs are reproducible.
+
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::vector;
+use rand::{Rng, RngExt as _};
+
+/// One standard-normal variate via Box–Muller.
+///
+/// Draws the uniform in `(0, 1]` so the logarithm is finite.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fills `out` with i.i.d. `N(0, 1)` entries.
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for v in out {
+        *v = standard_normal(rng);
+    }
+}
+
+/// An `n`-dimensional standard-normal vector.
+pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    fill_standard_normal(rng, &mut v);
+    v
+}
+
+/// A `rows x cols` matrix with i.i.d. `N(0, 1)` entries.
+pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    fill_standard_normal(rng, m.as_mut_slice());
+    m
+}
+
+/// A point drawn uniformly from the unit sphere in `R^n` (normalize a
+/// Gaussian; rejection-free and exactly uniform).
+pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    loop {
+        let mut v = gaussian_vector(rng, n);
+        if vector::normalize(&mut v, 1e-300) > 0.0 {
+            return v;
+        }
+        // Astronomically unlikely all-zero draw: resample.
+    }
+}
+
+/// A uniformly random `d`-dimensional orthonormal basis in `R^n`
+/// (`n x d` matrix with orthonormal columns), obtained as the thin `Q` of a
+/// Gaussian matrix — the Haar measure on the Stiefel manifold.
+///
+/// This is exactly the paper's synthetic-data generator: "randomly generate
+/// `L` subspaces each of the same dimension `d` by drawing i.i.d. orthonormal
+/// basis matrices".
+pub fn random_orthonormal_basis<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Matrix {
+    assert!(d <= n, "subspace dimension {d} exceeds ambient dimension {n}");
+    let g = gaussian_matrix(rng, n, d);
+    let q = Qr::new(g).expect("n >= d checked above").thin_q();
+    debug_assert_eq!(q.shape(), (n, d));
+    q
+}
+
+/// The paper's Eq. (5): a sample distributed uniformly on the unit sphere of
+/// the subspace spanned by the orthonormal basis `u` — draw
+/// `alpha ~ N(0, I_d)` and return `u alpha / ||u alpha||_2`.
+pub fn sample_on_subspace<R: Rng + ?Sized>(rng: &mut R, u: &Matrix) -> Vec<f64> {
+    let d = u.cols();
+    loop {
+        let alpha = gaussian_vector(rng, d);
+        let mut theta = u.matvec(&alpha).expect("alpha length matches basis cols");
+        if vector::normalize(&mut theta, 1e-300) > 0.0 {
+            return theta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn unit_sphere_has_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = unit_sphere(&mut rng, 11);
+            assert!((vector::norm2(&v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_sphere_is_roughly_isotropic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5_000;
+        let mut mean = [0.0f64; 4];
+        for _ in 0..n {
+            let v = unit_sphere(&mut rng, 4);
+            for (m, &x) in mean.iter_mut().zip(&v) {
+                *m += x;
+            }
+        }
+        for m in mean {
+            assert!((m / n as f64).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn random_basis_is_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = random_orthonormal_basis(&mut rng, 20, 5);
+        assert_eq!(b.shape(), (20, 5));
+        let g = b.gram();
+        for i in 0..5 {
+            for j in 0..5 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - e).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ambient dimension")]
+    fn random_basis_rejects_d_above_n() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_orthonormal_basis(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn subspace_sample_lies_in_span_with_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = random_orthonormal_basis(&mut rng, 10, 3);
+        for _ in 0..20 {
+            let theta = sample_on_subspace(&mut rng, &u);
+            assert!((vector::norm2(&theta) - 1.0).abs() < 1e-12);
+            // Projection onto span(U) must reproduce theta: ||U U^T t - t|| ~ 0.
+            let coeffs = u.tr_matvec(&theta).unwrap();
+            let proj = u.matvec(&coeffs).unwrap();
+            let err: f64 = proj.iter().zip(&theta).map(|(p, t)| (p - t).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-10);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = {
+            let mut rng = StdRng::seed_from_u64(123);
+            gaussian_vector(&mut rng, 8)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(123);
+            gaussian_vector(&mut rng, 8)
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,240 @@
+//! Direct linear solvers: LU with partial pivoting and Cholesky.
+//!
+//! Used by the ADMM Lasso backend (factor-once, solve-many) and by ridge
+//! sub-problems in the elastic-net solver.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// LU factorization with partial pivoting, `P A = L U`.
+pub struct Lu {
+    lu: Matrix,
+    piv: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix. Returns [`LinalgError::Singular`] when a
+    /// pivot collapses to (numerical) zero.
+    pub fn new(a: Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::ShapeMismatch { expected: (m, m), got: (m, n) });
+        }
+        let mut lu = a;
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.max_abs().max(1.0);
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-14 * scale {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                piv.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let f = lu[(i, k)] / pivot;
+                lu[(i, k)] = f;
+                if f != 0.0 {
+                    for j in k + 1..n {
+                        let u = lu[(k, j)];
+                        lu[(i, j)] -= f * u;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu, piv, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Cholesky factorization `A = L L^T` of a symmetric positive-definite
+/// matrix. Only the lower triangle of the input is read.
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`. Returns [`LinalgError::NotPositiveDefinite`] when a
+    /// diagonal pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::ShapeMismatch { expected: (m, m), got: (m, n) });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.l[(j, i)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = Lu::new(a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // Zero leading pivot forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(Lu::new(a).is_err());
+    }
+
+    #[test]
+    fn lu_determinant() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+        assert!((Lu::new(a).unwrap().det() + 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&[8.0, 7.0]).unwrap();
+        // A x = b check.
+        assert!((4.0 * x[0] + 2.0 * x[1] - 8.0).abs() < 1e-12);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs() {
+        let a = Matrix::from_rows(&[
+            &[6.0, 3.0, 1.0],
+            &[3.0, 4.0, 2.0],
+            &[1.0, 2.0, 5.0],
+        ])
+        .unwrap();
+        let l = Cholesky::new(&a).unwrap().l().clone();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        assert!(llt.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn solvers_reject_bad_rhs_length() {
+        let a = Matrix::identity(3);
+        assert!(Lu::new(a.clone()).unwrap().solve(&[1.0]).is_err());
+        assert!(Cholesky::new(&a).unwrap().solve(&[1.0]).is_err());
+    }
+}

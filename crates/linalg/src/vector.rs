@@ -1,0 +1,186 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Slices rather than a wrapper type keep these kernels usable on matrix
+//! columns (which borrow as `&[f64]`) without copies.
+
+/// Dot product. Panics in debug builds when lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-lane unrolled accumulation: measurably faster than a naive fold
+    // for the long (n up to ~3500) vectors this workspace works with, and
+    // more numerically stable than a single running sum.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for k in 0..chunks {
+        let i = k * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean norm with overflow-safe scaling for large entries.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    let max = a.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return max;
+    }
+    let mut s = 0.0;
+    for &v in a {
+        let t = v / max;
+        s += t * t;
+    }
+    max * s.sqrt()
+}
+
+/// `l1` norm.
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// `l-inf` norm.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    for (yo, &xv) in y.iter_mut().zip(x) {
+        *yo += alpha * xv;
+    }
+}
+
+/// Scales `x` in place.
+#[inline]
+pub fn scale(x: &mut [f64], s: f64) {
+    for v in x {
+        *v *= s;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean norm in place and returns the original
+/// norm. Leaves `x` untouched (and returns the norm) when it is below `eps`.
+pub fn normalize(x: &mut [f64], eps: f64) -> f64 {
+    let n = norm2(x);
+    if n > eps {
+        scale(x, 1.0 / n);
+    }
+    n
+}
+
+/// Squared Euclidean distance between two vectors.
+#[inline]
+pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Absolute cosine similarity `|<a, b>| / (|a| |b|)`; zero when either norm
+/// vanishes. This is the spherical-distance kernel TSC thresholds.
+pub fn abs_cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm2(a);
+    let nb = norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).abs().min(1.0)
+}
+
+/// Soft-threshold operator `sign(v) * max(|v| - t, 0)` — the proximal map of
+/// the `l1` norm, used by every Lasso-style solver in the workspace.
+#[inline]
+pub fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm2_is_scale_safe() {
+        let a = [3e200, 4e200];
+        assert!((norm2(&a) - 5e200).abs() / 5e200 < 1e-12);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norms_hand_checked() {
+        let a = [1.0, -2.0, 2.0];
+        assert_eq!(norm1(&a), 5.0);
+        assert_eq!(norm_inf(&a), 2.0);
+        assert_eq!(norm2(&a), 3.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn normalize_returns_original_norm() {
+        let mut x = [3.0, 4.0];
+        let n = normalize(&mut x, 1e-12);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+        let mut z = [0.0, 0.0];
+        assert_eq!(normalize(&mut z, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn abs_cosine_bounds_and_orthogonality() {
+        assert_eq!(abs_cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert!((abs_cosine(&[1.0, 1.0], &[-2.0, -2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(abs_cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn dist2_sq_hand_checked() {
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

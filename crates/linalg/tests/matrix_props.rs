@@ -1,0 +1,76 @@
+//! Property-based tests for the dense matrix algebra: the ring/transpose
+//! identities every downstream kernel silently relies on.
+
+use fedsc_linalg::{vector, Matrix};
+use proptest::prelude::*;
+
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_col_major(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transpose_of_product((a, b) in (1usize..5, 1usize..5, 1usize..5).prop_flat_map(|(m, k, n)| {
+        (matrix(m..m + 1, k..k + 1), matrix(k..k + 1, n..n + 1))
+    })) {
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(ab_t.sub(&bt_at).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul(a in matrix(1..6, 1..6)) {
+        let x: Vec<f64> = (0..a.cols()).map(|i| i as f64 - 1.5).collect();
+        let xs = Matrix::from_col_major(a.cols(), 1, x.clone()).unwrap();
+        let via_mm = a.matmul(&xs).unwrap();
+        let via_mv = a.matvec(&x).unwrap();
+        for (i, &v) in via_mv.iter().enumerate() {
+            prop_assert!((via_mm[(i, 0)] - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gram_equals_tr_matmul_self(a in matrix(1..6, 1..6)) {
+        let g = a.gram();
+        let explicit = a.tr_matmul(&a).unwrap();
+        prop_assert!(g.sub(&explicit).unwrap().max_abs() < 1e-10);
+        // Gram is PSD: x^T G x >= 0 for a probe vector.
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64) * 0.7 - 1.0).collect();
+        let gx = g.matvec(&x).unwrap();
+        prop_assert!(vector::dot(&x, &gx) >= -1e-9);
+    }
+
+    #[test]
+    fn add_sub_inverse(a in matrix(1..6, 1..6)) {
+        let b = a.clone();
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        prop_assert!(back.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn hcat_select_round_trip((a, b) in (1usize..5, 1usize..4, 1usize..4).prop_flat_map(|(r, c1, c2)| {
+        (matrix(r..r + 1, c1..c1 + 1), matrix(r..r + 1, c2..c2 + 1))
+    })) {
+        let cat = Matrix::hcat(&[&a, &b]).unwrap();
+        let left: Vec<usize> = (0..a.cols()).collect();
+        let right: Vec<usize> = (a.cols()..a.cols() + b.cols()).collect();
+        prop_assert_eq!(cat.select_columns(&left), a);
+        prop_assert_eq!(cat.select_columns(&right), b);
+    }
+
+    #[test]
+    fn norm_triangle_inequality((x, y) in (1usize..12).prop_flat_map(|n| {
+        (proptest::collection::vec(-5.0f64..5.0, n), proptest::collection::vec(-5.0f64..5.0, n))
+    })) {
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        prop_assert!(vector::norm2(&sum) <= vector::norm2(&x) + vector::norm2(&y) + 1e-9);
+        // Cauchy-Schwarz.
+        prop_assert!(vector::dot(&x, &y).abs() <= vector::norm2(&x) * vector::norm2(&y) + 1e-9);
+    }
+}

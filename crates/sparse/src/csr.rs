@@ -1,0 +1,172 @@
+//! Compressed sparse row matrix.
+//!
+//! Affinity graphs built by the SC algorithms are stored sparsely (the paper
+//! notes "the affinity matrices built by all the above algorithms are stored
+//! as sparse matrices, which can be efficiently computed").
+
+use fedsc_linalg::Matrix;
+
+/// A CSR matrix over `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from `(row, col, value)` triplets. Duplicate coordinates are
+    /// summed; explicit zeros are dropped.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets
+            .iter()
+            .copied()
+            .filter(|&(r, c, v)| {
+                assert!(r < rows && c < cols, "triplet ({r}, {c}) out of bounds");
+                v != 0.0
+            })
+            .collect();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates in place.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for &(r, c, v) in &merged {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Entry lookup (binary search within the row).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix-vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "operand length mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut s = 0.0;
+            for (c, v) in self.row(r) {
+                s += v * x[c];
+            }
+            y[r] = s;
+        }
+        y
+    }
+
+    /// Densifies (testing / small-graph use).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Row sums (degrees for an adjacency matrix).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_round_trip() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, -1.0), (1, 1, 3.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_zeros_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)]);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0)]);
+        let y = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, -2.0]);
+        let d = m.to_dense();
+        assert_eq!(d.matvec(&[1.0, 2.0, 3.0]).unwrap(), y);
+    }
+
+    #[test]
+    fn row_iteration_and_sums() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 4.0)]);
+        let row0: Vec<(usize, f64)> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (1, 2.0)]);
+        assert_eq!(m.row_sums(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::from_triplets(2, 2, &[]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_triplet() {
+        CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

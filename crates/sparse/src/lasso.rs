@@ -1,0 +1,316 @@
+//! Lasso solver via cyclic coordinate descent with active-set shrinking.
+//!
+//! Solves the paper's Eq. (2), the noisy-SSC self-expression problem
+//!
+//! ```text
+//!   min_c  (lambda / 2) ||X c - x||_2^2 + ||c||_1     s.t.  c_i = 0
+//! ```
+//!
+//! in the Gram-precomputed form used by SSC: for a dictionary `X` with Gram
+//! matrix `G = X^T X` and correlations `b = X^T x`, the coordinate update is
+//!
+//! ```text
+//!   c_j  <-  soft(b_j - sum_{k != j} G_jk c_k, 1/lambda) / G_jj
+//! ```
+//!
+//! Precomputing `G` once per device and reusing it across the device's `N`
+//! per-point problems is what makes local SSC `O(N^2 d)` instead of
+//! `O(N^3)` per point.
+
+use crate::vec::SparseVec;
+use fedsc_linalg::{vector, Matrix};
+
+/// Options for the coordinate-descent Lasso.
+///
+/// The default sweep budget is tuned for the self-expression workloads this
+/// solver serves (unit-norm dictionaries): cyclic CD converges in tens of
+/// sweeps there. Adversarially ill-conditioned dictionaries (rank-deficient
+/// Grams with strongly correlated atoms) can need orders of magnitude more
+/// sweeps to reach KKT optimality — callers that care about worst-case
+/// optimality should raise `max_iters` explicitly (the property tests do).
+#[derive(Debug, Clone)]
+pub struct LassoOptions {
+    /// Maximum coordinate-descent sweeps per working-set round.
+    pub max_iters: usize,
+    /// Stop when the largest coordinate change in a sweep falls below this.
+    pub tol: f64,
+    /// Entries with `|c_j|` below this are dropped from the reported support.
+    pub support_tol: f64,
+    /// Initial working-set size (most-correlated atoms). The working set
+    /// grows with KKT violators until optimality, so this only tunes speed.
+    pub working_set: usize,
+    /// Maximum working-set growth rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for LassoOptions {
+    fn default() -> Self {
+        Self { max_iters: 2000, tol: 1e-6, support_tol: 1e-8, working_set: 48, max_rounds: 20 }
+    }
+}
+
+/// A Lasso solver bound to one dictionary Gram matrix.
+///
+/// `gram` must be `X^T X` for a column dictionary `X`; the same solver is
+/// then used for every column's self-expression problem.
+pub struct LassoSolver<'a> {
+    gram: &'a Matrix,
+    opts: LassoOptions,
+}
+
+impl<'a> LassoSolver<'a> {
+    /// Creates a solver over a Gram matrix (must be square; checked).
+    pub fn new(gram: &'a Matrix, opts: LassoOptions) -> Self {
+        assert_eq!(gram.rows(), gram.cols(), "Gram matrix must be square");
+        Self { gram, opts }
+    }
+
+    /// Solves `min (lambda/2)||X c - x||^2 + ||c||_1` given `b = X^T x`,
+    /// forcing `c[excluded] = 0` when `excluded` is in range (pass
+    /// `usize::MAX` for no exclusion).
+    ///
+    /// Returns the solution as a sparse vector.
+    pub fn solve(&self, b: &[f64], lambda: f64, excluded: usize) -> SparseVec {
+        let n = self.gram.cols();
+        assert_eq!(b.len(), n, "correlation vector length mismatch");
+        assert!(lambda > 0.0, "lambda must be positive");
+        let thresh = 1.0 / lambda;
+
+        let mut c = vec![0.0; n];
+        // residual correlations r_j = b_j - (G c)_j, maintained incrementally
+        // over ALL coordinates so KKT screening is an O(n) scan.
+        let mut r = b.to_vec();
+
+        // Working-set strategy (ORGEN-style): start from the most-correlated
+        // atoms — the Lasso support is contained in high-correlation atoms
+        // for the self-expression problems this solver serves — converge on
+        // that set, then grow it with KKT violators until none remain.
+        // Starting small avoids the first-sweep blowup where every
+        // coordinate above the threshold goes transiently nonzero at O(n)
+        // apiece.
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != excluded).collect();
+        order.sort_by(|&i, &j| b[j].abs().partial_cmp(&b[i].abs()).expect("finite b"));
+        let mut active: Vec<usize> =
+            order.iter().copied().take(self.opts.working_set.max(1)).collect();
+        let mut in_active = vec![false; n];
+        for &j in &active {
+            in_active[j] = true;
+        }
+
+        for _round in 0..self.opts.max_rounds.max(1) {
+            for _ in 0..self.opts.max_iters {
+                let mut max_delta = 0.0f64;
+                for &j in &active {
+                    let gjj = self.gram[(j, j)];
+                    if gjj <= 0.0 {
+                        continue;
+                    }
+                    let cj_old = c[j];
+                    // Correlation with j excluding its own contribution.
+                    let rho = r[j] + gjj * cj_old;
+                    let cj_new = vector::soft_threshold(rho, thresh) / gjj;
+                    let delta = cj_new - cj_old;
+                    if delta != 0.0 {
+                        c[j] = cj_new;
+                        // r -= delta * G[:, j]
+                        let gcol = self.gram.col(j);
+                        for (rk, &g) in r.iter_mut().zip(gcol) {
+                            *rk -= delta * g;
+                        }
+                        max_delta = max_delta.max(delta.abs());
+                    }
+                }
+                if max_delta < self.opts.tol {
+                    break;
+                }
+            }
+            // KKT screening outside the working set.
+            let mut violators: Vec<usize> = (0..n)
+                .filter(|&j| {
+                    j != excluded && !in_active[j] && r[j].abs() > thresh * (1.0 + 1e-9)
+                })
+                .collect();
+            if violators.is_empty() {
+                break;
+            }
+            for &j in &violators {
+                in_active[j] = true;
+            }
+            active.append(&mut violators);
+        }
+        SparseVec::from_dense(&c, self.opts.support_tol)
+    }
+
+    /// Maximum absolute KKT violation of a candidate solution — `0` at the
+    /// optimum. Exposed for tests and for solver cross-validation:
+    /// stationarity demands `lambda * (G c - b)_j + sign(c_j) = 0` on the
+    /// support and `|lambda * (G c - b)_j| <= 1` off it.
+    pub fn kkt_violation(&self, b: &[f64], lambda: f64, excluded: usize, c: &SparseVec) -> f64 {
+        let n = self.gram.cols();
+        let dense = c.to_dense();
+        let gc = self.gram.matvec(&dense).expect("gram is n x n");
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            if j == excluded {
+                continue;
+            }
+            let grad = lambda * (gc[j] - b[j]);
+            let v = if dense[j] != 0.0 {
+                (grad + dense[j].signum()).abs()
+            } else {
+                (grad.abs() - 1.0).max(0.0)
+            };
+            worst = worst.max(v);
+        }
+        worst
+    }
+}
+
+/// The paper's lambda rule (after Proposition 1 of Elhamifar & Vidal):
+/// `lambda = alpha / max_{j != i} |x_j^T x_i|` would make the all-zero
+/// solution optimal at `alpha = 1`, so SSC uses a multiple of the critical
+/// value. The paper sets `lambda` such that the threshold `1/lambda` is
+/// `max_j |x_j^T x_i| / alpha` with `alpha = 50`.
+///
+/// Given the correlation vector `b = X^T x_i` (with the self-correlation at
+/// `excluded`), returns that lambda.
+pub fn ssc_lambda(b: &[f64], excluded: usize, alpha: f64) -> f64 {
+    let mu = b
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != excluded)
+        .map(|(_, &v)| v.abs())
+        .fold(0.0f64, f64::max);
+    if mu <= 0.0 {
+        // Degenerate point orthogonal to every other point: any lambda
+        // yields the zero code; pick 1 to stay finite.
+        return 1.0;
+    }
+    alpha / mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dictionary: identity-ish columns in R^3.
+    fn simple_dictionary() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 0.6],
+            &[0.0, 1.0, 0.8],
+            &[0.0, 0.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_lambda_threshold_gives_zero_solution() {
+        // With a huge threshold (tiny lambda) the solution collapses to 0.
+        let x = simple_dictionary();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let b = x.tr_matvec(&[1.0, 1.0, 0.0]).unwrap();
+        let c = solver.solve(&b, 1e-9, usize::MAX);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn large_lambda_recovers_exact_representation() {
+        // x = first column exactly; huge lambda forces a faithful fit.
+        let x = simple_dictionary();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let target = [1.0, 0.0, 0.0];
+        let b = x.tr_matvec(&target).unwrap();
+        let c = solver.solve(&b, 1e6, usize::MAX);
+        let dense = c.to_dense();
+        let fit = x.matvec(&dense).unwrap();
+        let err: f64 =
+            fit.iter().zip(&target).map(|(f, t)| (f - t).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-3, "fit error {err}");
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_solution() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.2, -0.3, 0.5],
+            &[0.1, 1.0, 0.4, -0.2],
+            &[-0.2, 0.3, 1.0, 0.6],
+        ])
+        .unwrap();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let target = [0.7, -0.4, 0.9];
+        let b = x.tr_matvec(&target).unwrap();
+        for &lambda in &[0.5, 2.0, 10.0, 100.0] {
+            let c = solver.solve(&b, lambda, usize::MAX);
+            let viol = solver.kkt_violation(&b, lambda, usize::MAX, &c);
+            // The coordinate tolerance translates to a KKT residual of
+            // roughly lambda * tol, so scale the acceptance accordingly.
+            assert!(viol < 1e-6 * lambda.max(10.0) * 2.0, "lambda {lambda}: KKT violation {viol}");
+        }
+    }
+
+    #[test]
+    fn excluded_coordinate_stays_zero() {
+        let x = simple_dictionary();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        // Target equal to column 0; with column 0 excluded the solver must
+        // lean on the others.
+        let b = x.tr_matvec(&[0.6, 0.8, 0.0]).unwrap();
+        let c = solver.solve(&b, 1e4, 2);
+        assert!(c.to_dense()[2] == 0.0);
+        assert!(c.nnz() > 0);
+    }
+
+    #[test]
+    fn self_expression_prefers_same_direction() {
+        // Two nearly parallel columns and one orthogonal: the code for a
+        // point near the pair should be supported on the pair.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.99, 0.0],
+            &[0.0, 0.14, 0.0],
+            &[0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let target = [1.0, 0.05, 0.0];
+        let b = x.tr_matvec(&target).unwrap();
+        let lambda = ssc_lambda(&b, usize::MAX, 50.0);
+        let c = solver.solve(&b, lambda, usize::MAX);
+        let dense = c.to_dense();
+        assert!(dense[2].abs() < 1e-9, "orthogonal atom must stay out: {dense:?}");
+        assert!(dense[0].abs() + dense[1].abs() > 0.1);
+    }
+
+    #[test]
+    fn ssc_lambda_rule() {
+        let b = [0.3, -0.8, 0.5];
+        assert!((ssc_lambda(&b, usize::MAX, 50.0) - 50.0 / 0.8).abs() < 1e-12);
+        // Excluding the max changes the rule.
+        assert!((ssc_lambda(&b, 1, 50.0) - 50.0 / 0.5).abs() < 1e-12);
+        // Degenerate all-zero correlations.
+        assert_eq!(ssc_lambda(&[0.0, 0.0], usize::MAX, 50.0), 1.0);
+    }
+
+    #[test]
+    fn warm_active_set_reaches_an_optimum() {
+        // With more atoms than ambient dimensions the Lasso optimum need not
+        // be unique, so we verify optimality (KKT), not a particular
+        // solution: active-set shrinking must still land on *an* optimum.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.9, 0.1, -0.4, 0.3],
+            &[0.0, 0.3, 1.0, 0.5, -0.2],
+            &[0.2, -0.1, 0.0, 0.8, 0.9],
+        ])
+        .unwrap();
+        let g = x.gram();
+        let b = x.tr_matvec(&[0.5, 0.5, 0.5]).unwrap();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let fast = solver.solve(&b, 20.0, usize::MAX);
+        let viol = solver.kkt_violation(&b, 20.0, usize::MAX, &fast);
+        assert!(viol < 1e-5, "KKT violation {viol}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # fedsc-sparse
+//!
+//! Sparse data structures and sparse-optimization solvers for the Fed-SC
+//! reproduction.
+//!
+//! * [`vec::SparseVec`] — sparse self-expression codes.
+//! * [`csr::CsrMatrix`] — compressed sparse row storage for affinity graphs.
+//! * [`lasso`] — cyclic coordinate descent with active-set shrinking for the
+//!   SSC Lasso (paper Eq. (2)), plus the paper's `lambda` selection rule.
+//! * [`admm`] — ADMM Lasso backend (cross-check oracle / ablation).
+//! * [`omp`] — Orthogonal Matching Pursuit for SSC-OMP.
+//! * [`elastic_net`] — elastic-net coordinate descent with ORGEN-style
+//!   oracle active sets for EnSC.
+
+#![warn(missing_docs)]
+// Indexed loops over matrix dimensions are the idiom in numerical kernels
+// (parallel indexing of several buffers); iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod admm;
+pub mod csr;
+pub mod elastic_net;
+pub mod lasso;
+pub mod omp;
+pub mod vec;
+
+pub use csr::CsrMatrix;
+pub use vec::SparseVec;

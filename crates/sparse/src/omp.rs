@@ -1,0 +1,161 @@
+//! Orthogonal Matching Pursuit — the greedy sparse coder behind SSC-OMP
+//! (You, Robinson & Vidal, CVPR 2016).
+//!
+//! Greedily grows a support by picking the dictionary atom most correlated
+//! with the current residual, then re-fits the target on the support by
+//! least squares. Terminates at `k_max` atoms or when the residual norm
+//! drops below `tol`.
+
+use crate::vec::SparseVec;
+use fedsc_linalg::qr::Qr;
+use fedsc_linalg::{vector, Matrix};
+
+/// Options for OMP.
+#[derive(Debug, Clone)]
+pub struct OmpOptions {
+    /// Maximum support size.
+    pub k_max: usize,
+    /// Residual Euclidean-norm stopping threshold.
+    pub tol: f64,
+}
+
+impl Default for OmpOptions {
+    fn default() -> Self {
+        Self { k_max: 10, tol: 1e-6 }
+    }
+}
+
+/// Runs OMP for target `x` over the columns of `dict`, never selecting
+/// `excluded` (pass `usize::MAX` for no exclusion).
+pub fn omp(dict: &Matrix, x: &[f64], excluded: usize, opts: &OmpOptions) -> SparseVec {
+    let n = dict.cols();
+    assert_eq!(x.len(), dict.rows(), "target length mismatch");
+    let mut residual = x.to_vec();
+    let mut support: Vec<usize> = Vec::with_capacity(opts.k_max);
+    let mut coeffs: Vec<f64> = Vec::new();
+
+    for _ in 0..opts.k_max.min(n) {
+        if vector::norm2(&residual) <= opts.tol {
+            break;
+        }
+        // Most correlated unused atom.
+        let mut best = usize::MAX;
+        let mut best_corr = 0.0f64;
+        for j in 0..n {
+            if j == excluded || support.contains(&j) {
+                continue;
+            }
+            let corr = vector::dot(dict.col(j), &residual).abs();
+            if corr > best_corr {
+                best_corr = corr;
+                best = j;
+            }
+        }
+        if best == usize::MAX || best_corr <= f64::EPSILON {
+            break;
+        }
+        support.push(best);
+        // Least-squares refit on the support.
+        let sub = dict.select_columns(&support);
+        match Qr::new(sub.clone()).and_then(|qr| qr.solve_least_squares(x)) {
+            Ok(c) => {
+                coeffs = c;
+                let fit = sub.matvec(&coeffs).expect("support shape");
+                for (r, (&xi, &fi)) in residual.iter_mut().zip(x.iter().zip(&fit)) {
+                    *r = xi - fi;
+                }
+            }
+            Err(_) => {
+                // Newly added atom is numerically dependent on the support;
+                // discard it and stop growing.
+                support.pop();
+                break;
+            }
+        }
+    }
+
+    let mut pairs: Vec<(usize, f64)> =
+        support.into_iter().zip(coeffs).filter(|&(_, v)| v != 0.0).collect();
+    pairs.sort_by_key(|&(j, _)| j);
+    let (idx, val): (Vec<usize>, Vec<f64>) = pairs.into_iter().unzip();
+    SparseVec::from_parts(n, idx, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_single_atom() {
+        let dict = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.5],
+            &[0.0, 1.0, 0.5],
+        ])
+        .unwrap();
+        let c = omp(&dict, &[0.0, 2.0], usize::MAX, &OmpOptions::default());
+        let d = c.to_dense();
+        assert!((d[1] - 2.0).abs() < 1e-10);
+        assert!(d[0].abs() < 1e-10 && d[2].abs() < 1e-10);
+    }
+
+    #[test]
+    fn recovers_two_atom_combination() {
+        let dict = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let x = [2.0, -3.0, 0.0];
+        let c = omp(&dict, &x, usize::MAX, &OmpOptions { k_max: 2, tol: 1e-9 });
+        let d = c.to_dense();
+        assert!((d[0] - 2.0).abs() < 1e-10);
+        assert!((d[1] + 3.0).abs() < 1e-10);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn respects_k_max() {
+        let dict = Matrix::identity(4);
+        let x = [1.0, 1.0, 1.0, 1.0];
+        let c = omp(&dict, &x, usize::MAX, &OmpOptions { k_max: 2, tol: 0.0 });
+        assert!(c.nnz() <= 2);
+    }
+
+    #[test]
+    fn respects_exclusion() {
+        let dict = Matrix::identity(3);
+        let x = [5.0, 0.0, 0.0];
+        let c = omp(&dict, &x, 0, &OmpOptions::default());
+        assert_eq!(c.to_dense()[0], 0.0);
+    }
+
+    #[test]
+    fn stops_on_small_residual() {
+        let dict = Matrix::identity(3);
+        let x = [1.0, 0.0, 0.0];
+        let c = omp(&dict, &x, usize::MAX, &OmpOptions { k_max: 3, tol: 1e-9 });
+        // One atom reproduces the target exactly; no more should be added.
+        assert_eq!(c.nnz(), 1);
+    }
+
+    #[test]
+    fn zero_target_gives_empty_code() {
+        let dict = Matrix::identity(3);
+        let c = omp(&dict, &[0.0, 0.0, 0.0], usize::MAX, &OmpOptions::default());
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn dependent_atoms_do_not_break_solver() {
+        // Duplicate columns: the refit QR becomes singular once both are
+        // selected; the solver must degrade gracefully.
+        let dict = Matrix::from_rows(&[
+            &[1.0, 1.0],
+            &[0.0, 0.0],
+        ])
+        .unwrap();
+        let c = omp(&dict, &[1.0, 1.0], usize::MAX, &OmpOptions { k_max: 2, tol: 0.0 });
+        assert!(c.nnz() >= 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Sparse vector: sorted index/value pairs.
+//!
+//! The self-expression codes SSC produces are extremely sparse (support size
+//! ~ subspace dimension, out of hundreds of columns), so per-point solutions
+//! are stored sparsely before being assembled into the affinity graph.
+
+/// A sparse vector with strictly increasing indices.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec {
+    indices: Vec<usize>,
+    values: Vec<f64>,
+    /// Logical dimension of the vector.
+    dim: usize,
+}
+
+impl SparseVec {
+    /// An all-zero sparse vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self { indices: Vec::new(), values: Vec::new(), dim }
+    }
+
+    /// Builds from a dense slice, keeping entries with `|v| > tol`.
+    pub fn from_dense(dense: &[f64], tol: f64) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v.abs() > tol {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Self { indices, values, dim: dense.len() }
+    }
+
+    /// Builds from parallel index/value arrays. Indices must be strictly
+    /// increasing and below `dim`; panics otherwise (programmer error).
+    pub fn from_parts(dim: usize, indices: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be strictly increasing");
+        if let Some(&last) = indices.last() {
+            assert!(last < dim, "index {last} out of range for dim {dim}");
+        }
+        Self { indices, values, dim }
+    }
+
+    /// Logical dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterator over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Stored indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Materializes as a dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            d[i] = v;
+        }
+        d
+    }
+
+    /// `l1` norm of the stored values.
+    pub fn norm1(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Largest absolute stored value (0 for an empty vector).
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dense_thresholds() {
+        let s = SparseVec::from_dense(&[0.0, 2.0, 1e-12, -3.0], 1e-9);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.values(), &[2.0, -3.0]);
+        assert_eq!(s.dim(), 4);
+    }
+
+    #[test]
+    fn round_trip_dense() {
+        let d = vec![1.0, 0.0, -2.5, 0.0];
+        let s = SparseVec::from_dense(&d, 0.0);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn norms() {
+        let s = SparseVec::from_parts(5, vec![0, 4], vec![3.0, -4.0]);
+        assert_eq!(s.norm1(), 7.0);
+        assert_eq!(s.max_abs(), 4.0);
+        assert_eq!(SparseVec::zeros(3).max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_indices() {
+        SparseVec::from_parts(5, vec![3, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        SparseVec::from_parts(2, vec![0, 2], vec![1.0, 2.0]);
+    }
+}

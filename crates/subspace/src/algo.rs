@@ -1,0 +1,37 @@
+//! The common interface all subspace-clustering algorithms implement.
+
+use fedsc_clustering::spectral::{spectral_clustering, SpectralOptions};
+use fedsc_graph::AffinityGraph;
+use fedsc_linalg::{Matrix, Result};
+use rand::Rng;
+
+/// A spectral-based subspace-clustering algorithm: builds an affinity graph
+/// over the columns of a data matrix; segmentation is shared normalized
+/// spectral clustering.
+pub trait SubspaceClusterer {
+    /// Algorithm name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Builds the affinity graph over the columns of `data`.
+    fn affinity(&self, data: &Matrix) -> Result<AffinityGraph>;
+
+    /// Clusters the columns of `data` into `k` groups: affinity graph plus
+    /// normalized spectral clustering.
+    fn cluster<R: Rng + ?Sized>(
+        &self,
+        data: &Matrix,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        let g = self.affinity(data)?;
+        spectral_clustering(&g, &SpectralOptions::new(k), rng)
+    }
+}
+
+/// Returns a column-normalized copy of `data` (unit `l2` columns), the
+/// standing preprocessing step of every SC method here.
+pub fn normalize_data(data: &Matrix) -> Matrix {
+    let mut d = data.clone();
+    d.normalize_columns(1e-12);
+    d
+}

@@ -1,0 +1,202 @@
+//! Union-of-subspaces data model.
+//!
+//! The paper's Section VI-A synthetic generator: `L` subspaces of dimension
+//! `d` in ambient dimension `n`, each with an i.i.d. Haar-random orthonormal
+//! basis; points are Gaussian coefficient combinations of the basis columns,
+//! normalized onto the unit sphere (the theory's standing assumption).
+
+use fedsc_linalg::random::{gaussian_vector, random_orthonormal_basis};
+use fedsc_linalg::{vector, Matrix};
+use rand::Rng;
+
+/// A union of linear subspaces with known bases — the ground truth the
+/// clustering algorithms try to recover.
+#[derive(Debug, Clone)]
+pub struct SubspaceModel {
+    /// Ambient dimension `n`.
+    pub ambient_dim: usize,
+    /// One orthonormal basis (`n x d_l`) per subspace.
+    pub bases: Vec<Matrix>,
+}
+
+impl SubspaceModel {
+    /// Draws `l` i.i.d. Haar-random subspaces of dimension `d` in `R^n`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize, l: usize) -> Self {
+        let bases = (0..l).map(|_| random_orthonormal_basis(rng, n, d)).collect();
+        Self { ambient_dim: n, bases }
+    }
+
+    /// Number of subspaces `L`.
+    pub fn num_subspaces(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Dimension of subspace `l`.
+    pub fn dim(&self, l: usize) -> usize {
+        self.bases[l].cols()
+    }
+
+    /// Draws one unit-norm point from subspace `l` (Gaussian coefficients,
+    /// normalized).
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R, l: usize) -> Vec<f64> {
+        let basis = &self.bases[l];
+        loop {
+            let alpha = gaussian_vector(rng, basis.cols());
+            let mut x = basis.matvec(&alpha).expect("coefficient length matches basis");
+            if vector::normalize(&mut x, 1e-300) > 0.0 {
+                return x;
+            }
+        }
+    }
+
+    /// Draws a labeled dataset with `points_per_subspace[l]` points from
+    /// subspace `l`, optionally perturbed by additive Gaussian noise of the
+    /// given standard deviation (points are re-normalized after noise, per
+    /// the standard noisy-SSC convention).
+    pub fn sample_dataset<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        points_per_subspace: &[usize],
+        noise_std: f64,
+    ) -> LabeledData {
+        assert_eq!(
+            points_per_subspace.len(),
+            self.num_subspaces(),
+            "need one count per subspace"
+        );
+        let total: usize = points_per_subspace.iter().sum();
+        let mut data = Matrix::zeros(self.ambient_dim, total);
+        let mut labels = Vec::with_capacity(total);
+        let mut col = 0;
+        for (l, &count) in points_per_subspace.iter().enumerate() {
+            for _ in 0..count {
+                let mut x = self.sample_point(rng, l);
+                if noise_std > 0.0 {
+                    for v in &mut x {
+                        *v += noise_std * fedsc_linalg::random::standard_normal(rng);
+                    }
+                    vector::normalize(&mut x, 1e-300);
+                }
+                data.col_mut(col).copy_from_slice(&x);
+                labels.push(l);
+                col += 1;
+            }
+        }
+        LabeledData { data, labels }
+    }
+
+    /// Maximum pairwise normalized affinity between distinct subspaces —
+    /// the quantity the paper's semi-random conditions bound.
+    pub fn max_normalized_affinity(&self) -> f64 {
+        let l = self.num_subspaces();
+        let mut worst = 0.0f64;
+        for a in 0..l {
+            for b in a + 1..l {
+                let aff = fedsc_linalg::angles::normalized_affinity(&self.bases[a], &self.bases[b])
+                    .expect("bases share ambient dimension");
+                worst = worst.max(aff);
+            }
+        }
+        worst
+    }
+}
+
+/// A column-point dataset with ground-truth subspace labels.
+#[derive(Debug, Clone)]
+pub struct LabeledData {
+    /// Points as columns (`n x N`).
+    pub data: Matrix,
+    /// Ground-truth subspace index per column.
+    pub labels: Vec<usize>,
+}
+
+impl LabeledData {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Selects a sub-dataset by column indices.
+    pub fn select(&self, indices: &[usize]) -> LabeledData {
+        LabeledData {
+            data: self.data.select_columns(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Number of distinct labels present.
+    pub fn num_classes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &l in &self.labels {
+            seen.insert(l);
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_points_are_unit_norm_and_in_subspace() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SubspaceModel::random(&mut rng, 20, 5, 3);
+        for l in 0..3 {
+            let x = model.sample_point(&mut rng, l);
+            assert!((vector::norm2(&x) - 1.0).abs() < 1e-12);
+            // Residual after projecting onto the basis vanishes.
+            let c = model.bases[l].tr_matvec(&x).unwrap();
+            let proj = model.bases[l].matvec(&c).unwrap();
+            let err: f64 =
+                proj.iter().zip(&x).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dataset_shapes_and_labels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SubspaceModel::random(&mut rng, 10, 2, 3);
+        let ds = model.sample_dataset(&mut rng, &[4, 0, 2], 0.0);
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.data.shape(), (10, 6));
+        assert_eq!(ds.labels, vec![0, 0, 0, 0, 2, 2]);
+        assert_eq!(ds.num_classes(), 2);
+    }
+
+    #[test]
+    fn noise_keeps_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SubspaceModel::random(&mut rng, 10, 2, 1);
+        let ds = model.sample_dataset(&mut rng, &[5], 0.1);
+        for j in 0..5 {
+            assert!((vector::norm2(ds.data.col(j)) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn select_subsets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = SubspaceModel::random(&mut rng, 8, 2, 2);
+        let ds = model.sample_dataset(&mut rng, &[3, 3], 0.0);
+        let sub = ds.select(&[0, 4]);
+        assert_eq!(sub.labels, vec![0, 1]);
+        assert_eq!(sub.data.cols(), 2);
+    }
+
+    #[test]
+    fn random_subspaces_in_high_dim_have_low_affinity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // d = 2, n = 100: random planes are nearly orthogonal.
+        let model = SubspaceModel::random(&mut rng, 100, 2, 4);
+        assert!(model.max_normalized_affinity() < 0.5);
+    }
+}

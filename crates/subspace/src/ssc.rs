@@ -1,0 +1,131 @@
+//! Sparse Subspace Clustering (Elhamifar & Vidal, TPAMI 2013).
+//!
+//! Each point is sparsely self-expressed by the remaining points (paper
+//! Eq. (2), the Lasso form) with the per-point `lambda` rule
+//! `lambda_i = alpha / max_{j != i} |x_j^T x_i|` (the paper uses
+//! `alpha = 50`); the affinity graph is `|C| + |C|^T`.
+
+use crate::algo::{normalize_data, SubspaceClusterer};
+use fedsc_graph::AffinityGraph;
+use fedsc_linalg::{Matrix, Result};
+use fedsc_sparse::lasso::{ssc_lambda, LassoOptions, LassoSolver};
+
+/// SSC configuration.
+///
+/// ```
+/// use fedsc_subspace::{Ssc, SubspaceClusterer, SubspaceModel};
+/// use fedsc_clustering::clustering_accuracy;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let model = SubspaceModel::random(&mut rng, 30, 3, 2);
+/// let ds = model.sample_dataset(&mut rng, &[20, 20], 0.0);
+/// let labels = Ssc::default().cluster(&ds.data, 2, &mut rng).unwrap();
+/// assert!(clustering_accuracy(&ds.labels, &labels) > 95.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ssc {
+    /// Multiplier in the per-point lambda rule (paper: 50).
+    pub alpha: f64,
+    /// Lasso solver options.
+    pub lasso: LassoOptions,
+    /// Normalize columns to unit norm before coding (paper's convention).
+    pub normalize: bool,
+}
+
+impl Default for Ssc {
+    fn default() -> Self {
+        Self { alpha: 50.0, lasso: LassoOptions::default(), normalize: true }
+    }
+}
+
+impl Ssc {
+    /// Computes the full self-expression coefficient matrix `C`
+    /// (column `i` is the sparse code of point `i`; diagonal is zero).
+    pub fn coefficients(&self, data: &Matrix) -> Matrix {
+        let x = if self.normalize { normalize_data(data) } else { data.clone() };
+        let n = x.cols();
+        let gram = x.gram();
+        let solver = LassoSolver::new(&gram, self.lasso.clone());
+        let mut c = Matrix::zeros(n, n);
+        for i in 0..n {
+            let b = gram.col(i);
+            let lambda = ssc_lambda(b, i, self.alpha);
+            let code = solver.solve(b, lambda, i);
+            for (j, v) in code.iter() {
+                c[(j, i)] = v;
+            }
+        }
+        c
+    }
+}
+
+impl SubspaceClusterer for Ssc {
+    fn name(&self) -> &'static str {
+        "SSC"
+    }
+
+    fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
+        Ok(AffinityGraph::from_coefficients(&self.coefficients(data)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SubspaceModel;
+    use fedsc_clustering::clustering_accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn codes_have_zero_diagonal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SubspaceModel::random(&mut rng, 10, 2, 2);
+        let ds = model.sample_dataset(&mut rng, &[8, 8], 0.0);
+        let c = Ssc::default().coefficients(&ds.data);
+        for i in 0..16 {
+            assert_eq!(c[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn sep_holds_for_orthogonal_subspaces() {
+        // Two orthogonal planes: SSC codes must not cross subspaces.
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[12, 12], 0.0);
+        let g = Ssc::default().affinity(&ds.data).unwrap();
+        let mut cross = 0.0f64;
+        for i in 0..24 {
+            for j in 0..24 {
+                if ds.labels[i] != ds.labels[j] {
+                    cross = cross.max(g.weight(i, j));
+                }
+            }
+        }
+        // Random 3-dim subspaces in R^30 are near-orthogonal: essentially no
+        // false connections.
+        assert!(cross < 1e-3, "max cross-subspace affinity {cross}");
+    }
+
+    #[test]
+    fn clusters_well_separated_subspaces() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 3);
+        let ds = model.sample_dataset(&mut rng, &[15, 15, 15], 0.0);
+        let labels = Ssc::default().cluster(&ds.data, 3, &mut rng).unwrap();
+        let acc = clustering_accuracy(&ds.labels, &labels);
+        assert!(acc > 95.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn tolerates_mild_noise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[15, 15], 0.02);
+        let labels = Ssc::default().cluster(&ds.data, 2, &mut rng).unwrap();
+        let acc = clustering_accuracy(&ds.labels, &labels);
+        assert!(acc > 90.0, "accuracy {acc}");
+    }
+}

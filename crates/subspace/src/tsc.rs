@@ -1,0 +1,139 @@
+//! Thresholding-based Subspace Clustering (Heckel & Bölcskei, IT 2015).
+//!
+//! Connects each point to its `q` nearest neighbors in *spherical* distance
+//! (largest `|<x_i, x_j>|` for unit-norm points), with edge weight
+//! `exp(-2 acos(|<x_i, x_j>|))`. Effective under the semi-random model
+//! (uniform points on each subspace) — which is exactly why Fed-SC can run
+//! TSC at the central server over its uniformly-sampled `theta`s.
+
+use crate::algo::{normalize_data, SubspaceClusterer};
+use fedsc_graph::AffinityGraph;
+use fedsc_linalg::{vector, Matrix, Result};
+
+/// TSC configuration.
+#[derive(Debug, Clone)]
+pub struct Tsc {
+    /// Number of nearest neighbors `q`.
+    pub q: usize,
+    /// Normalize columns before computing spherical distances.
+    pub normalize: bool,
+}
+
+impl Tsc {
+    /// TSC with the given neighbor count.
+    pub fn new(q: usize) -> Self {
+        Self { q, normalize: true }
+    }
+
+    /// The paper's parameter rules: `q = max(3, ceil(Z / L))` for the
+    /// central clustering inside Fed-SC…
+    pub fn fed_sc_q(num_devices: usize, num_clusters: usize) -> usize {
+        3usize.max(num_devices.div_ceil(num_clusters.max(1)))
+    }
+
+    /// …and `q = max(3, ceil(N / (100 L)))` for the centralized baseline.
+    pub fn centralized_q(num_points: usize, num_clusters: usize) -> usize {
+        3usize.max(num_points.div_ceil(100 * num_clusters.max(1)))
+    }
+}
+
+impl Default for Tsc {
+    fn default() -> Self {
+        Self { q: 3, normalize: true }
+    }
+}
+
+impl SubspaceClusterer for Tsc {
+    fn name(&self) -> &'static str {
+        "TSC"
+    }
+
+    fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
+        let x = if self.normalize { normalize_data(data) } else { data.clone() };
+        let n = x.cols();
+        // Precompute |cos| similarities once; the kNN constructor consults
+        // them O(n^2 log n) times otherwise.
+        let gram = x.gram();
+        Ok(AffinityGraph::from_knn_similarity(n, self.q, |i, j| {
+            let c = gram[(i, j)].abs().min(1.0);
+            (-2.0 * c.acos()).exp()
+        }))
+    }
+}
+
+/// Spherical distance helper exposed for tests: `acos(|cos|)` in `[0, pi/2]`.
+pub fn spherical_distance(a: &[f64], b: &[f64]) -> f64 {
+    vector::abs_cosine(a, b).acos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SubspaceModel;
+    use fedsc_clustering::clustering_accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn q_rules_match_paper() {
+        assert_eq!(Tsc::fed_sc_q(400, 20), 20);
+        assert_eq!(Tsc::fed_sc_q(10, 20), 3);
+        assert_eq!(Tsc::centralized_q(6000, 20), 3);
+        assert_eq!(Tsc::centralized_q(100_000, 20), 50);
+    }
+
+    #[test]
+    fn neighbors_prefer_same_subspace() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[20, 20], 0.0);
+        let g = Tsc::new(4).affinity(&ds.data).unwrap();
+        // Count cross-subspace edges: should be rare for near-orthogonal
+        // subspaces with plenty of same-subspace neighbors.
+        let mut cross = 0usize;
+        let mut total = 0usize;
+        for i in 0..40 {
+            for j in 0..40 {
+                if g.weight(i, j) > 0.0 {
+                    total += 1;
+                    if ds.labels[i] != ds.labels[j] {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            (cross as f64) < 0.05 * total as f64,
+            "{cross} cross edges out of {total}"
+        );
+    }
+
+    #[test]
+    fn clusters_uniform_subspace_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SubspaceModel::random(&mut rng, 30, 3, 3);
+        let ds = model.sample_dataset(&mut rng, &[25, 25, 25], 0.0);
+        let labels = Tsc::new(5).cluster(&ds.data, 3, &mut rng).unwrap();
+        let acc = clustering_accuracy(&ds.labels, &labels);
+        assert!(acc > 90.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn spherical_distance_extremes() {
+        assert!(spherical_distance(&[1.0, 0.0], &[2.0, 0.0]) < 1e-9);
+        let d = spherical_distance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        // Antipodal points are spherically identical (|cos| symmetry).
+        assert!(spherical_distance(&[1.0, 0.0], &[-1.0, 0.0]) < 1e-9);
+    }
+
+    #[test]
+    fn q_larger_than_n_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SubspaceModel::random(&mut rng, 10, 2, 1);
+        let ds = model.sample_dataset(&mut rng, &[4], 0.0);
+        let g = Tsc::new(100).affinity(&ds.data).unwrap();
+        assert_eq!(g.len(), 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Federated clustering of high-dimensional "health-record" feature
+//! vectors across hospitals — the motivating scenario of the paper's
+//! introduction: sensitive data that cannot leave its silo, features far
+//! higher-dimensional than any one silo's sample count, and strong
+//! statistical heterogeneity (each hospital specializes in a few
+//! conditions).
+//!
+//! Uses the EMNIST-like surrogate generator as a stand-in for record
+//! embeddings (each condition concentrates near a low-dimensional subspace
+//! of the feature space) and compares Fed-SC against k-FED on the same
+//! partition.
+//!
+//! ```sh
+//! cargo run --release --example hospital_records
+//! ```
+
+use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedSc, FedScConfig};
+use fedsc_clustering::{clustering_accuracy, normalized_mutual_information};
+use fedsc_data::realworld::{generate, SurrogateSpec};
+use fedsc_federated::kfed::{kfed, KFedConfig};
+use fedsc_federated::partition::{partition_dataset, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // 10 conditions, ~500-dimensional record embeddings, imbalanced cohort
+    // sizes, mild measurement noise.
+    let spec = SurrogateSpec::emnist_like(0.15).with_classes(10);
+    let ds = generate(&spec, &mut rng);
+    let l = spec.num_classes;
+    println!(
+        "cohort: {} records, {} conditions, {}-dimensional embeddings",
+        ds.data.len(),
+        l,
+        spec.ambient_dim
+    );
+    println!("class sizes (imbalanced): {:?}", ds.class_sizes);
+
+    // 30 hospitals; each specializes in 3 of the 10 conditions.
+    let hospitals = 30;
+    let l_prime = 3;
+    let fed = partition_dataset(&ds.data, hospitals, Partition::NonIid { l_prime }, &mut rng);
+    let truth = fed.global_truth();
+    println!("hospitals: {hospitals}, {l_prime} conditions each\n");
+
+    // Fed-SC with the paper's real-data settings: fixed local-cluster upper
+    // bound and rank-1 subspace sketches.
+    let mut cfg = FedScConfig::new(l, CentralBackend::Ssc);
+    cfg.cluster_count = ClusterCountPolicy::Fixed(l_prime + 1);
+    cfg.basis_dim = BasisDim::Fixed(1);
+    let out = FedSc::new(cfg).run(&fed).expect("Fed-SC run");
+    println!(
+        "Fed-SC (SSC): ACC {:.2}%  NMI {:.2}%  uplink {} KiB  time {:.2}s",
+        clustering_accuracy(&truth, &out.predictions),
+        normalized_mutual_information(&truth, &out.predictions),
+        out.comm.uplink_bits / 8 / 1024,
+        out.sequential_time().as_secs_f64()
+    );
+
+    // k-FED baseline on the identical partition.
+    let kf = kfed(&fed, &KFedConfig::new(l, l_prime)).expect("k-FED run");
+    println!(
+        "k-FED       : ACC {:.2}%  NMI {:.2}%  uplink {} KiB  time {:.2}s",
+        clustering_accuracy(&truth, &kf.predictions),
+        normalized_mutual_information(&truth, &kf.predictions),
+        kf.comm.uplink_bits / 8 / 1024,
+        (kf.local_timing.sequential + kf.server_time).as_secs_f64()
+    );
+
+    println!(
+        "\nNo raw record ever left a hospital: each uploaded only {} unit\n\
+         vectors (one per local condition cluster) in a single round.",
+        out.samples.cols() / hospitals
+    );
+}

@@ -1,0 +1,59 @@
+//! Robustness of the one-shot round to an unreliable uplink: sweep the
+//! communication-noise level `delta` and quantization width, and watch
+//! Fed-SC's accuracy and communication cost respond (the Fig. 7 experiment
+//! in miniature, plus the quantization knob from Section IV-E).
+//!
+//! ```sh
+//! cargo run --release --example noisy_uplink
+//! ```
+
+use fedsc::{CentralBackend, ClusterCountPolicy, FedSc, FedScConfig};
+use fedsc_clustering::clustering_accuracy;
+use fedsc_data::synthetic::{generate, SyntheticConfig};
+use fedsc_federated::partition::{partition_dataset, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let l = 10;
+    let l_prime = 2;
+    let devices = 60;
+    let ds = generate(&SyntheticConfig::paper(l, 12 * devices * l_prime / l), &mut rng);
+    let fed = partition_dataset(&ds.data, devices, Partition::NonIid { l_prime }, &mut rng);
+    let truth = fed.global_truth();
+    println!(
+        "{} points, {l} subspaces, {devices} devices (Non-IID-{l_prime})\n",
+        ds.data.len()
+    );
+
+    println!("## Gaussian uplink noise (variance delta / sqrt(r))");
+    println!("{:>8}  {:>8}", "delta", "ACC%");
+    for delta in [0.0, 0.05, 0.2, 0.5, 1.0, 2.0, 4.0] {
+        let mut cfg = FedScConfig::new(l, CentralBackend::Ssc);
+        cfg.cluster_count = ClusterCountPolicy::Fixed(l_prime);
+        cfg.channel.noise_delta = delta;
+        let out = FedSc::new(cfg).run(&fed).expect("Fed-SC run");
+        println!("{delta:>8.3}  {:>8.2}", clustering_accuracy(&truth, &out.predictions));
+    }
+
+    println!("\n## Scalar quantization of the uploaded samples");
+    println!("{:>8}  {:>8}  {:>12}", "bits", "ACC%", "uplink bits");
+    for bits in [64u32, 16, 8, 6, 4] {
+        let mut cfg = FedScConfig::new(l, CentralBackend::Ssc);
+        cfg.cluster_count = ClusterCountPolicy::Fixed(l_prime);
+        cfg.channel.bits_per_scalar = bits;
+        let out = FedSc::new(cfg).run(&fed).expect("Fed-SC run");
+        println!(
+            "{bits:>8}  {:>8.2}  {:>12}",
+            clustering_accuracy(&truth, &out.predictions),
+            out.comm.uplink_bits
+        );
+    }
+
+    println!(
+        "\nShape to notice: accuracy is flat over a wide noise/quantization\n\
+         range and degrades gracefully — the central SC step inherits the\n\
+         noise robustness of SSC/TSC (Section IV-E of the paper)."
+    );
+}

@@ -1,0 +1,29 @@
+//! # fed-sc — One-Shot Federated Subspace Clustering
+//!
+//! Umbrella crate for the Fed-SC reproduction (Xie et al., ICDE 2023).
+//! Re-exports the public API of every workspace crate so downstream users
+//! can depend on a single crate:
+//!
+//! * [`fedsc`] (re-exported at the root) — the Fed-SC scheme itself.
+//! * [`linalg`] — dense linear-algebra substrate.
+//! * [`sparse`] — sparse structures and sparse-optimization solvers.
+//! * [`graph`] — affinity graphs and Laplacian spectra.
+//! * [`clustering`] — k-means, spectral clustering, evaluation metrics.
+//! * [`subspace`] — centralized SC baselines and the Section V theory.
+//! * [`federated`] — partitioners, channel, k-FED baseline.
+//! * [`data`] — synthetic and surrogate workload generators.
+//!
+//! See the `examples/` directory for runnable entry points and `DESIGN.md`
+//! for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use fedsc::*;
+
+pub use fedsc_clustering as clustering;
+pub use fedsc_data as data;
+pub use fedsc_federated as federated;
+pub use fedsc_graph as graph;
+pub use fedsc_linalg as linalg;
+pub use fedsc_sparse as sparse;
+pub use fedsc_subspace as subspace;

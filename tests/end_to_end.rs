@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: the full Fed-SC pipeline (Algorithm 1)
+//! against ground truth, across partitions, backends, channels, and the
+//! paper's evaluation criteria.
+
+use fed_sc::clustering::{clustering_accuracy, normalized_mutual_information};
+use fed_sc::data::synthetic::{generate, SyntheticConfig};
+use fed_sc::federated::partition::{partition_dataset, Partition};
+use fed_sc::subspace::theory::{holds_sep, Heterogeneity};
+use fed_sc::{BasisDim, CentralBackend, ClusterCountPolicy, FedSc, FedScConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Standard heterogeneous instance: well-separated subspaces, enough
+/// devices for the server-side sample density the theory needs.
+fn instance(
+    l: usize,
+    d: usize,
+    n: usize,
+    l_prime: usize,
+    devices: usize,
+    per_owner: usize,
+    seed: u64,
+) -> (fed_sc::federated::FederatedDataset, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let owners = (devices * l_prime).div_ceil(l).max(1);
+    let cfg = SyntheticConfig {
+        ambient_dim: n,
+        subspace_dim: d,
+        num_subspaces: l,
+        points_per_subspace: per_owner * owners,
+        noise_std: 0.0,
+    };
+    let ds = generate(&cfg, &mut rng);
+    let fed = partition_dataset(&ds.data, devices, Partition::NonIid { l_prime }, &mut rng);
+    let truth = fed.global_truth();
+    (fed, truth)
+}
+
+#[test]
+fn near_orthogonal_subspaces_cluster_exactly() {
+    // d = 3 subspaces in R^40 are near-orthogonal: Fed-SC should be ~exact.
+    let (fed, truth) = instance(5, 3, 40, 2, 25, 10, 1);
+    let out = FedSc::new(FedScConfig::new(5, CentralBackend::Ssc)).run(&fed).unwrap();
+    let acc = clustering_accuracy(&truth, &out.predictions);
+    assert!(acc > 97.0, "accuracy {acc}");
+    let nmi = normalized_mutual_information(&truth, &out.predictions);
+    assert!(nmi > 95.0, "nmi {nmi}");
+}
+
+#[test]
+fn tsc_backend_matches_ssc_with_enough_devices() {
+    let (fed, truth) = instance(4, 3, 30, 2, 40, 10, 2);
+    let ssc = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    let tsc = FedSc::new(FedScConfig::new(4, CentralBackend::Tsc { q: None }))
+        .run(&fed)
+        .unwrap();
+    let a_ssc = clustering_accuracy(&truth, &ssc.predictions);
+    let a_tsc = clustering_accuracy(&truth, &tsc.predictions);
+    assert!(a_ssc > 95.0, "SSC backend accuracy {a_ssc}");
+    assert!(a_tsc > 90.0, "TSC backend accuracy {a_tsc}");
+}
+
+#[test]
+fn heterogeneity_summary_matches_partition() {
+    let (fed, _) = instance(6, 3, 30, 2, 18, 8, 3);
+    let het = Heterogeneity::from_device_labels(&fed.device_labels(), 6);
+    assert!(het.is_heterogeneous(6));
+    // Footnote identity: sum_z L^(z) = sum_l Z_l.
+    let s1: usize = het.subspaces_per_device.iter().sum();
+    let s2: usize = het.devices_per_subspace.iter().sum();
+    assert_eq!(s1, s2);
+    // Every device holds at most L' = 2 subspaces.
+    assert!(het.subspaces_per_device.iter().all(|&c| c <= 2));
+}
+
+#[test]
+fn one_shot_contract_holds() {
+    // Exactly one uplink and one downlink message per device, and the
+    // uplink bit count follows Section IV-E.
+    let (fed, _) = instance(4, 3, 30, 2, 16, 8, 4);
+    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    assert_eq!(out.comm.uplink_messages, 16);
+    assert_eq!(out.comm.downlink_messages, 16);
+    assert_eq!(out.comm.uplink_bits, 30 * 64 * out.samples.cols() as u64);
+    // Downlink: per device, r^(z) labels of ceil(log2 4) = 2 bits.
+    assert_eq!(out.comm.downlink_bits, 2 * out.samples.cols() as u64);
+}
+
+#[test]
+fn predictions_respect_local_partitions() {
+    // Phase 3 relabels whole local clusters, so any two points the device
+    // put together must share a final label.
+    let (fed, _) = instance(4, 3, 30, 2, 12, 8, 5);
+    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    for (i, &ci) in out.point_cluster.iter().enumerate() {
+        for (j, &cj) in out.point_cluster.iter().enumerate().skip(i + 1) {
+            if ci == cj {
+                assert_eq!(out.predictions[i], out.predictions[j]);
+            }
+        }
+    }
+}
+
+#[test]
+fn induced_graph_holds_sep_on_easy_instance() {
+    let (fed, truth) = instance(4, 3, 40, 2, 24, 10, 6);
+    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    let g = out.induced_global_affinity();
+    // Near-orthogonal subspaces: the sample-level graph has essentially no
+    // cross-subspace edges, so the induced graph satisfies SEP up to a tiny
+    // numerical tolerance.
+    assert!(holds_sep(&g, &truth, 1e-3));
+}
+
+#[test]
+fn noisy_channel_degrades_gracefully() {
+    let (fed, truth) = instance(4, 3, 30, 2, 30, 10, 7);
+    let acc_at = |delta: f64| {
+        let mut cfg = FedScConfig::new(4, CentralBackend::Ssc);
+        cfg.channel.noise_delta = delta;
+        let out = FedSc::new(cfg).run(&fed).unwrap();
+        clustering_accuracy(&truth, &out.predictions)
+    };
+    let clean = acc_at(0.0);
+    let mild = acc_at(0.05);
+    let heavy = acc_at(8.0);
+    assert!(clean > 95.0, "clean {clean}");
+    assert!(mild > 85.0, "mild noise {mild}");
+    // Heavy noise must hurt: samples are drowned (SNR ~ 1/8).
+    assert!(heavy < clean, "heavy {heavy} vs clean {clean}");
+}
+
+#[test]
+fn quantized_uplink_is_lossless_enough() {
+    let (fed, truth) = instance(4, 3, 30, 2, 24, 10, 8);
+    let mut cfg = FedScConfig::new(4, CentralBackend::Ssc);
+    cfg.channel.bits_per_scalar = 8;
+    let out = FedSc::new(cfg).run(&fed).unwrap();
+    let acc = clustering_accuracy(&truth, &out.predictions);
+    assert!(acc > 90.0, "8-bit uplink accuracy {acc}");
+    // And the meter reflects the cheaper uplink.
+    assert_eq!(out.comm.uplink_bits, 30 * 8 * out.samples.cols() as u64);
+}
+
+#[test]
+fn real_data_configuration_runs() {
+    // Fixed r^(z) upper bound + rank-1 bases (the paper's Table III/IV
+    // settings) on a higher-dimensional instance.
+    let (fed, truth) = instance(6, 4, 120, 3, 24, 9, 9);
+    let mut cfg = FedScConfig::real_data(6, CentralBackend::Ssc, 4);
+    cfg.seed = 99;
+    assert_eq!(cfg.cluster_count, ClusterCountPolicy::Fixed(4));
+    assert_eq!(cfg.basis_dim, BasisDim::Fixed(1));
+    let out = FedSc::new(cfg).run(&fed).unwrap();
+    let acc = clustering_accuracy(&truth, &out.predictions);
+    assert!(acc > 80.0, "real-data config accuracy {acc}");
+}
+
+#[test]
+fn kfed_loses_to_fed_sc_on_subspace_data() {
+    // The headline comparison: subspace-structured data defeats k-means
+    // geometry, so Fed-SC must beat k-FED by a wide margin.
+    let (fed, truth) = instance(5, 3, 30, 2, 25, 10, 10);
+    let fs = FedSc::new(FedScConfig::new(5, CentralBackend::Ssc)).run(&fed).unwrap();
+    let kf = fed_sc::federated::kfed(&fed, &fed_sc::federated::KFedConfig::new(5, 2)).unwrap();
+    let a_fs = clustering_accuracy(&truth, &fs.predictions);
+    let a_kf = clustering_accuracy(&truth, &kf.predictions);
+    assert!(
+        a_fs > a_kf + 20.0,
+        "Fed-SC {a_fs} should dominate k-FED {a_kf} on subspace data"
+    );
+}
+
+#[test]
+fn empty_and_tiny_devices_are_tolerated() {
+    // More devices than points in some clusters: several devices end up
+    // tiny; the pipeline must still produce a full labeling.
+    let mut rng = StdRng::seed_from_u64(11);
+    let cfg = SyntheticConfig {
+        ambient_dim: 20,
+        subspace_dim: 2,
+        num_subspaces: 3,
+        points_per_subspace: 12,
+        noise_std: 0.0,
+    };
+    let ds = generate(&cfg, &mut rng);
+    let fed = partition_dataset(&ds.data, 10, Partition::NonIid { l_prime: 1 }, &mut rng);
+    let out = FedSc::new(FedScConfig::new(3, CentralBackend::Ssc)).run(&fed).unwrap();
+    assert_eq!(out.predictions.len(), 36);
+    assert!(out.predictions.iter().all(|&l| l < 3));
+}
