@@ -29,7 +29,7 @@ fn union_of_subspaces(n: usize, d: usize, l: usize, per: usize, seed: u64) -> Ma
         }
     }
     let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
-    Matrix::from_columns(&refs).unwrap()
+    Matrix::from_columns(&refs).expect("bench setup")
 }
 
 fn bench_lasso_backends(c: &mut Criterion) {
@@ -43,17 +43,17 @@ fn bench_lasso_backends(c: &mut Criterion) {
         b.iter(|| {
             for i in 0..20 {
                 let li = ssc_lambda(gram.col(i), i, 50.0);
-                black_box(solver.solve(gram.col(i), li, i));
+                let _ = black_box(solver.solve(gram.col(i), li, i));
             }
         })
     });
     g.bench_function("admm_20pts", |b| {
         // ADMM factors (lambda G + rho I) once; reuse across points with a
         // representative lambda, matching how a production ADMM-SSC batches.
-        let admm = AdmmLasso::new(&gram, lambda, AdmmOptions::default()).unwrap();
+        let admm = AdmmLasso::new(&gram, lambda, AdmmOptions::default()).expect("bench setup");
         b.iter(|| {
             for i in 0..20 {
-                black_box(admm.solve(gram.col(i), i).unwrap());
+                let _ = black_box(admm.solve(gram.col(i), i).expect("bench setup"));
             }
         })
     });
@@ -62,13 +62,15 @@ fn bench_lasso_backends(c: &mut Criterion) {
 
 fn bench_spectral_backends(c: &mut Criterion) {
     let data = union_of_subspaces(20, 5, 10, 60, 2);
-    let graph = Ssc::default().affinity(&data).unwrap();
+    let graph = Ssc::default().affinity(&data).expect("bench setup");
     let lap = normalized_laplacian(&graph);
     let mut g = c.benchmark_group("ablation_spectral_backend");
     g.sample_size(10);
-    g.bench_function("dense_full_eig_n600", |b| b.iter(|| black_box(eigh(&lap).unwrap())));
+    g.bench_function("dense_full_eig_n600", |b| {
+        b.iter(|| black_box(eigh(&lap).expect("bench setup")))
+    });
     g.bench_function("deflated_lanczos_k10_n600", |b| {
-        b.iter(|| black_box(lanczos_smallest(&lap, 10, 50).unwrap()))
+        b.iter(|| black_box(lanczos_smallest(&lap, 10, 50).expect("bench setup")))
     });
     g.finish();
 }

@@ -20,7 +20,7 @@ use std::hint::black_box;
 fn symmetric_matrix(n: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let g = gaussian_matrix(&mut rng, n, n);
-    let mut s = g.add(&g.transpose()).unwrap();
+    let mut s = g.add(&g.transpose()).expect("bench setup");
     s.scale(0.5);
     s
 }
@@ -35,7 +35,7 @@ fn union_of_subspaces(n: usize, d: usize, l: usize, per: usize, seed: u64) -> Ma
         }
     }
     let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
-    Matrix::from_columns(&refs).unwrap()
+    Matrix::from_columns(&refs).expect("bench setup")
 }
 
 fn bench_eig(c: &mut Criterion) {
@@ -44,10 +44,10 @@ fn bench_eig(c: &mut Criterion) {
     let mut g = c.benchmark_group("eig");
     g.sample_size(10);
     g.bench_function("dense_tred2_tql2_n200", |b| {
-        b.iter(|| black_box(eigh(&a200).unwrap()))
+        b.iter(|| black_box(eigh(&a200).expect("bench setup")))
     });
     g.bench_function("lanczos_k10_n800", |b| {
-        b.iter(|| black_box(lanczos_smallest(&a800, 10, 50).unwrap()))
+        b.iter(|| black_box(lanczos_smallest(&a800, 10, 50).expect("bench setup")))
     });
     g.finish();
 }
@@ -57,8 +57,12 @@ fn bench_svd(c: &mut Criterion) {
     let tall = gaussian_matrix(&mut rng, 500, 40);
     let mut g = c.benchmark_group("svd");
     g.sample_size(20);
-    g.bench_function("gram_500x40", |b| b.iter(|| black_box(svd_gram(&tall).unwrap())));
-    g.bench_function("jacobi_500x40", |b| b.iter(|| black_box(svd_jacobi(&tall).unwrap())));
+    g.bench_function("gram_500x40", |b| {
+        b.iter(|| black_box(svd_gram(&tall).expect("bench setup")))
+    });
+    g.bench_function("jacobi_500x40", |b| {
+        b.iter(|| black_box(svd_jacobi(&tall).expect("bench setup")))
+    });
     g.finish();
 }
 
@@ -77,7 +81,17 @@ fn bench_sparse_coding(c: &mut Criterion) {
     });
     g.bench_function("omp_one_point_n600", |b| {
         let x = data.col(0).to_vec();
-        b.iter(|| black_box(omp(&data, &x, 0, &OmpOptions { k_max: 8, tol: 1e-6 })))
+        b.iter(|| {
+            black_box(omp(
+                &data,
+                &x,
+                0,
+                &OmpOptions {
+                    k_max: 8,
+                    tol: 1e-6,
+                },
+            ))
+        })
     });
     g.finish();
 }
@@ -87,19 +101,26 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("ssc_affinity_240pts", |b| {
-        b.iter(|| black_box(Ssc::default().affinity(&data).unwrap()))
+        b.iter(|| black_box(Ssc::default().affinity(&data).expect("bench setup")))
     });
-    let graph = Ssc::default().affinity(&data).unwrap();
+    let graph = Ssc::default().affinity(&data).expect("bench setup");
     g.bench_function("spectral_clustering_240pts_k6", |b| {
         let mut rng = StdRng::seed_from_u64(6);
         b.iter(|| {
             black_box(
-                spectral_clustering(&graph, &SpectralOptions::new(6), &mut rng).unwrap(),
+                spectral_clustering(&graph, &SpectralOptions::new(6), &mut rng)
+                    .expect("bench setup"),
             )
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_eig, bench_svd, bench_sparse_coding, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_eig,
+    bench_svd,
+    bench_sparse_coding,
+    bench_pipeline
+);
 criterion_main!(benches);

@@ -8,11 +8,11 @@
 //! * central backend — SSC vs TSC (also visible in every figure);
 //! * Lasso backend agreement — CD vs ADMM codes on the same instance.
 
-use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig};
 use crate::harness::print_header;
 use crate::methods::run_fed_sc_with;
+use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig};
 use fedsc_data::synthetic::{generate, SyntheticConfig};
-use fedsc_federated::partition::{partition_dataset, Partition, FederatedDataset};
+use fedsc_federated::partition::{partition_dataset, FederatedDataset, Partition};
 use fedsc_linalg::Matrix;
 use fedsc_sparse::admm::{AdmmLasso, AdmmOptions};
 use fedsc_sparse::lasso::{ssc_lambda, LassoOptions, LassoSolver};
@@ -40,12 +40,18 @@ pub fn run() {
     let variants: Vec<(&str, FedScConfig)> = vec![
         ("cluster-count: eigengap (Eq. 3)", {
             let mut c = base();
-            c.cluster_count = ClusterCountPolicy::Eigengap { max: Some(2 * l), relative: false };
+            c.cluster_count = ClusterCountPolicy::Eigengap {
+                max: Some(2 * l),
+                relative: false,
+            };
             c
         }),
         ("cluster-count: relative eigengap", {
             let mut c = base();
-            c.cluster_count = ClusterCountPolicy::Eigengap { max: Some(2 * l), relative: true };
+            c.cluster_count = ClusterCountPolicy::Eigengap {
+                max: Some(2 * l),
+                relative: true,
+            };
             c
         }),
         ("cluster-count: fixed L'", {
@@ -74,7 +80,10 @@ pub fn run() {
         ("basis dim: auto rank", {
             let mut c = base();
             c.cluster_count = ClusterCountPolicy::Fixed(l_prime);
-            c.basis_dim = BasisDim::Auto { rel_tol: 1e-6, max_dim: 32 };
+            c.basis_dim = BasisDim::Auto {
+                rel_tol: 1e-6,
+                max_dim: 32,
+            };
             c
         }),
         ("basis dim: fixed d_t = 1", {
@@ -107,7 +116,12 @@ pub fn run() {
     ];
     for (name, cfg) in variants {
         let r = run_fed_sc_with(&fed, cfg, false);
-        println!("{name:>34}  {:>8.2}  {:>8.2}  {:>8.3}", r.acc, r.nmi, r.secs());
+        println!(
+            "{name:>34}  {:>8.2}  {:>8.2}  {:>8.3}",
+            r.acc,
+            r.nmi,
+            r.secs()
+        );
     }
 
     // Lasso backend agreement: CD and ADMM optimize the same objective, so
@@ -121,9 +135,15 @@ pub fn run() {
     let mut worst = 0.0f64;
     for i in 0..x.cols() {
         let lambda = ssc_lambda(gram.col(i), i, 50.0);
-        let c1 = cd.solve(gram.col(i), lambda, i).to_dense();
-        let admm = AdmmLasso::new(&gram, lambda, AdmmOptions::default()).unwrap();
-        let c2 = admm.solve(gram.col(i), i).unwrap().to_dense();
+        let c1 = cd
+            .solve(gram.col(i), lambda, i)
+            .expect("cd lasso solve")
+            .to_dense();
+        let admm = AdmmLasso::new(&gram, lambda, AdmmOptions::default()).expect("gram is square");
+        let c2 = admm
+            .solve(gram.col(i), i)
+            .expect("admm lasso solve")
+            .to_dense();
         let diff = c1
             .iter()
             .zip(&c2)

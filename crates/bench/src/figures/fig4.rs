@@ -7,9 +7,9 @@
 //! Fed-SC (TSC) below Fed-SC (SSC) at small Z, converging at large Z;
 //! non-IID partitions beat IID for every federated method.
 
-use fedsc::CentralBackend;
 use crate::harness::{cell, pick, print_header, scale};
 use crate::methods::{run_fed_sc_fixed, run_kfed};
+use fedsc::CentralBackend;
 use fedsc_data::synthetic::{generate, SyntheticConfig};
 use fedsc_federated::partition::{partition_dataset, Partition};
 use rand::rngs::StdRng;
@@ -52,7 +52,14 @@ pub fn run() {
 
             let results = [
                 run_fed_sc_fixed(&fed, l, l_prime, CentralBackend::Ssc, 0xf14, false),
-                run_fed_sc_fixed(&fed, l, l_prime, CentralBackend::Tsc { q: None }, 0xf14, false),
+                run_fed_sc_fixed(
+                    &fed,
+                    l,
+                    l_prime,
+                    CentralBackend::Tsc { q: None },
+                    0xf14,
+                    false,
+                ),
                 run_kfed(&fed, l, l_prime, None, 0xf14),
             ];
             for r in results {

@@ -7,9 +7,9 @@
 //! heterogeneity) and as L grows; Fed-SC (TSC) additionally degrades at
 //! very small L' (too few samples per subspace for its q-NN graph).
 
-use fedsc::CentralBackend;
 use crate::harness::{pick, scale, Scale};
 use crate::methods::run_fed_sc_fixed;
+use fedsc::CentralBackend;
 use fedsc_data::synthetic::{generate, SyntheticConfig};
 use fedsc_federated::partition::{partition_dataset, Partition};
 use rand::rngs::StdRng;

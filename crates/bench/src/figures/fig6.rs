@@ -7,9 +7,9 @@
 //! climbs with Z; Fed-SC improves CONN over centralized SSC/TSC; Fed-SC
 //! time is far below the centralized methods and the gap widens with Z.
 
-use fedsc::CentralBackend;
 use crate::harness::{cell, pick, print_header, scale};
 use crate::methods::{run_centralized, run_fed_sc_fixed, MethodResult};
+use fedsc::CentralBackend;
 use fedsc_data::synthetic::{generate, SyntheticConfig};
 use fedsc_federated::partition::{partition_dataset, Partition};
 use fedsc_subspace::{Ensc, Nsn, Ssc, SscOmp, Tsc};
@@ -45,8 +45,7 @@ pub fn run() {
         let mut rng = StdRng::seed_from_u64(0xf16 + z as u64);
         let owners = (z * l_prime).div_ceil(l).max(1);
         let ds = generate(&SyntheticConfig::paper(l, m * owners), &mut rng);
-        let fed =
-            partition_dataset(&ds.data, z, Partition::NonIid { l_prime }, &mut rng);
+        let fed = partition_dataset(&ds.data, z, Partition::NonIid { l_prime }, &mut rng);
         let pooled = fed.pooled();
         let n_total = pooled.labels.len();
         // CONN is O(N^2)-dense; compute it at every quick-scale size and
@@ -55,7 +54,14 @@ pub fn run() {
 
         let mut results: Vec<MethodResult> = vec![
             run_fed_sc_fixed(&fed, l, l_prime, CentralBackend::Ssc, 0xf16, conn),
-            run_fed_sc_fixed(&fed, l, l_prime, CentralBackend::Tsc { q: None }, 0xf16, conn),
+            run_fed_sc_fixed(
+                &fed,
+                l,
+                l_prime,
+                CentralBackend::Tsc { q: None },
+                0xf16,
+                conn,
+            ),
             run_centralized(&Ssc::default(), &pooled, l, 0xf16, conn),
             run_centralized(
                 &Tsc::new(Tsc::centralized_q(n_total, l)),

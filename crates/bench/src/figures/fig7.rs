@@ -6,9 +6,9 @@
 //! Expected shape (paper): accuracy stays high over a wide range of delta
 //! and degrades gracefully at the largest noise levels; more devices help.
 
-use fedsc::{CentralBackend, FedScConfig};
 use crate::harness::{pick, scale};
 use crate::methods::run_fed_sc_with;
+use fedsc::{CentralBackend, FedScConfig};
 use fedsc_data::synthetic::{generate, SyntheticConfig};
 use fedsc_federated::partition::{partition_dataset, Partition};
 use rand::rngs::StdRng;
@@ -45,12 +45,7 @@ pub fn run() {
                 let mut rng = StdRng::seed_from_u64(0xf17 + z as u64);
                 let owners = (z * l_prime).div_ceil(l).max(1);
                 let ds = generate(&SyntheticConfig::paper(l, m * owners), &mut rng);
-                let fed = partition_dataset(
-                    &ds.data,
-                    z,
-                    Partition::NonIid { l_prime },
-                    &mut rng,
-                );
+                let fed = partition_dataset(&ds.data, z, Partition::NonIid { l_prime }, &mut rng);
                 let mut cfg = FedScConfig::new(l, backend);
                 cfg.cluster_count = fedsc::ClusterCountPolicy::Fixed(l_prime);
                 cfg.channel.noise_delta = delta;

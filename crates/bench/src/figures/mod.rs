@@ -1,6 +1,7 @@
 //! Paper figure/table harnesses, callable from both the per-figure
 //! binaries and the `figures` bench target.
 
+pub mod ablation;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -8,4 +9,3 @@ pub mod fig7;
 pub mod privacy;
 pub mod table3;
 pub mod table4;
-pub mod ablation;

@@ -10,9 +10,9 @@
 //! device's 2-4-cluster sub-problem is much easier than the global one;
 //! Fed-SC runs orders of magnitude faster than centralized SC.
 
-use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig};
 use crate::harness::{cell, print_header, scale, Scale};
 use crate::methods::{run_centralized, run_fed_sc_with, run_kfed, MethodResult};
+use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig};
 use fedsc_data::realworld::{generate, SurrogateSpec};
 use fedsc_federated::partition::{partition_dataset, Partition};
 use fedsc_subspace::{Ensc, Nsn, Ssc, SscOmp, Tsc};
@@ -27,13 +27,20 @@ pub fn run() {
     let (specs, z) = match s {
         Scale::Quick => (
             vec![
-                SurrogateSpec::emnist_like(0.06).with_classes(12).with_class_size(90),
-                SurrogateSpec::coil100_like(0.1).with_classes(16).with_class_size(70),
+                SurrogateSpec::emnist_like(0.06)
+                    .with_classes(12)
+                    .with_class_size(90),
+                SurrogateSpec::coil100_like(0.1)
+                    .with_classes(16)
+                    .with_class_size(70),
             ],
             40usize,
         ),
         Scale::Full => (
-            vec![SurrogateSpec::emnist_like(0.5), SurrogateSpec::coil100_like(0.5)],
+            vec![
+                SurrogateSpec::emnist_like(0.5),
+                SurrogateSpec::coil100_like(0.5),
+            ],
             400usize,
         ),
     };
@@ -45,8 +52,7 @@ pub fn run() {
         let mut rng = StdRng::seed_from_u64(0x7ab3);
         let ds = generate(&spec, &mut rng);
         let l = spec.num_classes;
-        let fed =
-            partition_dataset(&ds.data, z, Partition::NonIid { l_prime }, &mut rng);
+        let fed = partition_dataset(&ds.data, z, Partition::NonIid { l_prime }, &mut rng);
         let pooled = fed.pooled();
         let n_total = pooled.labels.len();
         let conn = n_total <= 3000;
@@ -55,7 +61,13 @@ pub fn run() {
             "\n# Table III — {} (n = {}, L = {l}, N = {n_total}, Z = {z}, L^(z) = {l_prime})",
             spec.name, spec.ambient_dim
         );
-        print_header(&[("method", 16), ("ACC%", 8), ("NMI%", 8), ("CONN", 8), ("T(s)", 9)]);
+        print_header(&[
+            ("method", 16),
+            ("ACC%", 8),
+            ("NMI%", 8),
+            ("CONN", 8),
+            ("T(s)", 9),
+        ]);
 
         // Fed-SC with the paper's real-data settings: fixed r^(z) upper
         // bound (max L^(z)) and d_t = 1 bases.

@@ -6,9 +6,9 @@
 //! (statistical heterogeneity shrinks); Fed-SC stays on top throughout;
 //! k-FED + PCA is uniformly poor.
 
-use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig};
 use crate::harness::{cell, pick, print_header, scale, Scale};
 use crate::methods::{run_fed_sc_with, run_kfed};
+use fedsc::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig};
 use fedsc_data::realworld::{generate, SurrogateSpec};
 use fedsc_federated::partition::{partition_dataset, Partition};
 use rand::rngs::StdRng;
@@ -20,13 +20,20 @@ pub fn run() {
     let (specs, z) = match s {
         Scale::Quick => (
             vec![
-                SurrogateSpec::emnist_like(0.06).with_classes(12).with_class_size(90),
-                SurrogateSpec::coil100_like(0.1).with_classes(16).with_class_size(70),
+                SurrogateSpec::emnist_like(0.06)
+                    .with_classes(12)
+                    .with_class_size(90),
+                SurrogateSpec::coil100_like(0.1)
+                    .with_classes(16)
+                    .with_class_size(70),
             ],
             40usize,
         ),
         Scale::Full => (
-            vec![SurrogateSpec::emnist_like(0.5), SurrogateSpec::coil100_like(0.5)],
+            vec![
+                SurrogateSpec::emnist_like(0.5),
+                SurrogateSpec::coil100_like(0.5),
+            ],
             400usize,
         ),
     };
@@ -34,7 +41,10 @@ pub fn run() {
 
     for spec in specs {
         let l = spec.num_classes;
-        println!("\n# Table IV — {} (L = {l}, Z = {z}): ACC% vs L'", spec.name);
+        println!(
+            "\n# Table IV — {} (L = {l}, Z = {z}): ACC% vs L'",
+            spec.name
+        );
         let mut header: Vec<(&str, usize)> = vec![("method", 16)];
         let cols: Vec<String> = lprime_grid.iter().map(|lp| format!("L'={lp}")).collect();
         for c in &cols {
@@ -62,7 +72,10 @@ pub fn run() {
                     run_fed_sc_with(fed, c, false).acc
                 }),
             ),
-            ("k-FED", Box::new(move |fed, lp| run_kfed(fed, l, lp, None, 1).acc)),
+            (
+                "k-FED",
+                Box::new(move |fed, lp| run_kfed(fed, l, lp, None, 1).acc),
+            ),
             (
                 "k-FED + PCA-10",
                 Box::new(move |fed, lp| run_kfed(fed, l, lp, Some(10), 1).acc),
@@ -81,12 +94,7 @@ pub fn run() {
                 let ds = generate(&spec, &mut rng);
                 (
                     lp,
-                    partition_dataset(
-                        &ds.data,
-                        z,
-                        Partition::NonIid { l_prime: lp },
-                        &mut rng,
-                    ),
+                    partition_dataset(&ds.data, z, Partition::NonIid { l_prime: lp }, &mut rng),
                 )
             })
             .collect();

@@ -11,7 +11,11 @@ pub enum Scale {
 
 /// Reads `FEDSC_SCALE` (`quick` | `full`, case-insensitive; default quick).
 pub fn scale() -> Scale {
-    match std::env::var("FEDSC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("FEDSC_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "full" => Scale::Full,
         _ => Scale::Quick,
     }

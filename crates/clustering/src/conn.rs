@@ -40,11 +40,19 @@ pub fn connectivity(graph: &AffinityGraph, truth: &[usize]) -> Result<Connectivi
         per_cluster.push(algebraic_connectivity(&sub)?);
     }
     if per_cluster.is_empty() {
-        return Ok(Connectivity { min: 0.0, mean: 0.0, per_cluster });
+        return Ok(Connectivity {
+            min: 0.0,
+            mean: 0.0,
+            per_cluster,
+        });
     }
     let min = per_cluster.iter().copied().fold(f64::INFINITY, f64::min);
     let mean = per_cluster.iter().sum::<f64>() / per_cluster.len() as f64;
-    Ok(Connectivity { min, mean, per_cluster })
+    Ok(Connectivity {
+        min,
+        mean,
+        per_cluster,
+    })
 }
 
 #[cfg(test)]

@@ -79,7 +79,11 @@ pub fn min_cost_assignment(n: usize, cost: &[f64]) -> (Vec<usize>, f64) {
             assignment[p[j] - 1] = j - 1;
         }
     }
-    let total: f64 = assignment.iter().enumerate().map(|(r, &c)| cost[r * n + c]).sum();
+    let total: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r * n + c])
+        .sum();
     (assignment, total)
 }
 
@@ -162,7 +166,9 @@ mod tests {
         let mut cost = vec![0.0; n * n];
         let mut s = 12345u64;
         for v in &mut cost {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = (s >> 33) as f64 / 1e9;
         }
         let (a, c) = min_cost_assignment(n, &cost);

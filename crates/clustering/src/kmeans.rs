@@ -35,12 +35,19 @@ pub struct KMeansOptions {
 
 impl Default for KMeansOptions {
     fn default() -> Self {
-        Self { k: 2, max_iters: 100, tol: 1e-9, init: KMeansInit::PlusPlus, restarts: 3 }
+        Self {
+            k: 2,
+            max_iters: 100,
+            tol: 1e-9,
+            init: KMeansInit::PlusPlus,
+            restarts: 3,
+        }
     }
 }
 
 /// Result of a k-means run.
 #[derive(Debug, Clone)]
+#[must_use = "dropping a k-means result discards the clustering"]
 pub struct KMeansResult {
     /// Cluster label per point (column of the input).
     pub labels: Vec<usize>,
@@ -66,14 +73,14 @@ pub fn kmeans<R: Rng + ?Sized>(data: &Matrix, opts: &KMeansOptions, rng: &mut R)
         };
     }
     let restarts = opts.restarts.max(1);
-    let mut best: Option<KMeansResult> = None;
-    for _ in 0..restarts {
+    let mut best = kmeans_once(data, k.min(n), opts, rng);
+    for _ in 1..restarts {
         let run = kmeans_once(data, k.min(n), opts, rng);
-        if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
-            best = Some(run);
+        if run.inertia < best.inertia {
+            best = run;
         }
     }
-    best.expect("at least one restart ran")
+    best
 }
 
 fn kmeans_once<R: Rng + ?Sized>(
@@ -124,9 +131,9 @@ fn kmeans_once<R: Rng + ?Sized>(
                     .max_by(|&a, &b| {
                         let da = vector::dist2_sq(data.col(a), centroids.col(labels[a]));
                         let db = vector::dist2_sq(data.col(b), centroids.col(labels[b]));
-                        da.partial_cmp(&db).expect("finite distances")
+                        da.total_cmp(&db)
                     })
-                    .expect("n > 0");
+                    .unwrap_or(0);
                 sums.col_mut(c).copy_from_slice(data.col(far));
                 counts[c] = 1;
             }
@@ -139,7 +146,11 @@ fn kmeans_once<R: Rng + ?Sized>(
             break;
         }
     }
-    KMeansResult { labels, centroids, inertia }
+    KMeansResult {
+        labels,
+        centroids,
+        inertia,
+    }
 }
 
 fn init_plus_plus<R: Rng + ?Sized>(data: &Matrix, k: usize, rng: &mut R) -> Matrix {
@@ -147,8 +158,9 @@ fn init_plus_plus<R: Rng + ?Sized>(data: &Matrix, k: usize, rng: &mut R) -> Matr
     let mut centroids = Matrix::zeros(data.rows(), k);
     let first = rng.random_range(0..n);
     centroids.col_mut(0).copy_from_slice(data.col(first));
-    let mut d2: Vec<f64> =
-        (0..n).map(|j| vector::dist2_sq(data.col(j), centroids.col(0))).collect();
+    let mut d2: Vec<f64> = (0..n)
+        .map(|j| vector::dist2_sq(data.col(j), centroids.col(0)))
+        .collect();
     for c in 1..k {
         let total: f64 = d2.iter().sum();
         let pick = if total <= 0.0 {
@@ -178,15 +190,16 @@ fn init_farthest<R: Rng + ?Sized>(data: &Matrix, k: usize, rng: &mut R) -> Matri
     let mut centroids = Matrix::zeros(data.rows(), k);
     let first = rng.random_range(0..n);
     centroids.col_mut(0).copy_from_slice(data.col(first));
-    let mut d2: Vec<f64> =
-        (0..n).map(|j| vector::dist2_sq(data.col(j), centroids.col(0))).collect();
+    let mut d2: Vec<f64> = (0..n)
+        .map(|j| vector::dist2_sq(data.col(j), centroids.col(0)))
+        .collect();
     for c in 1..k {
         let far = d2
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, _)| j)
-            .expect("n > 0");
+            .unwrap_or(0);
         centroids.col_mut(c).copy_from_slice(data.col(far));
         for (j, d) in d2.iter_mut().enumerate() {
             *d = d.min(vector::dist2_sq(data.col(j), centroids.col(c)));
@@ -218,7 +231,14 @@ mod tests {
     fn separates_two_blobs() {
         let data = two_blobs();
         let mut rng = StdRng::seed_from_u64(1);
-        let res = kmeans(&data, &KMeansOptions { k: 2, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &data,
+            &KMeansOptions {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(res.labels[0], res.labels[1]);
         assert_eq!(res.labels[0], res.labels[2]);
         assert_eq!(res.labels[3], res.labels[4]);
@@ -231,8 +251,11 @@ mod tests {
     fn farthest_point_seeding_also_works() {
         let data = two_blobs();
         let mut rng = StdRng::seed_from_u64(2);
-        let opts =
-            KMeansOptions { k: 2, init: KMeansInit::FarthestPoint, ..Default::default() };
+        let opts = KMeansOptions {
+            k: 2,
+            init: KMeansInit::FarthestPoint,
+            ..Default::default()
+        };
         let res = kmeans(&data, &opts, &mut rng);
         assert_ne!(res.labels[0], res.labels[3]);
     }
@@ -241,7 +264,14 @@ mod tests {
     fn k_equals_one_returns_mean() {
         let data = Matrix::from_columns(&[&[0.0], &[2.0], &[4.0]]).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let res = kmeans(&data, &KMeansOptions { k: 1, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &data,
+            &KMeansOptions {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!((res.centroids[(0, 0)] - 2.0).abs() < 1e-9);
         assert!(res.labels.iter().all(|&l| l == 0));
     }
@@ -250,7 +280,14 @@ mod tests {
     fn more_clusters_than_points_is_defined() {
         let data = Matrix::from_columns(&[&[0.0], &[5.0]]).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let res = kmeans(&data, &KMeansOptions { k: 5, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &data,
+            &KMeansOptions {
+                k: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(res.labels.len(), 2);
         assert!(res.inertia < 1e-9);
     }
@@ -268,13 +305,29 @@ mod tests {
         let data = two_blobs();
         let few = {
             let mut rng = StdRng::seed_from_u64(6);
-            kmeans(&data, &KMeansOptions { k: 2, restarts: 1, ..Default::default() }, &mut rng)
-                .inertia
+            kmeans(
+                &data,
+                &KMeansOptions {
+                    k: 2,
+                    restarts: 1,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .inertia
         };
         let many = {
             let mut rng = StdRng::seed_from_u64(6);
-            kmeans(&data, &KMeansOptions { k: 2, restarts: 8, ..Default::default() }, &mut rng)
-                .inertia
+            kmeans(
+                &data,
+                &KMeansOptions {
+                    k: 2,
+                    restarts: 8,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .inertia
         };
         assert!(many <= few + 1e-12);
     }

@@ -21,6 +21,7 @@ use crate::hungarian::max_weight_assignment;
 /// # Panics
 ///
 /// Panics when the two labelings have different lengths.
+#[must_use]
 pub fn clustering_accuracy(truth: &[usize], pred: &[usize]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "labelings must have equal length");
     let n = truth.len();
@@ -60,7 +61,10 @@ pub fn normalized_mutual_information(truth: &[usize], pred: &[usize]) -> f64 {
         pp[p] += inv_n;
     }
     let h = |dist: &[f64]| -> f64 {
-        dist.iter().filter(|&&q| q > 0.0).map(|&q| -q * q.ln()).sum()
+        dist.iter()
+            .filter(|&&q| q > 0.0)
+            .map(|&q| -q * q.ln())
+            .sum()
     };
     let ht = h(&pt);
     let hp = h(&pp);
@@ -106,14 +110,20 @@ pub fn adjusted_rand_index(truth: &[usize], pred: &[usize]) -> f64 {
     let expected = sum_rows * sum_cols / total;
     let max_index = 0.5 * (sum_rows + sum_cols);
     if (max_index - expected).abs() < 1e-15 {
-        return if (sum_joint - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return if (sum_joint - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_joint - expected) / (max_index - expected)
 }
 
-/// Compacts arbitrary labels to `0..k` ids; returns `(ids, k)`.
+/// Compacts arbitrary labels to `0..k` ids; returns `(ids, k)`. Uses a
+/// BTreeMap so id assignment is deterministic in the label values, not in
+/// any hash order.
 fn compact(labels: &[usize]) -> (Vec<usize>, usize) {
-    let mut map = std::collections::HashMap::new();
+    let mut map = std::collections::BTreeMap::new();
     let mut ids = Vec::with_capacity(labels.len());
     for &l in labels {
         let next = map.len();
@@ -189,7 +199,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "equal length")]
     fn mismatched_lengths_panic() {
-        clustering_accuracy(&[0, 1], &[0]);
+        let _ = clustering_accuracy(&[0, 1], &[0]);
     }
 
     #[test]

@@ -23,7 +23,14 @@ pub struct SpectralOptions {
 impl SpectralOptions {
     /// Default options for `k` clusters.
     pub fn new(k: usize) -> Self {
-        Self { k, kmeans: KMeansOptions { k, restarts: 5, ..Default::default() } }
+        Self {
+            k,
+            kmeans: KMeansOptions {
+                k,
+                restarts: 5,
+                ..Default::default()
+            },
+        }
     }
 }
 
@@ -52,7 +59,10 @@ pub fn spectral_clustering<R: Rng + ?Sized>(
         }
         vector::normalize(emb.col_mut(node), 1e-12);
     }
-    let km_opts = KMeansOptions { k, ..opts.kmeans.clone() };
+    let km_opts = KMeansOptions {
+        k,
+        ..opts.kmeans.clone()
+    };
     Ok(kmeans(&emb, &km_opts, rng).labels)
 }
 
@@ -76,7 +86,11 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    m[(i, j)] = if block[i] == block[j] { within } else { between };
+                    m[(i, j)] = if block[i] == block[j] {
+                        within
+                    } else {
+                        between
+                    };
                 }
             }
         }

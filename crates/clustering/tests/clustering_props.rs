@@ -1,6 +1,10 @@
 //! Property-based tests for the clustering layer: k-means objective
 //! monotonicity, Hungarian optimality bounds, and metric consistency.
 
+// Test code: a panic is a test failure, so unwrap is the idiom here
+// (clippy's allow-unwrap-in-tests does not reach integration-test helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsc_clustering::hungarian::{max_weight_assignment, min_cost_assignment};
 use fedsc_clustering::kmeans::{kmeans, KMeansOptions};
 use fedsc_clustering::{adjusted_rand_index, clustering_accuracy};

@@ -66,7 +66,9 @@ impl ClusterAssigner {
     pub fn assign(&self, x: &[f64]) -> Result<(usize, f64)> {
         let norm_sq = vector::dot(x, x);
         if norm_sq <= 0.0 {
-            return Err(LinalgError::InvalidArgument("cannot assign the zero vector"));
+            return Err(LinalgError::InvalidArgument(
+                "cannot assign the zero vector",
+            ));
         }
         let mut best = (0usize, f64::NEG_INFINITY);
         for (l, basis) in self.bases.iter().enumerate() {
@@ -87,7 +89,9 @@ impl ClusterAssigner {
 
     /// Assigns every column of `points`.
     pub fn assign_all(&self, points: &Matrix) -> Result<Vec<usize>> {
-        (0..points.cols()).map(|j| self.assign(points.col(j)).map(|(l, _)| l)).collect()
+        (0..points.cols())
+            .map(|j| self.assign(points.col(j)).map(|(l, _)| l))
+            .collect()
     }
 }
 
@@ -107,7 +111,9 @@ mod tests {
         let model = SubspaceModel::random(&mut rng, 30, 3, 4);
         let ds = model.sample_dataset(&mut rng, &[60, 60, 60, 60], 0.0);
         let fed = partition_dataset(&ds, 20, Partition::NonIid { l_prime: 2 }, &mut rng);
-        let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+        let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc))
+            .run(&fed)
+            .unwrap();
         let truth = fed.global_truth();
         let assigner = ClusterAssigner::from_output(&out, 4, 3).unwrap();
         (assigner, model, out, truth)
@@ -165,7 +171,9 @@ mod tests {
     fn assign_all_matches_pointwise() {
         let (assigner, model, _, _) = run_and_build(4);
         let mut rng = StdRng::seed_from_u64(6);
-        let pts: Vec<Vec<f64>> = (0..6).map(|i| model.sample_point(&mut rng, i % 4)).collect();
+        let pts: Vec<Vec<f64>> = (0..6)
+            .map(|i| model.sample_point(&mut rng, i % 4))
+            .collect();
         let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
         let m = Matrix::from_columns(&refs).unwrap();
         let batch = assigner.assign_all(&m).unwrap();

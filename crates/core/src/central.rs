@@ -61,7 +61,9 @@ mod tests {
         l: usize,
         per: usize,
     ) -> (Matrix, Vec<usize>) {
-        let bases: Vec<_> = (0..l).map(|_| random_orthonormal_basis(rng, n, d)).collect();
+        let bases: Vec<_> = (0..l)
+            .map(|_| random_orthonormal_basis(rng, n, d))
+            .collect();
         let mut cols = Vec::new();
         let mut truth = Vec::new();
         for (s, basis) in bases.iter().enumerate() {
@@ -85,7 +87,7 @@ mod tests {
 
     #[test]
     fn tsc_backend_clusters_semi_random_samples() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StdRng::seed_from_u64(1);
         let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 3, 20);
         let out =
             central_cluster(&samples, 3, 60, CentralBackend::Tsc { q: None }, &mut rng).unwrap();
@@ -97,9 +99,14 @@ mod tests {
     fn fixed_q_override() {
         let mut rng = StdRng::seed_from_u64(3);
         let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 2, 15);
-        let out =
-            central_cluster(&samples, 2, 30, CentralBackend::Tsc { q: Some(5) }, &mut rng)
-                .unwrap();
+        let out = central_cluster(
+            &samples,
+            2,
+            30,
+            CentralBackend::Tsc { q: Some(5) },
+            &mut rng,
+        )
+        .unwrap();
         let acc = clustering_accuracy(&truth, &out.assignments);
         assert!(acc > 90.0, "accuracy {acc}");
     }

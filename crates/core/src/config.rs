@@ -109,8 +109,14 @@ impl FedScConfig {
         Self {
             num_clusters: l,
             central,
-            cluster_count: ClusterCountPolicy::Eigengap { max: Some(2 * l.max(1)), relative: true },
-            basis_dim: BasisDim::Auto { rel_tol: 1e-6, max_dim: 32 },
+            cluster_count: ClusterCountPolicy::Eigengap {
+                max: Some(2 * l.max(1)),
+                relative: true,
+            },
+            basis_dim: BasisDim::Auto {
+                rel_tol: 1e-6,
+                max_dim: 32,
+            },
             samples_per_cluster: 1,
             ssc_alpha: 50.0,
             lasso: LassoOptions::default(),

@@ -28,7 +28,7 @@
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
-//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut rng = StdRng::seed_from_u64(5);
 //! // 3 random 3-dimensional subspaces in R^20, 30 points each.
 //! let model = SubspaceModel::random(&mut rng, 20, 3, 3);
 //! let data = model.sample_dataset(&mut rng, &[30, 30, 30], 0.0);
@@ -49,7 +49,7 @@ pub mod local;
 pub mod scheme;
 pub mod wire;
 
-pub use config::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig, LocalBackend};
 pub use assign::ClusterAssigner;
+pub use config::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig, LocalBackend};
 pub use scheme::{FedSc, FedScOutput};
 pub use wire::{run_over_wire, WireRunOutput};

@@ -11,7 +11,9 @@
 
 use crate::config::{BasisDim, ClusterCountPolicy, FedScConfig, LocalBackend};
 use fedsc_clustering::spectral::{spectral_clustering, SpectralOptions};
-use fedsc_graph::laplacian::{eigengap_cluster_count, laplacian_spectrum, relative_eigengap_cluster_count};
+use fedsc_graph::laplacian::{
+    eigengap_cluster_count, laplacian_spectrum, relative_eigengap_cluster_count,
+};
 use fedsc_linalg::random::sample_on_subspace;
 use fedsc_linalg::svd::truncated_svd;
 use fedsc_linalg::{Matrix, Result};
@@ -56,7 +58,11 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
     // Steps 1-2: local affinity graph (SSC per the paper; TSC as ablation).
     let graph = match cfg.local {
         LocalBackend::Ssc => {
-            let ssc = Ssc { alpha: cfg.ssc_alpha, lasso: cfg.lasso.clone(), normalize: true };
+            let ssc = Ssc {
+                alpha: cfg.ssc_alpha,
+                lasso: cfg.lasso.clone(),
+                normalize: true,
+            };
             ssc.affinity(data)?
         }
         LocalBackend::Tsc { q } => Tsc::new(q).affinity(data)?,
@@ -140,7 +146,30 @@ fn estimate_basis(cluster: &Matrix, policy: BasisDim) -> Result<Matrix> {
             }
         }
     };
-    truncated_svd(cluster, d).map(|svd| svd.u)
+    let u = truncated_svd(cluster, d)?.u;
+    // Phase 1 invariant: everything downstream (uniform-on-subspace sampling,
+    // the theory diagnostics) assumes U_{d_t} has orthonormal columns.
+    debug_assert!(
+        orthonormality_defect(&u) < 1e-8,
+        "estimated basis is not orthonormal (defect {})",
+        orthonormality_defect(&u)
+    );
+    Ok(u)
+}
+
+/// `max_{i,j} |u_i . u_j - delta_ij|` — 0 for an exactly orthonormal basis.
+/// Debug-assert helper; not part of the scheme itself.
+fn orthonormality_defect(u: &fedsc_linalg::Matrix) -> f64 {
+    let k = u.cols();
+    let mut worst = 0.0f64;
+    for i in 0..k {
+        for j in i..k {
+            let d = fedsc_linalg::vector::dot(u.col(i), u.col(j));
+            let target = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((d - target).abs());
+        }
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -240,7 +269,11 @@ mod tests {
         let out = local_cluster_and_sample(&ds.data, &cfg(), &mut rng).unwrap();
         // One subspace of dimension 4: every non-empty cluster basis has
         // dimension 4 (noiseless data has exact rank).
-        assert!(out.basis_dims.iter().all(|&d| d == 0 || d == 4), "{:?}", out.basis_dims);
+        assert!(
+            out.basis_dims.iter().all(|&d| d == 0 || d == 4),
+            "{:?}",
+            out.basis_dims
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@ use crate::central::central_cluster;
 use crate::config::FedScConfig;
 use crate::local::{local_cluster_and_sample, LocalOutput};
 use fedsc_federated::channel::{account_downlink, transmit_uplink, CommStats};
-use fedsc_federated::privacy::{privatize_samples, PrivacyLedger};
 use fedsc_federated::parallel::{par_map_timed, PhaseTiming};
 use fedsc_federated::partition::FederatedDataset;
+use fedsc_federated::privacy::{privatize_samples, PrivacyLedger};
 use fedsc_graph::AffinityGraph;
 use fedsc_linalg::{Matrix, Result};
 use rand::rngs::StdRng;
@@ -201,14 +201,22 @@ impl FedSc {
                 votes[t][tau] += 1;
             }
             for (t, vote) in votes.iter().enumerate() {
-                if let Some((best, _)) =
-                    vote.iter().enumerate().max_by_key(|&(_, &c)| c).filter(|&(_, &c)| c > 0)
+                if let Some((best, _)) = vote
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .filter(|&(_, &c)| c > 0)
                 {
                     cluster_to_global[t] = best;
                 }
             }
             account_downlink(&mut comm, out.sample_cluster.len(), cfg.num_clusters);
-            per_device.push(out.local_labels.iter().map(|&t| cluster_to_global[t]).collect());
+            per_device.push(
+                out.local_labels
+                    .iter()
+                    .map(|&t| cluster_to_global[t])
+                    .collect(),
+            );
         }
         let predictions = fed.scatter_predictions(&per_device);
 

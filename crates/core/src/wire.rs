@@ -53,22 +53,24 @@ pub fn run_over_wire(fed: &FederatedDataset, cfg: &FedScConfig) -> Result<WireRu
 
     // Per-device results come back through a second channel so the scope
     // can end cleanly even if the server fails.
-    let (result_tx, result_rx) =
-        crossbeam::channel::unbounded::<(usize, Result<Vec<usize>>)>();
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, Result<Vec<usize>>)>();
 
     let mut server_result: Option<Result<(usize, usize)>> = None;
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         // Device threads: phase 1, send uplink, await downlink, phase 3.
-        for z in 0..z_count {
+        for (z, downlink_rx) in downlink_rxs.iter().enumerate() {
             let uplink_tx = uplink_tx.clone();
-            let downlink_rx = downlink_rxs[z].clone();
+            let downlink_rx = downlink_rx.clone();
             let result_tx = result_tx.clone();
             let device = &fed.devices[z];
             scope.spawn(move |_| {
                 let work = || -> Result<Vec<usize>> {
                     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
                     let out = local_cluster_and_sample(&device.data, cfg, &mut rng)?;
-                    let msg = UplinkMessage { dim: out.samples.rows(), samples: out.samples.clone() };
+                    let msg = UplinkMessage {
+                        dim: out.samples.rows(),
+                        samples: out.samples.clone(),
+                    };
                     uplink_tx
                         .send((z, msg.encode()))
                         .map_err(|_| LinalgError::InvalidArgument("server hung up"))?;
@@ -100,7 +102,11 @@ pub fn run_over_wire(fed: &FederatedDataset, cfg: &FedScConfig) -> Result<WireRu
                             cluster_to_global[t] = best;
                         }
                     }
-                    Ok(out.local_labels.iter().map(|&t| cluster_to_global[t]).collect())
+                    Ok(out
+                        .local_labels
+                        .iter()
+                        .map(|&t| cluster_to_global[t])
+                        .collect())
                 };
                 let _ = result_tx.send((z, work()));
             });
@@ -128,15 +134,22 @@ pub fn run_over_wire(fed: &FederatedDataset, cfg: &FedScConfig) -> Result<WireRu
             let mut mats = Vec::with_capacity(z_count);
             let mut counts = Vec::with_capacity(z_count);
             for p in payloads.into_iter() {
-                let m = p.expect("every device reported").samples;
+                let m = p
+                    .ok_or(LinalgError::InvalidArgument("a device never reported"))?
+                    .samples;
                 counts.push(m.cols());
                 mats.push(m);
             }
             let refs: Vec<&Matrix> = mats.iter().collect();
             let pooled = Matrix::hcat(&refs)?;
             let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
-            let central =
-                central_cluster(&pooled, cfg.num_clusters, z_count, cfg.central, &mut server_rng)?;
+            let central = central_cluster(
+                &pooled,
+                cfg.num_clusters,
+                z_count,
+                cfg.central,
+                &mut server_rng,
+            )?;
             let mut downlink_bytes = 0usize;
             let mut offset = 0usize;
             for (z, &r) in counts.iter().enumerate() {
@@ -154,16 +167,24 @@ pub fn run_over_wire(fed: &FederatedDataset, cfg: &FedScConfig) -> Result<WireRu
             Ok((uplink_bytes, downlink_bytes))
         };
         server_result = Some(server());
-    })
-    .expect("threads do not panic");
+    });
+    if let Err(payload) = scope_result {
+        // A device or server thread panicked: re-raise the original panic on
+        // the caller's thread.
+        std::panic::resume_unwind(payload);
+    }
 
-    let (uplink_bytes, downlink_bytes) = server_result.expect("server ran")?;
+    let (uplink_bytes, downlink_bytes) =
+        server_result.ok_or(LinalgError::InvalidArgument("server thread never ran"))??;
     let mut per_device: Vec<Option<Vec<usize>>> = (0..z_count).map(|_| None).collect();
     for (z, res) in result_rx.iter() {
         per_device[z] = Some(res?);
     }
-    let per_device: Vec<Vec<usize>> =
-        per_device.into_iter().map(|p| p.expect("every device reported")).collect();
+    let mut gathered: Vec<Vec<usize>> = Vec::with_capacity(z_count);
+    for p in per_device {
+        gathered.push(p.ok_or(LinalgError::InvalidArgument("a device sent no result"))?);
+    }
+    let per_device = gathered;
     Ok(WireRunOutput {
         predictions: fed.scatter_predictions(&per_device),
         uplink_bytes,
@@ -205,10 +226,7 @@ mod tests {
         let in_process = FedSc::new(cfg).run(&fed).unwrap();
         let samples = in_process.samples.cols();
         // Uplink: per device 16-byte header + 8 bytes per entry.
-        assert_eq!(
-            wire.uplink_bytes,
-            16 * fed.devices.len() + 8 * 20 * samples
-        );
+        assert_eq!(wire.uplink_bytes, 16 * fed.devices.len() + 8 * 20 * samples);
         // Downlink: per device 8-byte header + 4 bytes per sample.
         assert_eq!(wire.downlink_bytes, 8 * fed.devices.len() + 4 * samples);
     }
@@ -217,8 +235,7 @@ mod tests {
     fn wire_run_clusters_correctly() {
         let (fed, cfg) = fixture(3);
         let wire = run_over_wire(&fed, &cfg).unwrap();
-        let acc =
-            fedsc_clustering::clustering_accuracy(&fed.global_truth(), &wire.predictions);
+        let acc = fedsc_clustering::clustering_accuracy(&fed.global_truth(), &wire.predictions);
         assert!(acc > 90.0, "accuracy {acc}");
     }
 }

@@ -139,7 +139,10 @@ pub fn generate<R: Rng + ?Sized>(spec: &SurrogateSpec, rng: &mut R) -> Surrogate
     );
     // Common component shared by every class.
     let shared = if spec.shared_dims > 0 {
+        // INVARIANT: Gram-Schmidt over equal-length Gaussian columns cannot
+        // produce ragged output.
         orthonormal_basis(&gaussian_matrix(rng, n, spec.shared_dims), 1e-10)
+            .expect("gaussian columns share length")
     } else {
         Matrix::zeros(n, 0)
     };
@@ -166,9 +169,13 @@ pub fn generate<R: Rng + ?Sized>(spec: &SurrogateSpec, rng: &mut R) -> Surrogate
                 vector::axpy(c, shared.col(k), dst);
             }
         }
-        bases.push(orthonormal_basis(&mix, 1e-10));
+        // INVARIANT: `mix` is a dense n x (d + shared) matrix built above.
+        bases.push(orthonormal_basis(&mix, 1e-10).expect("mix columns share length"));
     }
-    let model = SubspaceModel { ambient_dim: n, bases };
+    let model = SubspaceModel {
+        ambient_dim: n,
+        bases,
+    };
 
     // Imbalanced class sizes: geometric interpolation between
     // base_class_size and base_class_size / imbalance.
@@ -202,7 +209,10 @@ pub fn generate<R: Rng + ?Sized>(spec: &SurrogateSpec, rng: &mut R) -> Surrogate
             for (a, &m) in alpha.iter_mut().zip(&mu) {
                 *a += m;
             }
-            let mut x = basis.matvec(&alpha).expect("coefficient length matches basis");
+            // INVARIANT: `alpha` is drawn with length `d = basis.cols()`.
+            let mut x = basis
+                .matvec(&alpha)
+                .expect("coefficient length matches basis");
             if spec.noise_std > 0.0 {
                 vector::normalize(&mut x, 1e-300);
                 for v in &mut x {
@@ -215,8 +225,16 @@ pub fn generate<R: Rng + ?Sized>(spec: &SurrogateSpec, rng: &mut R) -> Surrogate
             col += 1;
         }
     }
-    let data = LabeledData { data: points, labels };
-    SurrogateDataset { data, model, class_sizes, spec: spec.clone() }
+    let data = LabeledData {
+        data: points,
+        labels,
+    };
+    SurrogateDataset {
+        data,
+        model,
+        class_sizes,
+        spec: spec.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -249,11 +267,8 @@ mod tests {
         let ds = generate(&spec, &mut rng);
         // Every pair of class bases has positive affinity thanks to the
         // shared direction (scatter-like coherence).
-        let aff = fedsc_linalg::angles::subspace_affinity(
-            &ds.model.bases[0],
-            &ds.model.bases[1],
-        )
-        .unwrap();
+        let aff = fedsc_linalg::angles::subspace_affinity(&ds.model.bases[0], &ds.model.bases[1])
+            .unwrap();
         assert!(aff > 0.1, "affinity {aff}");
     }
 

@@ -86,7 +86,10 @@ mod tests {
     fn labels_are_grouped_and_complete() {
         let mut rng = StdRng::seed_from_u64(2);
         let ds = generate(&SyntheticConfig::paper(3, 5), &mut rng);
-        assert_eq!(ds.data.labels, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2]);
+        assert_eq!(
+            ds.data.labels,
+            vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2]
+        );
     }
 
     #[test]

@@ -15,10 +15,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fedsc_linalg::random::standard_normal;
 use fedsc_linalg::Matrix;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Channel configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ChannelConfig {
     /// Bits per scalar on the uplink (the paper's `q`; 64 = lossless f64).
     pub bits_per_scalar: u32,
@@ -35,12 +34,15 @@ pub struct ChannelConfig {
 
 impl Default for ChannelConfig {
     fn default() -> Self {
-        Self { bits_per_scalar: 64, noise_delta: 0.0 }
+        Self {
+            bits_per_scalar: 64,
+            noise_delta: 0.0,
+        }
     }
 }
 
 /// Running communication-cost meter.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Total uplink payload bits (quantized model, per Section IV-E).
     pub uplink_bits: u64,
@@ -200,7 +202,10 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        let msg = UplinkMessage { dim: 2, samples: sample_matrix() };
+        let msg = UplinkMessage {
+            dim: 2,
+            samples: sample_matrix(),
+        };
         let bytes = msg.encode();
         let back = UplinkMessage::decode(bytes).unwrap();
         assert_eq!(back, msg);
@@ -210,7 +215,10 @@ mod tests {
     fn decode_rejects_malformed() {
         assert!(UplinkMessage::decode(Bytes::from_static(&[1, 2, 3])).is_none());
         // Header says 2x2 but payload is short.
-        let msg = UplinkMessage { dim: 2, samples: sample_matrix() };
+        let msg = UplinkMessage {
+            dim: 2,
+            samples: sample_matrix(),
+        };
         let mut bytes = msg.encode().to_vec();
         bytes.pop();
         assert!(UplinkMessage::decode(Bytes::from(bytes)).is_none());
@@ -218,16 +226,23 @@ mod tests {
 
     #[test]
     fn downlink_encode_decode_round_trip() {
-        let msg = DownlinkMessage { assignments: vec![0, 3, 17, 2] };
+        let msg = DownlinkMessage {
+            assignments: vec![0, 3, 17, 2],
+        };
         assert_eq!(DownlinkMessage::decode(msg.encode()).unwrap(), msg);
-        let empty = DownlinkMessage { assignments: vec![] };
+        let empty = DownlinkMessage {
+            assignments: vec![],
+        };
         assert_eq!(DownlinkMessage::decode(empty.encode()).unwrap(), empty);
         assert!(DownlinkMessage::decode(Bytes::from_static(&[1, 2])).is_none());
     }
 
     #[test]
     fn uplink_cost_matches_formula() {
-        let cfg = ChannelConfig { bits_per_scalar: 32, noise_delta: 0.0 };
+        let cfg = ChannelConfig {
+            bits_per_scalar: 32,
+            noise_delta: 0.0,
+        };
         let mut stats = CommStats::default();
         let mut rng = StdRng::seed_from_u64(1);
         let samples = Matrix::zeros(20, 3); // n = 20, r = 3
@@ -258,7 +273,10 @@ mod tests {
 
     #[test]
     fn noise_perturbs_with_expected_scale() {
-        let cfg = ChannelConfig { bits_per_scalar: 64, noise_delta: 0.04 };
+        let cfg = ChannelConfig {
+            bits_per_scalar: 64,
+            noise_delta: 0.04,
+        };
         let mut stats = CommStats::default();
         let mut rng = StdRng::seed_from_u64(3);
         // n = 2000, r = 4 -> per-coordinate var = 0.04 / (2000 * 2) = 1e-5.
@@ -271,7 +289,10 @@ mod tests {
 
     #[test]
     fn quantization_error_bounded_by_step() {
-        let cfg = ChannelConfig { bits_per_scalar: 8, noise_delta: 0.0 };
+        let cfg = ChannelConfig {
+            bits_per_scalar: 8,
+            noise_delta: 0.0,
+        };
         let mut stats = CommStats::default();
         let mut rng = StdRng::seed_from_u64(4);
         let samples = sample_matrix();
@@ -284,8 +305,18 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = CommStats { uplink_bits: 10, downlink_bits: 5, uplink_messages: 1, downlink_messages: 1 };
-        let b = CommStats { uplink_bits: 7, downlink_bits: 3, uplink_messages: 2, downlink_messages: 2 };
+        let mut a = CommStats {
+            uplink_bits: 10,
+            downlink_bits: 5,
+            uplink_messages: 1,
+            downlink_messages: 1,
+        };
+        let b = CommStats {
+            uplink_bits: 7,
+            downlink_bits: 3,
+            uplink_messages: 2,
+            downlink_messages: 2,
+        };
         a.merge(&b);
         assert_eq!(a.total_bits(), 25);
         assert_eq!(a.uplink_messages, 3);

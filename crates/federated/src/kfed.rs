@@ -15,14 +15,14 @@
 //! reports for k-FED + PCA on high-dimensional data.
 
 use crate::channel::{account_downlink, ChannelConfig, CommStats};
-use crate::parallel::{par_map_timed, PhaseTiming};
+use crate::parallel::{par_map_timed, time_phase, PhaseTiming};
 use crate::partition::FederatedDataset;
 use fedsc_clustering::kmeans::{kmeans, KMeansInit, KMeansOptions};
 use fedsc_linalg::svd::truncated_svd;
 use fedsc_linalg::{Matrix, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// k-FED configuration.
 #[derive(Debug, Clone)]
@@ -89,10 +89,17 @@ pub fn kfed(fed: &FederatedDataset, cfg: &KFedConfig) -> Result<KFedOutput> {
             let k = cfg.local_clusters.clamp(1, dev.len().max(1));
             let km = kmeans(
                 &data,
-                &KMeansOptions { k, restarts: 3, ..Default::default() },
+                &KMeansOptions {
+                    k,
+                    restarts: 3,
+                    ..Default::default()
+                },
                 &mut rng,
             );
-            Ok(LocalOut { centroids: km.centroids, labels: km.labels })
+            Ok(LocalOut {
+                centroids: km.centroids,
+                labels: km.labels,
+            })
         });
 
     let local_timing = PhaseTiming::from_durations(locals.iter().map(|(_, d)| *d));
@@ -113,21 +120,21 @@ pub fn kfed(fed: &FederatedDataset, cfg: &KFedConfig) -> Result<KFedOutput> {
     }
 
     // Phase 2: server clusters the pooled centroids.
-    let t0 = Instant::now();
     let refs: Vec<&Matrix> = centroid_cols.iter().collect();
     let pooled = Matrix::hcat(&refs)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7e57_5e4e);
-    let server = kmeans(
-        &pooled,
-        &KMeansOptions {
-            k: cfg.num_clusters.clamp(1, pooled.cols().max(1)),
-            init: KMeansInit::FarthestPoint,
-            restarts: 3,
-            ..Default::default()
-        },
-        &mut rng,
-    );
-    let server_time = t0.elapsed();
+    let (server, server_time) = time_phase(|| {
+        kmeans(
+            &pooled,
+            &KMeansOptions {
+                k: cfg.num_clusters.clamp(1, pooled.cols().max(1)),
+                init: KMeansInit::FarthestPoint,
+                restarts: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    });
 
     // Phase 3: map each point through its local centroid's global label.
     let mut per_device: Vec<Vec<usize>> = Vec::with_capacity(z_count);
@@ -141,7 +148,12 @@ pub fn kfed(fed: &FederatedDataset, cfg: &KFedConfig) -> Result<KFedOutput> {
         per_device.push(labels);
     }
     let predictions = fed.scatter_predictions(&per_device);
-    Ok(KFedOutput { predictions, comm, local_timing, server_time })
+    Ok(KFedOutput {
+        predictions,
+        comm,
+        local_timing,
+        server_time,
+    })
 }
 
 /// Projects columns onto the device's own top-`p` principal components

@@ -37,7 +37,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots = Mutex::new(&mut out);
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -50,9 +50,26 @@ where
                 slots.lock()[i] = Some((r, dt));
             });
         }
-    })
-    .expect("worker threads do not panic");
-    out.into_iter().map(|s| s.expect("every index processed")).collect()
+    });
+    if let Err(payload) = scope_result {
+        // A worker panicked while running `f`: surface the original panic on
+        // the caller's thread instead of aborting with a secondary message.
+        std::panic::resume_unwind(payload);
+    }
+    // INVARIANT: the scope returned Ok, so every worker finished its loop and
+    // every index in 0..count was claimed exactly once and stored.
+    out.into_iter()
+        .map(|s| s.expect("every index processed"))
+        .collect()
+}
+
+/// Times one closure, returning its result and wall time. Together with
+/// [`par_map_timed`] this is the sanctioned way to observe the clock in
+/// library code (`cargo xtask check` forbids `Instant::now` elsewhere).
+pub fn time_phase<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
 }
 
 /// Default worker count: available parallelism, floor 1.
@@ -78,7 +95,10 @@ impl PhaseTiming {
             seq += d;
             par = par.max(d);
         }
-        Self { sequential: seq, parallel: par }
+        Self {
+            sequential: seq,
+            parallel: par,
+        }
     }
 }
 
@@ -121,5 +141,51 @@ mod tests {
     fn more_threads_than_items() {
         let r = par_map_timed(2, 64, |i| i);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn index_order_is_invariant_to_thread_count() {
+        // The caller contract: results come back in index order regardless
+        // of how the work queue interleaves across workers.
+        let expected: Vec<usize> = (0..33).map(|i| i * 7 + 1).collect();
+        for threads in [1, 2, 8] {
+            let r = par_map_timed(33, threads, |i| i * 7 + 1);
+            let vals: Vec<usize> = r.into_iter().map(|(v, _)| v).collect();
+            assert_eq!(vals, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_under_many_threads() {
+        for threads in [1, 2, 8] {
+            assert!(par_map_timed(0, threads, |i| i).is_empty());
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        // A panic inside `f` must resurface on the calling thread with its
+        // original payload, not abort the process or hang the scope.
+        let caught = std::panic::catch_unwind(|| {
+            par_map_timed(8, 4, |i| {
+                if i == 5 {
+                    panic!("worker 5 exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker 5 exploded");
+    }
+
+    #[test]
+    fn time_phase_returns_value_and_duration() {
+        let (v, dt) = time_phase(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(dt >= Duration::from_millis(5));
     }
 }

@@ -61,10 +61,18 @@ impl FederatedDataset {
     ///
     /// Panics when the prediction shape does not match the partition.
     pub fn scatter_predictions(&self, per_device: &[Vec<usize>]) -> Vec<usize> {
-        assert_eq!(per_device.len(), self.devices.len(), "one label vector per device");
+        assert_eq!(
+            per_device.len(),
+            self.devices.len(),
+            "one label vector per device"
+        );
         let mut pred = vec![0usize; self.total_points];
         for (z, labels) in per_device.iter().enumerate() {
-            assert_eq!(labels.len(), self.devices[z].len(), "device {z} label count");
+            assert_eq!(
+                labels.len(),
+                self.devices[z].len(),
+                "device {z} label count"
+            );
             for (i, &l) in labels.iter().enumerate() {
                 pred[self.global_index[z][i]] = l;
             }
@@ -81,7 +89,12 @@ impl FederatedDataset {
     /// Reassembles the pooled dataset in global-point order — what a
     /// centralized baseline sees when run on "the same data".
     pub fn pooled(&self) -> LabeledData {
-        let rows = self.devices.iter().map(|d| d.data.rows()).max().unwrap_or(0);
+        let rows = self
+            .devices
+            .iter()
+            .map(|d| d.data.rows())
+            .max()
+            .unwrap_or(0);
         let mut data = fedsc_linalg::Matrix::zeros(rows, self.total_points);
         let mut labels = vec![0usize; self.total_points];
         for (z, dev) in self.devices.iter().enumerate() {
@@ -155,9 +168,13 @@ pub fn partition_dataset<R: Rng + ?Sized>(
     for (i, &z) in assignment.iter().enumerate() {
         global_index[z].push(i);
     }
-    let devices: Vec<LabeledData> =
-        global_index.iter().map(|idx| data.select(idx)).collect();
-    FederatedDataset { devices, global_index, total_points: n, num_clusters }
+    let devices: Vec<LabeledData> = global_index.iter().map(|idx| data.select(idx)).collect();
+    FederatedDataset {
+        devices,
+        global_index,
+        total_points: n,
+        num_clusters,
+    }
 }
 
 /// Draws `l_prime` distinct clusters per device, then repairs coverage so
@@ -256,7 +273,11 @@ mod tests {
         let data = dataset(6, 20, &mut rng);
         let fed = partition_dataset(&data, 8, Partition::NonIid { l_prime: 2 }, &mut rng);
         for dev in &fed.devices {
-            assert!(dev.num_classes() <= 2, "device holds {} classes", dev.num_classes());
+            assert!(
+                dev.num_classes() <= 2,
+                "device holds {} classes",
+                dev.num_classes()
+            );
         }
     }
 
@@ -271,7 +292,10 @@ mod tests {
                 present[l] = true;
             }
         }
-        assert!(present.iter().all(|&p| p), "a cluster vanished: {present:?}");
+        assert!(
+            present.iter().all(|&p| p),
+            "a cluster vanished: {present:?}"
+        );
     }
 
     #[test]

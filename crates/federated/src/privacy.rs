@@ -36,7 +36,11 @@ pub struct DpConfig {
 impl DpConfig {
     /// A `(epsilon, delta)` mechanism with the unit-sample sensitivity 2.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        Self { epsilon, delta, sensitivity: 2.0 }
+        Self {
+            epsilon,
+            delta,
+            sensitivity: 2.0,
+        }
     }
 
     /// The Gaussian-mechanism noise standard deviation
@@ -47,7 +51,10 @@ impl DpConfig {
     /// Panics when `epsilon <= 0` or `delta` is outside `(0, 1)`.
     pub fn sigma(&self) -> f64 {
         assert!(self.epsilon > 0.0, "epsilon must be positive");
-        assert!(self.delta > 0.0 && self.delta < 1.0, "delta must be in (0, 1)");
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must be in (0, 1)"
+        );
         self.sensitivity * (2.0 * (1.25 / self.delta).ln()).sqrt() / self.epsilon
     }
 
@@ -154,7 +161,11 @@ mod tests {
         let out = privatize_samples(&cfg, &samples, &mut ledger, &mut rng);
         let var: f64 =
             out.as_slice().iter().map(|v| v * v).sum::<f64>() / out.as_slice().len() as f64;
-        assert!((var - sigma * sigma).abs() < 0.2 * sigma * sigma, "var {var} vs {}", sigma * sigma);
+        assert!(
+            (var - sigma * sigma).abs() < 0.2 * sigma * sigma,
+            "var {var} vs {}",
+            sigma * sigma
+        );
         assert_eq!(ledger.devices, 1);
     }
 }

@@ -1,6 +1,10 @@
 //! Property-based tests for the channel layer: codec round trips,
 //! quantization error bounds, and communication-cost accounting.
 
+// Test code: a panic is a test failure, so unwrap is the idiom here
+// (clippy's allow-unwrap-in-tests does not reach integration-test helpers).
+#![allow(clippy::unwrap_used)]
+
 use bytes::Bytes;
 use fedsc_federated::channel::{
     account_downlink, transmit_uplink, ChannelConfig, CommStats, DownlinkMessage, UplinkMessage,

@@ -56,7 +56,9 @@ impl AffinityGraph {
                 w[(i, j)] = v;
             }
         }
-        Self { w }
+        let g = Self { w };
+        g.debug_check();
+        g
     }
 
     /// Builds a symmetric k-NN affinity graph: node `i` keeps edges to the
@@ -78,7 +80,7 @@ impl AffinityGraph {
                 }
             }
             // Partial selection of the q largest similarities.
-            sims.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("similarities are finite"));
+            sims.sort_by(|a, b| b.0.total_cmp(&a.0));
             for &(s, j) in sims.iter().take(q) {
                 if s > 0.0 {
                     let cur = w[(i, j)];
@@ -89,7 +91,9 @@ impl AffinityGraph {
                 }
             }
         }
-        Self { w }
+        let g = Self { w };
+        g.debug_check();
+        g
     }
 
     /// Wraps an existing symmetric non-negative matrix. Symmetry and
@@ -106,13 +110,36 @@ impl AffinityGraph {
                 }
             }
         }
-        Self { w }
+        let g = Self { w };
+        g.debug_check();
+        g
+    }
+
+    /// Debug-build structural invariant: `W` is symmetric, non-negative,
+    /// with a zero diagonal. Every constructor runs this before handing the
+    /// graph to spectral clustering; compiles to nothing in release builds.
+    fn debug_check(&self) {
+        if cfg!(debug_assertions) {
+            let n = self.len();
+            for i in 0..n {
+                debug_assert!(self.w[(i, i)].abs() <= 0.0, "nonzero diagonal at {i}");
+                for j in i + 1..n {
+                    debug_assert!(self.w[(i, j)] >= 0.0, "negative weight at ({i},{j})");
+                    debug_assert!(
+                        (self.w[(i, j)] - self.w[(j, i)]).abs() <= 1e-12,
+                        "asymmetric weights at ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     /// Node degrees (row sums).
     pub fn degrees(&self) -> Vec<f64> {
         let n = self.len();
-        (0..n).map(|i| (0..n).map(|j| self.w[(i, j)]).sum()).collect()
+        (0..n)
+            .map(|i| (0..n).map(|j| self.w[(i, j)]).sum())
+            .collect()
     }
 
     /// The subgraph induced by `nodes` (in the given order).
@@ -156,7 +183,11 @@ impl AffinityGraph {
 
     /// Number of connected components (edges above `eps`).
     pub fn num_components(&self, eps: f64) -> usize {
-        self.connected_components(eps).iter().copied().max().map_or(0, |m| m + 1)
+        self.connected_components(eps)
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
     }
 }
 
@@ -166,12 +197,8 @@ mod tests {
 
     #[test]
     fn from_coefficients_symmetrizes_and_zeroes_diagonal() {
-        let c = Matrix::from_rows(&[
-            &[5.0, -1.0, 0.0],
-            &[2.0, 5.0, 0.0],
-            &[0.0, 0.0, 5.0],
-        ])
-        .unwrap();
+        let c =
+            Matrix::from_rows(&[&[5.0, -1.0, 0.0], &[2.0, 5.0, 0.0], &[0.0, 0.0, 5.0]]).unwrap();
         let g = AffinityGraph::from_coefficients(&c);
         assert_eq!(g.weight(0, 1), 3.0);
         assert_eq!(g.weight(1, 0), 3.0);
@@ -219,12 +246,7 @@ mod tests {
 
     #[test]
     fn subgraph_extracts_block() {
-        let m = Matrix::from_rows(&[
-            &[0.0, 1.0, 2.0],
-            &[1.0, 0.0, 3.0],
-            &[2.0, 3.0, 0.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 3.0], &[2.0, 3.0, 0.0]]).unwrap();
         let g = AffinityGraph::from_symmetric(&m);
         let sub = g.subgraph(&[0, 2]);
         assert_eq!(sub.len(), 2);

@@ -18,8 +18,10 @@ use fedsc_linalg::{Matrix, Result};
 pub fn normalized_laplacian(g: &AffinityGraph) -> Matrix {
     let n = g.len();
     let deg = g.degrees();
-    let inv_sqrt: Vec<f64> =
-        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let inv_sqrt: Vec<f64> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
     let mut l = Matrix::identity(n);
     for j in 0..n {
         for i in 0..n {
@@ -58,10 +60,7 @@ pub fn laplacian_spectrum(g: &AffinityGraph) -> Result<SymmetricEig> {
 /// `max_clusters` caps the search range (pass `None` to search the full
 /// spectrum); capping matters in practice because trailing-spectrum gaps are
 /// meaningless for cluster counting.
-pub fn eigengap_cluster_count(
-    eigenvalues: &[f64],
-    max_clusters: Option<usize>,
-) -> usize {
+pub fn eigengap_cluster_count(eigenvalues: &[f64], max_clusters: Option<usize>) -> usize {
     let n = eigenvalues.len();
     if n <= 1 {
         return n;
@@ -93,16 +92,18 @@ pub fn eigengap_cluster_count(
 /// on relative size alone. This is the robust variant Fed-SC uses by default
 /// (Remark 1 motivates robustness of the eigenspectrum analysis); the
 /// ablation bench compares both.
-pub fn relative_eigengap_cluster_count(
-    eigenvalues: &[f64],
-    max_clusters: Option<usize>,
-) -> usize {
+pub fn relative_eigengap_cluster_count(eigenvalues: &[f64], max_clusters: Option<usize>) -> usize {
     let n = eigenvalues.len();
     if n <= 1 {
         return n;
     }
     let hi = max_clusters.map_or(n - 1, |m| m.min(n - 1));
-    let sigma_max = eigenvalues.last().copied().unwrap_or(0.0).abs().max(f64::EPSILON);
+    let sigma_max = eigenvalues
+        .last()
+        .copied()
+        .unwrap_or(0.0)
+        .abs()
+        .max(f64::EPSILON);
     let eps = 1e-2 * sigma_max;
     let mut best_i = 1usize;
     let mut best_gap = f64::NEG_INFINITY;

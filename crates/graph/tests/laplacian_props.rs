@@ -23,11 +23,8 @@ fn graph(n: usize, edges: Vec<(usize, usize, f64)>) -> AffinityGraph {
 
 fn graph_strategy() -> impl Strategy<Value = AffinityGraph> {
     (3usize..10).prop_flat_map(|n| {
-        proptest::collection::vec(
-            ((0usize..n), (0usize..n), 0.1f64..5.0),
-            0..(n * 2),
-        )
-        .prop_map(move |edges| graph(n, edges))
+        proptest::collection::vec(((0usize..n), (0usize..n), 0.1f64..5.0), 0..(n * 2))
+            .prop_map(move |edges| graph(n, edges))
     })
 }
 

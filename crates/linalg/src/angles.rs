@@ -21,7 +21,10 @@ pub fn principal_angle_cosines(u_k: &Matrix, u_l: &Matrix) -> Result<Vec<f64>> {
 
 /// Principal angles in radians (ascending, since cosines are descending).
 pub fn principal_angles(u_k: &Matrix, u_l: &Matrix) -> Result<Vec<f64>> {
-    Ok(principal_angle_cosines(u_k, u_l)?.iter().map(|c| c.acos()).collect())
+    Ok(principal_angle_cosines(u_k, u_l)?
+        .iter()
+        .map(|c| c.acos())
+        .collect())
 }
 
 /// The paper's affinity between subspaces (Definition 5):

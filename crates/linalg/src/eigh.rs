@@ -15,6 +15,7 @@ use crate::matrix::Matrix;
 
 /// Eigendecomposition `A = V diag(w) V^T` of a symmetric matrix.
 #[derive(Debug, Clone)]
+#[must_use = "dropping an eigendecomposition discards the factorization work"]
 pub struct SymmetricEig {
     /// Eigenvalues in ascending order.
     pub eigenvalues: Vec<f64>,
@@ -34,10 +35,16 @@ const MAX_QL_ITERS: usize = 50;
 pub fn eigh(a: &Matrix) -> Result<SymmetricEig> {
     let (m, n) = a.shape();
     if m != n {
-        return Err(LinalgError::ShapeMismatch { expected: (m, m), got: (m, n) });
+        return Err(LinalgError::ShapeMismatch {
+            expected: (m, m),
+            got: (m, n),
+        });
     }
     if n == 0 {
-        return Ok(SymmetricEig { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) });
+        return Ok(SymmetricEig {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        });
     }
     let mut v = a.clone();
     let mut d = vec![0.0; n]; // diagonal of the tridiagonal form
@@ -45,7 +52,10 @@ pub fn eigh(a: &Matrix) -> Result<SymmetricEig> {
     tred2(&mut v, &mut d, &mut e);
     tql2(&mut v, &mut d, &mut e)?;
     sort_ascending(&mut d, &mut v);
-    Ok(SymmetricEig { eigenvalues: d, eigenvectors: v })
+    Ok(SymmetricEig {
+        eigenvalues: d,
+        eigenvectors: v,
+    })
 }
 
 /// Computes only the `k` smallest eigenpairs.
@@ -71,7 +81,7 @@ pub fn k_smallest(a: &Matrix, k: usize) -> Result<SymmetricEig> {
 fn sort_ascending(d: &mut [f64], v: &mut Matrix) {
     let n = d.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("eigenvalues are finite"));
+    order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
     let already_sorted = order.iter().enumerate().all(|(i, &o)| i == o);
     if already_sorted {
         return;
@@ -305,12 +315,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues_sorted() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]).unwrap();
         let eig = eigh(&a).unwrap();
         assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
         assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-12);
@@ -341,7 +346,11 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((g[(i, j)] - expect).abs() < 1e-10, "G[{i},{j}] = {}", g[(i, j)]);
+                assert!(
+                    (g[(i, j)] - expect).abs() < 1e-10,
+                    "G[{i},{j}] = {}",
+                    g[(i, j)]
+                );
             }
         }
         assert!(residual(&a, &eig) < 1e-9);
@@ -349,12 +358,8 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 5.0, -1.0],
-            &[3.0, -1.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 5.0, -1.0], &[3.0, -1.0, 0.0]]).unwrap();
         let eig = eigh(&a).unwrap();
         let trace = 1.0 + 5.0 + 0.0;
         let sum: f64 = eig.eigenvalues.iter().sum();
@@ -380,12 +385,7 @@ mod tests {
 
     #[test]
     fn k_smallest_truncates() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]).unwrap();
         let eig = k_smallest(&a, 2).unwrap();
         assert_eq!(eig.eigenvalues.len(), 2);
         assert_eq!(eig.eigenvectors.cols(), 2);

@@ -40,8 +40,14 @@ impl fmt::Display for LinalgError {
             LinalgError::RaggedRows => write!(f, "rows have different lengths"),
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
-            LinalgError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

@@ -33,10 +33,16 @@ use crate::vector;
 pub fn lanczos_smallest(a: &Matrix, k: usize, extra: usize) -> Result<SymmetricEig> {
     let (n, nc) = a.shape();
     if n != nc {
-        return Err(LinalgError::ShapeMismatch { expected: (n, n), got: (n, nc) });
+        return Err(LinalgError::ShapeMismatch {
+            expected: (n, n),
+            got: (n, nc),
+        });
     }
     if k == 0 || n == 0 {
-        return Ok(SymmetricEig { eigenvalues: vec![], eigenvectors: Matrix::zeros(n, 0) });
+        return Ok(SymmetricEig {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(n, 0),
+        });
     }
     let k = k.min(n);
 
@@ -53,7 +59,9 @@ pub fn lanczos_smallest(a: &Matrix, k: usize, extra: usize) -> Result<SymmetricE
         sigma = sigma.max(row_sum);
     }
     if !sigma.is_finite() {
-        return Err(LinalgError::InvalidArgument("matrix entries must be finite"));
+        return Err(LinalgError::InvalidArgument(
+            "matrix entries must be finite",
+        ));
     }
     sigma += 1.0;
     let resid_tol = 1e-6 * scale.max(1.0);
@@ -69,19 +77,18 @@ pub fn lanczos_smallest(a: &Matrix, k: usize, extra: usize) -> Result<SymmetricE
             break;
         }
         let m = (remaining + extra).min(room).max(1);
-        let (thetas, ritz) =
-            lanczos_run(a, sigma, m, &locked_vecs, restart)?;
+        let (thetas, ritz) = lanczos_run(a, sigma, m, &locked_vecs, restart)?;
         // Lock converged Ritz pairs (true residual check), best first. Each
         // restart must make progress, so if nothing converged we lock the
         // single most-converged pair anyway — this matches what a plain
         // Lanczos caller would have received.
         let mut any = false;
         let mut best: Option<(f64, f64, Vec<f64>)> = None; // (resid, val, vec)
-        // Only the top `remaining` Ritz pairs of B are candidates for the
-        // still-missing smallest eigenvalues of A. Lock the *converged
-        // prefix* only: locking a converged pair past an unconverged smaller
-        // one would let bulk eigenvalues steal slots from slow-converging
-        // copies of the degenerate cluster.
+                                                           // Only the top `remaining` Ritz pairs of B are candidates for the
+                                                           // still-missing smallest eigenvalues of A. Lock the *converged
+                                                           // prefix* only: locking a converged pair past an unconverged smaller
+                                                           // one would let bulk eigenvalues steal slots from slow-converging
+                                                           // copies of the degenerate cluster.
         for (theta, y) in thetas.into_iter().zip(ritz).take(remaining) {
             if locked_vals.len() >= k {
                 break;
@@ -116,14 +123,15 @@ pub fn lanczos_smallest(a: &Matrix, k: usize, extra: usize) -> Result<SymmetricE
 
     // Sort ascending and truncate to k.
     let mut order: Vec<usize> = (0..locked_vals.len()).collect();
-    order.sort_by(|&i, &j| {
-        locked_vals[i].partial_cmp(&locked_vals[j]).expect("finite eigenvalues")
-    });
+    order.sort_by(|&i, &j| locked_vals[i].total_cmp(&locked_vals[j]));
     order.truncate(k);
     let eigenvalues: Vec<f64> = order.iter().map(|&i| locked_vals[i]).collect();
     let cols: Vec<&[f64]> = order.iter().map(|&i| locked_vecs[i].as_slice()).collect();
     let eigenvectors = Matrix::from_columns(&cols)?;
-    Ok(SymmetricEig { eigenvalues, eigenvectors })
+    Ok(SymmetricEig {
+        eigenvalues,
+        eigenvectors,
+    })
 }
 
 /// Re-orthogonalizes a candidate eigenvector against the locked set and
@@ -164,8 +172,7 @@ fn lanczos_run(
     for j in 0..m {
         let qj = &q[j];
         let aq = a.matvec(qj)?;
-        let mut w: Vec<f64> =
-            qj.iter().zip(&aq).map(|(&x, &ax)| sigma * x - ax).collect();
+        let mut w: Vec<f64> = qj.iter().zip(&aq).map(|(&x, &ax)| sigma * x - ax).collect();
         let aj = vector::dot(&w, qj);
         alpha.push(aj);
         // Full reorthogonalization against the Krylov basis and the locked
@@ -230,7 +237,9 @@ fn lanczos_run(
 /// Deterministic pseudo-random start vector varying by `salt` (keeps the
 /// whole solver RNG-free and runs reproducible).
 fn start_vector(n: usize, salt: usize) -> Vec<f64> {
-    let mut state = (salt as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0x2545f491);
+    let mut state = (salt as u64)
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(0x2545f491);
     (0..n)
         .map(|_| {
             state ^= state << 13;
@@ -317,7 +326,11 @@ mod tests {
         }
         let lz = lanczos_smallest(&a, blocks + 1, 10).unwrap();
         for i in 0..blocks {
-            assert!(lz.eigenvalues[i].abs() < 1e-8, "eigenvalue {i} = {}", lz.eigenvalues[i]);
+            assert!(
+                lz.eigenvalues[i].abs() < 1e-8,
+                "eigenvalue {i} = {}",
+                lz.eigenvalues[i]
+            );
         }
         assert!((lz.eigenvalues[blocks] - bs as f64).abs() < 1e-7);
     }

@@ -31,8 +31,8 @@
 
 pub mod angles;
 pub mod eigh;
-pub mod lanczos;
 pub mod error;
+pub mod lanczos;
 pub mod matrix;
 pub mod qr;
 pub mod random;

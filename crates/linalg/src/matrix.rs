@@ -30,12 +30,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -88,7 +96,11 @@ impl Matrix {
         for col in cols {
             data.extend_from_slice(col);
         }
-        Ok(Self { rows: r, cols: c, data })
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -293,19 +305,43 @@ impl Matrix {
     /// Element-wise sum `self + rhs`.
     pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
-            return Err(LinalgError::ShapeMismatch { expected: self.shape(), got: rhs.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                expected: self.shape(),
+                got: rhs.shape(),
+            });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Element-wise difference `self - rhs`.
     pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
-            return Err(LinalgError::ShapeMismatch { expected: self.shape(), got: rhs.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                expected: self.shape(),
+                got: rhs.shape(),
+            });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Normalizes every column to unit Euclidean norm in place. Columns with

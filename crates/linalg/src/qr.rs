@@ -9,6 +9,7 @@ use crate::vector;
 
 /// Compact Householder QR of an `m x n` matrix (requires `m >= n` for the
 /// thin factors exposed here).
+#[must_use = "dropping a QR factorization discards the work"]
 pub struct Qr {
     /// Householder vectors stored below the diagonal; `R` on and above it.
     factors: Matrix,
@@ -104,7 +105,10 @@ impl Qr {
     pub fn apply_qt(&self, x: &mut [f64]) -> Result<()> {
         let (m, n) = self.factors.shape();
         if x.len() != m {
-            return Err(LinalgError::ShapeMismatch { expected: (m, 1), got: (x.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (m, 1),
+                got: (x.len(), 1),
+            });
         }
         for k in 0..n {
             if self.tau[k] == 0.0 {
@@ -128,7 +132,10 @@ impl Qr {
     pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
         let (m, n) = self.factors.shape();
         if b.len() != m {
-            return Err(LinalgError::ShapeMismatch { expected: (m, 1), got: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (m, 1),
+                got: (b.len(), 1),
+            });
         }
         let mut y = b.to_vec();
         self.apply_qt(&mut y)?;
@@ -156,7 +163,7 @@ impl Qr {
 /// This is the workhorse behind "estimate the basis of
 /// `span({x_i}_{i in T})`" when the cluster rank is *not* known a priori; the
 /// paper's truncated-SVD basis estimate lives in [`crate::svd`].
-pub fn orthonormal_basis(a: &Matrix, tol: f64) -> Matrix {
+pub fn orthonormal_basis(a: &Matrix, tol: f64) -> Result<Matrix> {
     let (m, n) = a.shape();
     let mut basis: Vec<Vec<f64>> = Vec::new();
     for j in 0..n {
@@ -171,6 +178,7 @@ pub fn orthonormal_basis(a: &Matrix, tol: f64) -> Matrix {
         let norm = vector::norm2(&v);
         if norm > tol {
             vector::scale(&mut v, 1.0 / norm);
+            vector::debug_assert_finite(&v, "orthonormal_basis column");
             basis.push(v);
         }
         if basis.len() == m {
@@ -178,7 +186,7 @@ pub fn orthonormal_basis(a: &Matrix, tol: f64) -> Matrix {
         }
     }
     let refs: Vec<&[f64]> = basis.iter().map(|b| b.as_slice()).collect();
-    Matrix::from_columns(&refs).expect("basis columns share length")
+    Matrix::from_columns(&refs)
 }
 
 #[cfg(test)]
@@ -191,12 +199,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
         let qr = Qr::new(a.clone()).unwrap();
         let q = qr.thin_q();
         let r = qr.r();
@@ -261,13 +264,8 @@ mod tests {
 
     #[test]
     fn orthonormal_basis_drops_dependent_columns() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
-        let b = orthonormal_basis(&a, 1e-10);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let b = orthonormal_basis(&a, 1e-10).unwrap();
         assert_eq!(b.cols(), 2);
         // Columns are orthonormal.
         let g = b.gram();
@@ -278,7 +276,7 @@ mod tests {
 
     #[test]
     fn orthonormal_basis_of_empty_matrix_is_empty() {
-        let b = orthonormal_basis(&Matrix::zeros(3, 0), 1e-10);
+        let b = orthonormal_basis(&Matrix::zeros(3, 0), 1e-10).unwrap();
         assert_eq!(b.cols(), 0);
     }
 }

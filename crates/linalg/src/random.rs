@@ -9,7 +9,7 @@
 use crate::matrix::Matrix;
 use crate::qr::Qr;
 use crate::vector;
-use rand::{Rng, RngExt as _};
+use rand::Rng;
 
 /// One standard-normal variate via Box–Muller.
 ///
@@ -61,8 +61,12 @@ pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
 /// `L` subspaces each of the same dimension `d` by drawing i.i.d. orthonormal
 /// basis matrices".
 pub fn random_orthonormal_basis<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Matrix {
-    assert!(d <= n, "subspace dimension {d} exceeds ambient dimension {n}");
+    assert!(
+        d <= n,
+        "subspace dimension {d} exceeds ambient dimension {n}"
+    );
     let g = gaussian_matrix(rng, n, d);
+    // INVARIANT: QR needs rows >= cols; `d <= n` is asserted above.
     let q = Qr::new(g).expect("n >= d checked above").thin_q();
     debug_assert_eq!(q.shape(), (n, d));
     q
@@ -75,6 +79,7 @@ pub fn sample_on_subspace<R: Rng + ?Sized>(rng: &mut R, u: &Matrix) -> Vec<f64> 
     let d = u.cols();
     loop {
         let alpha = gaussian_vector(rng, d);
+        // INVARIANT: `alpha` is drawn with length `u.cols()` two lines up.
         let mut theta = u.matvec(&alpha).expect("alpha length matches basis cols");
         if vector::normalize(&mut theta, 1e-300) > 0.0 {
             return theta;
@@ -155,7 +160,11 @@ mod tests {
             // Projection onto span(U) must reproduce theta: ||U U^T t - t|| ~ 0.
             let coeffs = u.tr_matvec(&theta).unwrap();
             let proj = u.matvec(&coeffs).unwrap();
-            let err: f64 = proj.iter().zip(&theta).map(|(p, t)| (p - t).abs()).fold(0.0, f64::max);
+            let err: f64 = proj
+                .iter()
+                .zip(&theta)
+                .map(|(p, t)| (p - t).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-10);
         }
     }

@@ -7,6 +7,7 @@ use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 
 /// LU factorization with partial pivoting, `P A = L U`.
+#[must_use = "dropping an LU factorization discards the work"]
 pub struct Lu {
     lu: Matrix,
     piv: Vec<usize>,
@@ -19,7 +20,10 @@ impl Lu {
     pub fn new(a: Matrix) -> Result<Self> {
         let (m, n) = a.shape();
         if m != n {
-            return Err(LinalgError::ShapeMismatch { expected: (m, m), got: (m, n) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (m, m),
+                got: (m, n),
+            });
         }
         let mut lu = a;
         let mut piv: Vec<usize> = (0..n).collect();
@@ -67,7 +71,10 @@ impl Lu {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
         }
         // Apply permutation.
         let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
@@ -103,6 +110,7 @@ impl Lu {
 
 /// Cholesky factorization `A = L L^T` of a symmetric positive-definite
 /// matrix. Only the lower triangle of the input is read.
+#[must_use = "dropping a Cholesky factorization discards the work"]
 pub struct Cholesky {
     l: Matrix,
 }
@@ -113,7 +121,10 @@ impl Cholesky {
     pub fn new(a: &Matrix) -> Result<Self> {
         let (m, n) = a.shape();
         if m != n {
-            return Err(LinalgError::ShapeMismatch { expected: (m, m), got: (m, n) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (m, m),
+                got: (m, n),
+            });
         }
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
@@ -141,7 +152,10 @@ impl Cholesky {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.l.rows();
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
         }
         let mut y = b.to_vec();
         for i in 0..n {
@@ -214,12 +228,7 @@ mod tests {
 
     #[test]
     fn cholesky_factor_reconstructs() {
-        let a = Matrix::from_rows(&[
-            &[6.0, 3.0, 1.0],
-            &[3.0, 4.0, 2.0],
-            &[1.0, 2.0, 5.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[6.0, 3.0, 1.0], &[3.0, 4.0, 2.0], &[1.0, 2.0, 5.0]]).unwrap();
         let l = Cholesky::new(&a).unwrap().l().clone();
         let llt = l.matmul(&l.transpose()).unwrap();
         assert!(llt.sub(&a).unwrap().max_abs() < 1e-12);

@@ -22,6 +22,7 @@ use crate::vector;
 
 /// Thin SVD `A = U diag(s) V^T` with singular values in **descending** order.
 #[derive(Debug, Clone)]
+#[must_use = "dropping an SVD discards the factorization work"]
 pub struct Svd {
     /// Left singular vectors (`rows x k`).
     pub u: Matrix,
@@ -53,7 +54,9 @@ impl Svd {
                 *x *= sv;
             }
         }
-        us.matmul(&self.v.transpose()).expect("shapes agree by construction")
+        // INVARIANT: `us` is rows x k and `v^T` is k x cols by construction.
+        us.matmul(&self.v.transpose())
+            .expect("shapes agree by construction")
     }
 }
 
@@ -66,7 +69,11 @@ impl Svd {
 pub fn svd_gram(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
-        return Ok(Svd { u: Matrix::zeros(m, 0), s: vec![], v: Matrix::zeros(n, 0) });
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(n, 0),
+        });
     }
     if m >= n {
         let g = a.gram(); // n x n
@@ -92,7 +99,11 @@ pub fn svd_gram(a: &Matrix) -> Result<Svd> {
     } else {
         let at = a.transpose();
         let sw = svd_gram(&at)?;
-        Ok(Svd { u: sw.v, s: sw.s, v: sw.u })
+        Ok(Svd {
+            u: sw.v,
+            s: sw.s,
+            v: sw.u,
+        })
     }
 }
 
@@ -102,10 +113,18 @@ pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     if m < n {
         let sw = svd_jacobi(&a.transpose())?;
-        return Ok(Svd { u: sw.v, s: sw.s, v: sw.u });
+        return Ok(Svd {
+            u: sw.v,
+            s: sw.s,
+            v: sw.u,
+        });
     }
     if n == 0 {
-        return Ok(Svd { u: Matrix::zeros(m, 0), s: vec![], v: Matrix::zeros(n, 0) });
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(n, 0),
+        });
     }
     let mut u = a.clone();
     let mut v = Matrix::identity(n);
@@ -154,12 +173,14 @@ pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
         }
     }
     if !converged {
-        return Err(LinalgError::NoConvergence { routine: "svd_jacobi", iterations: max_sweeps });
+        return Err(LinalgError::NoConvergence {
+            routine: "svd_jacobi",
+            iterations: max_sweeps,
+        });
     }
     // Column norms of the rotated U are the singular values.
-    let mut pairs: Vec<(f64, usize)> =
-        (0..n).map(|j| (vector::norm2(u.col(j)), j)).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite norms"));
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|j| (vector::norm2(u.col(j)), j)).collect();
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let order: Vec<usize> = pairs.iter().map(|&(_, j)| j).collect();
     let s: Vec<f64> = pairs.iter().map(|&(sv, _)| sv).collect();
     let mut u = u.select_columns(&order);
@@ -187,9 +208,12 @@ fn split_two_cols(m: &mut Matrix, p: usize, q: usize, rows: usize) -> (&mut [f64
 pub fn truncated_svd(a: &Matrix, k: usize) -> Result<Svd> {
     let kmax = a.rows().min(a.cols());
     if k > kmax {
-        return Err(LinalgError::InvalidArgument("truncation k exceeds min(rows, cols)"));
+        return Err(LinalgError::InvalidArgument(
+            "truncation k exceeds min(rows, cols)",
+        ));
     }
     let full = svd_gram(a)?;
+    crate::vector::debug_assert_finite(&full.s, "truncated_svd singular values");
     let cols: Vec<usize> = (0..k).collect();
     Ok(Svd {
         u: full.u.select_columns(&cols),
@@ -211,12 +235,7 @@ mod tests {
     use super::*;
 
     fn diag_test_matrix() -> Matrix {
-        Matrix::from_rows(&[
-            &[3.0, 0.0],
-            &[0.0, 4.0],
-            &[0.0, 0.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]).unwrap()
     }
 
     #[test]
@@ -307,12 +326,8 @@ mod tests {
     #[test]
     fn dominant_basis_spans_column_space() {
         // Columns live in span{e1, e2}.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[1.0, -1.0, 0.5],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1.0, -1.0, 0.5], &[0.0, 0.0, 0.0]]).unwrap();
         let b = dominant_basis(&a, 2).unwrap();
         assert_eq!(b.shape(), (3, 2));
         // Third coordinate of the basis must vanish.

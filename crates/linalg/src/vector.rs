@@ -3,6 +3,18 @@
 //! Slices rather than a wrapper type keep these kernels usable on matrix
 //! columns (which borrow as `&[f64]`) without copies.
 
+/// Debug-build check that every entry is finite — catches NaN/inf escaping
+/// a numerical kernel at the boundary where it is still attributable.
+/// Compiles to nothing in release builds.
+#[inline]
+pub fn debug_assert_finite(x: &[f64], context: &str) {
+    debug_assert!(
+        x.iter().all(|v| v.is_finite()),
+        "{context}: non-finite value in slice of length {}",
+        x.len()
+    );
+}
+
 /// Dot product. Panics in debug builds when lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {

@@ -1,10 +1,17 @@
 //! Property-based tests for the dense matrix algebra: the ring/transpose
 //! identities every downstream kernel silently relies on.
 
+// Test code: a panic is a test failure, so unwrap is the idiom here
+// (clippy's allow-unwrap-in-tests does not reach integration-test helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsc_linalg::{vector, Matrix};
 use proptest::prelude::*;
 
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-10.0f64..10.0, r * c)
             .prop_map(move |data| Matrix::from_col_major(r, c, data).unwrap())

@@ -37,7 +37,12 @@ pub struct AdmmOptions {
 
 impl Default for AdmmOptions {
     fn default() -> Self {
-        Self { rho: 1.0, max_iters: 500, tol: 1e-7, support_tol: 1e-8 }
+        Self {
+            rho: 1.0,
+            max_iters: 500,
+            tol: 1e-7,
+            support_tol: 1e-8,
+        }
     }
 }
 
@@ -59,7 +64,9 @@ impl AdmmLasso {
             });
         }
         if lambda <= 0.0 || opts.rho <= 0.0 {
-            return Err(LinalgError::InvalidArgument("lambda and rho must be positive"));
+            return Err(LinalgError::InvalidArgument(
+                "lambda and rho must be positive",
+            ));
         }
         let n = gram.rows();
         let mut a = gram.clone();
@@ -67,7 +74,12 @@ impl AdmmLasso {
         for i in 0..n {
             a[(i, i)] += opts.rho;
         }
-        Ok(Self { chol: Cholesky::new(&a)?, lambda, opts, n })
+        Ok(Self {
+            chol: Cholesky::new(&a)?,
+            lambda,
+            opts,
+            n,
+        })
     }
 
     /// Solves for one right-hand side `b = X^T x`, forcing `z[excluded] = 0`
@@ -134,8 +146,9 @@ mod tests {
         for &lambda in &[1.0, 10.0, 100.0] {
             let admm = AdmmLasso::new(&g, lambda, AdmmOptions::default()).unwrap();
             let za = admm.solve(&b, usize::MAX).unwrap().to_dense();
-            let cd =
-                LassoSolver::new(&g, LassoOptions::default()).solve(&b, lambda, usize::MAX);
+            let cd = LassoSolver::new(&g, LassoOptions::default())
+                .solve(&b, lambda, usize::MAX)
+                .unwrap();
             let zc = cd.to_dense();
             for (a, c) in za.iter().zip(&zc) {
                 assert!((a - c).abs() < 1e-4, "lambda {lambda}: {a} vs {c}");

@@ -51,7 +51,13 @@ impl CsrMatrix {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -73,7 +79,10 @@ impl CsrMatrix {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Entry lookup (binary search within the row).

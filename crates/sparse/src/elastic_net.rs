@@ -15,7 +15,7 @@
 //! below a dense sweep for large dictionaries.
 
 use crate::vec::SparseVec;
-use fedsc_linalg::{vector, Matrix};
+use fedsc_linalg::{vector, LinalgError, Matrix, Result};
 
 /// Options for the elastic-net solver.
 #[derive(Debug, Clone)]
@@ -60,23 +60,30 @@ impl<'a> ElasticNetSolver<'a> {
     /// Creates a solver over a Gram matrix (must be square; checked).
     pub fn new(gram: &'a Matrix, opts: ElasticNetOptions) -> Self {
         assert_eq!(gram.rows(), gram.cols(), "Gram matrix must be square");
-        assert!(opts.lambda > 0.0 && opts.lambda <= 1.0, "lambda must be in (0, 1]");
+        assert!(
+            opts.lambda > 0.0 && opts.lambda <= 1.0,
+            "lambda must be in (0, 1]"
+        );
         assert!(opts.gamma > 0.0, "gamma must be positive");
         Self { gram, opts }
     }
 
     /// Solves for one right-hand side `b = X^T x` with `c[excluded] = 0`
-    /// (pass `usize::MAX` for no exclusion).
-    pub fn solve(&self, b: &[f64], excluded: usize) -> SparseVec {
+    /// (pass `usize::MAX` for no exclusion). Errors on a correlation vector
+    /// of the wrong length.
+    pub fn solve(&self, b: &[f64], excluded: usize) -> Result<SparseVec> {
         let n = self.gram.cols();
-        assert_eq!(b.len(), n, "correlation vector length mismatch");
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
+        }
         let o = &self.opts;
 
         // Oracle set: atoms most correlated with the target.
         let mut order: Vec<usize> = (0..n).filter(|&j| j != excluded).collect();
-        order.sort_by(|&i, &j| {
-            b[j].abs().partial_cmp(&b[i].abs()).expect("finite correlations")
-        });
+        order.sort_by(|&i, &j| b[j].abs().total_cmp(&b[i].abs()));
         let mut active: Vec<usize> = order.iter().copied().take(o.oracle_size.max(1)).collect();
         active.sort_unstable();
 
@@ -115,9 +122,7 @@ impl<'a> ElasticNetSolver<'a> {
             // KKT screening outside the active set.
             let mut violators: Vec<usize> = (0..n)
                 .filter(|&j| {
-                    j != excluded
-                        && !active.contains(&j)
-                        && r[j].abs() > o.lambda * (1.0 + 1e-9)
+                    j != excluded && !active.contains(&j) && r[j].abs() > o.lambda * (1.0 + 1e-9)
                 })
                 .collect();
             if violators.is_empty() {
@@ -127,15 +132,16 @@ impl<'a> ElasticNetSolver<'a> {
             active.sort_unstable();
             active.dedup();
         }
-        SparseVec::from_dense(&c, o.support_tol)
+        Ok(SparseVec::from_dense(&c, o.support_tol))
     }
 
     /// Maximum absolute KKT violation of a candidate solution (0 at the
-    /// optimum); exposed for tests.
-    pub fn kkt_violation(&self, b: &[f64], excluded: usize, c: &SparseVec) -> f64 {
+    /// optimum); exposed for tests. Errors when the candidate's dimension
+    /// does not match the Gram matrix.
+    pub fn kkt_violation(&self, b: &[f64], excluded: usize, c: &SparseVec) -> Result<f64> {
         let o = &self.opts;
         let dense = c.to_dense();
-        let gc = self.gram.matvec(&dense).expect("gram is square");
+        let gc = self.gram.matvec(&dense)?;
         let mut worst = 0.0f64;
         for j in 0..self.gram.cols() {
             if j == excluded {
@@ -149,7 +155,7 @@ impl<'a> ElasticNetSolver<'a> {
             };
             worst = worst.max(v);
         }
-        worst
+        Ok(worst)
     }
 }
 
@@ -172,10 +178,13 @@ mod tests {
         let g = x.gram();
         let b = x.tr_matvec(&[0.7, -0.4, 0.9]).unwrap();
         for &lambda in &[0.5, 0.9, 1.0] {
-            let opts = ElasticNetOptions { lambda, ..Default::default() };
+            let opts = ElasticNetOptions {
+                lambda,
+                ..Default::default()
+            };
             let solver = ElasticNetSolver::new(&g, opts);
-            let c = solver.solve(&b, usize::MAX);
-            let viol = solver.kkt_violation(&b, usize::MAX, &c);
+            let c = solver.solve(&b, usize::MAX).unwrap();
+            let viol = solver.kkt_violation(&b, usize::MAX, &c).unwrap();
             assert!(viol < 1e-5, "lambda {lambda}: violation {viol}");
         }
     }
@@ -189,10 +198,18 @@ mod tests {
         let x = dictionary();
         let g = x.gram();
         let b = x.tr_matvec(&[0.5, 0.2, -0.8]).unwrap();
-        let en_opts = ElasticNetOptions { lambda: 1.0, gamma: 30.0, ..Default::default() };
-        let en = ElasticNetSolver::new(&g, en_opts).solve(&b, usize::MAX).to_dense();
+        let en_opts = ElasticNetOptions {
+            lambda: 1.0,
+            gamma: 30.0,
+            ..Default::default()
+        };
+        let en = ElasticNetSolver::new(&g, en_opts)
+            .solve(&b, usize::MAX)
+            .unwrap()
+            .to_dense();
         let la = LassoSolver::new(&g, LassoOptions::default())
             .solve(&b, 30.0, usize::MAX)
+            .unwrap()
             .to_dense();
         for (a, l) in en.iter().zip(&la) {
             assert!((a - l).abs() < 1e-5, "{a} vs {l}");
@@ -206,10 +223,13 @@ mod tests {
         let x = dictionary();
         let g = x.gram();
         let b = x.tr_matvec(&[0.7, -0.4, 0.9]).unwrap();
-        let opts = ElasticNetOptions { oracle_size: 1, ..Default::default() };
+        let opts = ElasticNetOptions {
+            oracle_size: 1,
+            ..Default::default()
+        };
         let solver = ElasticNetSolver::new(&g, opts);
-        let c = solver.solve(&b, usize::MAX);
-        assert!(solver.kkt_violation(&b, usize::MAX, &c) < 1e-5);
+        let c = solver.solve(&b, usize::MAX).unwrap();
+        assert!(solver.kkt_violation(&b, usize::MAX, &c).unwrap() < 1e-5);
     }
 
     #[test]
@@ -218,23 +238,29 @@ mod tests {
         let g = x.gram();
         let b = x.tr_matvec(&[1.0, 0.1, -0.2]).unwrap();
         let solver = ElasticNetSolver::new(&g, ElasticNetOptions::default());
-        assert_eq!(solver.solve(&b, 0).to_dense()[0], 0.0);
+        assert_eq!(solver.solve(&b, 0).unwrap().to_dense()[0], 0.0);
     }
 
     #[test]
     fn ridge_spreads_weight_over_correlated_atoms() {
         // Two identical atoms: pure Lasso picks one arbitrarily, elastic net
         // must split the weight (the connectivity argument for EnSC).
-        let x = Matrix::from_rows(&[
-            &[1.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let g = x.gram();
         let b = x.tr_matvec(&[1.0, 0.0]).unwrap();
-        let opts = ElasticNetOptions { lambda: 0.5, gamma: 10.0, ..Default::default() };
-        let c = ElasticNetSolver::new(&g, opts).solve(&b, usize::MAX).to_dense();
+        let opts = ElasticNetOptions {
+            lambda: 0.5,
+            gamma: 10.0,
+            ..Default::default()
+        };
+        let c = ElasticNetSolver::new(&g, opts)
+            .solve(&b, usize::MAX)
+            .unwrap()
+            .to_dense();
         assert!(c[0] > 1e-3 && c[1] > 1e-3, "weight must split: {c:?}");
-        assert!((c[0] - c[1]).abs() < 1e-4, "equal atoms get equal weight: {c:?}");
+        assert!(
+            (c[0] - c[1]).abs() < 1e-4,
+            "equal atoms get equal weight: {c:?}"
+        );
     }
 }

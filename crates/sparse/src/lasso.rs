@@ -18,7 +18,7 @@
 //! `O(N^3)` per point.
 
 use crate::vec::SparseVec;
-use fedsc_linalg::{vector, Matrix};
+use fedsc_linalg::{vector, LinalgError, Matrix, Result};
 
 /// Options for the coordinate-descent Lasso.
 ///
@@ -45,7 +45,13 @@ pub struct LassoOptions {
 
 impl Default for LassoOptions {
     fn default() -> Self {
-        Self { max_iters: 2000, tol: 1e-6, support_tol: 1e-8, working_set: 48, max_rounds: 20 }
+        Self {
+            max_iters: 2000,
+            tol: 1e-6,
+            support_tol: 1e-8,
+            working_set: 48,
+            max_rounds: 20,
+        }
     }
 }
 
@@ -69,11 +75,21 @@ impl<'a> LassoSolver<'a> {
     /// forcing `c[excluded] = 0` when `excluded` is in range (pass
     /// `usize::MAX` for no exclusion).
     ///
-    /// Returns the solution as a sparse vector.
-    pub fn solve(&self, b: &[f64], lambda: f64, excluded: usize) -> SparseVec {
+    /// Returns the solution as a sparse vector. Errors on a correlation
+    /// vector of the wrong length or a non-positive `lambda`.
+    pub fn solve(&self, b: &[f64], lambda: f64, excluded: usize) -> Result<SparseVec> {
         let n = self.gram.cols();
-        assert_eq!(b.len(), n, "correlation vector length mismatch");
-        assert!(lambda > 0.0, "lambda must be positive");
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
+        }
+        if lambda <= 0.0 {
+            return Err(LinalgError::InvalidArgument(
+                "lasso lambda must be positive",
+            ));
+        }
         let thresh = 1.0 / lambda;
 
         let mut c = vec![0.0; n];
@@ -89,9 +105,12 @@ impl<'a> LassoSolver<'a> {
         // coordinate above the threshold goes transiently nonzero at O(n)
         // apiece.
         let mut order: Vec<usize> = (0..n).filter(|&j| j != excluded).collect();
-        order.sort_by(|&i, &j| b[j].abs().partial_cmp(&b[i].abs()).expect("finite b"));
-        let mut active: Vec<usize> =
-            order.iter().copied().take(self.opts.working_set.max(1)).collect();
+        order.sort_by(|&i, &j| b[j].abs().total_cmp(&b[i].abs()));
+        let mut active: Vec<usize> = order
+            .iter()
+            .copied()
+            .take(self.opts.working_set.max(1))
+            .collect();
         let mut in_active = vec![false; n];
         for &j in &active {
             in_active[j] = true;
@@ -126,9 +145,7 @@ impl<'a> LassoSolver<'a> {
             }
             // KKT screening outside the working set.
             let mut violators: Vec<usize> = (0..n)
-                .filter(|&j| {
-                    j != excluded && !in_active[j] && r[j].abs() > thresh * (1.0 + 1e-9)
-                })
+                .filter(|&j| j != excluded && !in_active[j] && r[j].abs() > thresh * (1.0 + 1e-9))
                 .collect();
             if violators.is_empty() {
                 break;
@@ -138,17 +155,24 @@ impl<'a> LassoSolver<'a> {
             }
             active.append(&mut violators);
         }
-        SparseVec::from_dense(&c, self.opts.support_tol)
+        Ok(SparseVec::from_dense(&c, self.opts.support_tol))
     }
 
     /// Maximum absolute KKT violation of a candidate solution — `0` at the
     /// optimum. Exposed for tests and for solver cross-validation:
     /// stationarity demands `lambda * (G c - b)_j + sign(c_j) = 0` on the
-    /// support and `|lambda * (G c - b)_j| <= 1` off it.
-    pub fn kkt_violation(&self, b: &[f64], lambda: f64, excluded: usize, c: &SparseVec) -> f64 {
+    /// support and `|lambda * (G c - b)_j| <= 1` off it. Errors when the
+    /// candidate's dimension does not match the Gram matrix.
+    pub fn kkt_violation(
+        &self,
+        b: &[f64],
+        lambda: f64,
+        excluded: usize,
+        c: &SparseVec,
+    ) -> Result<f64> {
         let n = self.gram.cols();
         let dense = c.to_dense();
-        let gc = self.gram.matvec(&dense).expect("gram is n x n");
+        let gc = self.gram.matvec(&dense)?;
         let mut worst = 0.0f64;
         for j in 0..n {
             if j == excluded {
@@ -162,7 +186,7 @@ impl<'a> LassoSolver<'a> {
             };
             worst = worst.max(v);
         }
-        worst
+        Ok(worst)
     }
 }
 
@@ -195,12 +219,7 @@ mod tests {
 
     /// Dictionary: identity-ish columns in R^3.
     fn simple_dictionary() -> Matrix {
-        Matrix::from_rows(&[
-            &[1.0, 0.0, 0.6],
-            &[0.0, 1.0, 0.8],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[1.0, 0.0, 0.6], &[0.0, 1.0, 0.8], &[0.0, 0.0, 0.0]]).unwrap()
     }
 
     #[test]
@@ -210,7 +229,7 @@ mod tests {
         let g = x.gram();
         let solver = LassoSolver::new(&g, LassoOptions::default());
         let b = x.tr_matvec(&[1.0, 1.0, 0.0]).unwrap();
-        let c = solver.solve(&b, 1e-9, usize::MAX);
+        let c = solver.solve(&b, 1e-9, usize::MAX).unwrap();
         assert_eq!(c.nnz(), 0);
     }
 
@@ -222,11 +241,14 @@ mod tests {
         let solver = LassoSolver::new(&g, LassoOptions::default());
         let target = [1.0, 0.0, 0.0];
         let b = x.tr_matvec(&target).unwrap();
-        let c = solver.solve(&b, 1e6, usize::MAX);
+        let c = solver.solve(&b, 1e6, usize::MAX).unwrap();
         let dense = c.to_dense();
         let fit = x.matvec(&dense).unwrap();
-        let err: f64 =
-            fit.iter().zip(&target).map(|(f, t)| (f - t).abs()).fold(0.0, f64::max);
+        let err: f64 = fit
+            .iter()
+            .zip(&target)
+            .map(|(f, t)| (f - t).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-3, "fit error {err}");
     }
 
@@ -243,11 +265,14 @@ mod tests {
         let target = [0.7, -0.4, 0.9];
         let b = x.tr_matvec(&target).unwrap();
         for &lambda in &[0.5, 2.0, 10.0, 100.0] {
-            let c = solver.solve(&b, lambda, usize::MAX);
-            let viol = solver.kkt_violation(&b, lambda, usize::MAX, &c);
+            let c = solver.solve(&b, lambda, usize::MAX).unwrap();
+            let viol = solver.kkt_violation(&b, lambda, usize::MAX, &c).unwrap();
             // The coordinate tolerance translates to a KKT residual of
             // roughly lambda * tol, so scale the acceptance accordingly.
-            assert!(viol < 1e-6 * lambda.max(10.0) * 2.0, "lambda {lambda}: KKT violation {viol}");
+            assert!(
+                viol < 1e-6 * lambda.max(10.0) * 2.0,
+                "lambda {lambda}: KKT violation {viol}"
+            );
         }
     }
 
@@ -259,7 +284,7 @@ mod tests {
         // Target equal to column 0; with column 0 excluded the solver must
         // lean on the others.
         let b = x.tr_matvec(&[0.6, 0.8, 0.0]).unwrap();
-        let c = solver.solve(&b, 1e4, 2);
+        let c = solver.solve(&b, 1e4, 2).unwrap();
         assert!(c.to_dense()[2] == 0.0);
         assert!(c.nnz() > 0);
     }
@@ -268,20 +293,19 @@ mod tests {
     fn self_expression_prefers_same_direction() {
         // Two nearly parallel columns and one orthogonal: the code for a
         // point near the pair should be supported on the pair.
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.99, 0.0],
-            &[0.0, 0.14, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let x =
+            Matrix::from_rows(&[&[1.0, 0.99, 0.0], &[0.0, 0.14, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let g = x.gram();
         let solver = LassoSolver::new(&g, LassoOptions::default());
         let target = [1.0, 0.05, 0.0];
         let b = x.tr_matvec(&target).unwrap();
         let lambda = ssc_lambda(&b, usize::MAX, 50.0);
-        let c = solver.solve(&b, lambda, usize::MAX);
+        let c = solver.solve(&b, lambda, usize::MAX).unwrap();
         let dense = c.to_dense();
-        assert!(dense[2].abs() < 1e-9, "orthogonal atom must stay out: {dense:?}");
+        assert!(
+            dense[2].abs() < 1e-9,
+            "orthogonal atom must stay out: {dense:?}"
+        );
         assert!(dense[0].abs() + dense[1].abs() > 0.1);
     }
 
@@ -309,8 +333,8 @@ mod tests {
         let g = x.gram();
         let b = x.tr_matvec(&[0.5, 0.5, 0.5]).unwrap();
         let solver = LassoSolver::new(&g, LassoOptions::default());
-        let fast = solver.solve(&b, 20.0, usize::MAX);
-        let viol = solver.kkt_violation(&b, 20.0, usize::MAX, &fast);
+        let fast = solver.solve(&b, 20.0, usize::MAX).unwrap();
+        let viol = solver.kkt_violation(&b, 20.0, usize::MAX, &fast).unwrap();
         assert!(viol < 1e-5, "KKT violation {viol}");
     }
 }

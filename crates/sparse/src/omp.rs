@@ -8,7 +8,7 @@
 
 use crate::vec::SparseVec;
 use fedsc_linalg::qr::Qr;
-use fedsc_linalg::{vector, Matrix};
+use fedsc_linalg::{vector, LinalgError, Matrix, Result};
 
 /// Options for OMP.
 #[derive(Debug, Clone)]
@@ -21,15 +21,24 @@ pub struct OmpOptions {
 
 impl Default for OmpOptions {
     fn default() -> Self {
-        Self { k_max: 10, tol: 1e-6 }
+        Self {
+            k_max: 10,
+            tol: 1e-6,
+        }
     }
 }
 
 /// Runs OMP for target `x` over the columns of `dict`, never selecting
-/// `excluded` (pass `usize::MAX` for no exclusion).
-pub fn omp(dict: &Matrix, x: &[f64], excluded: usize, opts: &OmpOptions) -> SparseVec {
+/// `excluded` (pass `usize::MAX` for no exclusion). Errors when the target
+/// length does not match the dictionary's row count.
+pub fn omp(dict: &Matrix, x: &[f64], excluded: usize, opts: &OmpOptions) -> Result<SparseVec> {
     let n = dict.cols();
-    assert_eq!(x.len(), dict.rows(), "target length mismatch");
+    if x.len() != dict.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (dict.rows(), 1),
+            got: (x.len(), 1),
+        });
+    }
     let mut residual = x.to_vec();
     let mut support: Vec<usize> = Vec::with_capacity(opts.k_max);
     let mut coeffs: Vec<f64> = Vec::new();
@@ -60,7 +69,7 @@ pub fn omp(dict: &Matrix, x: &[f64], excluded: usize, opts: &OmpOptions) -> Spar
         match Qr::new(sub.clone()).and_then(|qr| qr.solve_least_squares(x)) {
             Ok(c) => {
                 coeffs = c;
-                let fit = sub.matvec(&coeffs).expect("support shape");
+                let fit = sub.matvec(&coeffs)?;
                 for (r, (&xi, &fi)) in residual.iter_mut().zip(x.iter().zip(&fit)) {
                     *r = xi - fi;
                 }
@@ -74,11 +83,14 @@ pub fn omp(dict: &Matrix, x: &[f64], excluded: usize, opts: &OmpOptions) -> Spar
         }
     }
 
-    let mut pairs: Vec<(usize, f64)> =
-        support.into_iter().zip(coeffs).filter(|&(_, v)| v != 0.0).collect();
+    let mut pairs: Vec<(usize, f64)> = support
+        .into_iter()
+        .zip(coeffs)
+        .filter(|&(_, v)| v != 0.0)
+        .collect();
     pairs.sort_by_key(|&(j, _)| j);
     let (idx, val): (Vec<usize>, Vec<f64>) = pairs.into_iter().unzip();
-    SparseVec::from_parts(n, idx, val)
+    Ok(SparseVec::from_parts(n, idx, val))
 }
 
 #[cfg(test)]
@@ -87,12 +99,8 @@ mod tests {
 
     #[test]
     fn recovers_single_atom() {
-        let dict = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.5],
-            &[0.0, 1.0, 0.5],
-        ])
-        .unwrap();
-        let c = omp(&dict, &[0.0, 2.0], usize::MAX, &OmpOptions::default());
+        let dict = Matrix::from_rows(&[&[1.0, 0.0, 0.5], &[0.0, 1.0, 0.5]]).unwrap();
+        let c = omp(&dict, &[0.0, 2.0], usize::MAX, &OmpOptions::default()).unwrap();
         let d = c.to_dense();
         assert!((d[1] - 2.0).abs() < 1e-10);
         assert!(d[0].abs() < 1e-10 && d[2].abs() < 1e-10);
@@ -100,14 +108,19 @@ mod tests {
 
     #[test]
     fn recovers_two_atom_combination() {
-        let dict = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let dict =
+            Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let x = [2.0, -3.0, 0.0];
-        let c = omp(&dict, &x, usize::MAX, &OmpOptions { k_max: 2, tol: 1e-9 });
+        let c = omp(
+            &dict,
+            &x,
+            usize::MAX,
+            &OmpOptions {
+                k_max: 2,
+                tol: 1e-9,
+            },
+        )
+        .unwrap();
         let d = c.to_dense();
         assert!((d[0] - 2.0).abs() < 1e-10);
         assert!((d[1] + 3.0).abs() < 1e-10);
@@ -118,7 +131,7 @@ mod tests {
     fn respects_k_max() {
         let dict = Matrix::identity(4);
         let x = [1.0, 1.0, 1.0, 1.0];
-        let c = omp(&dict, &x, usize::MAX, &OmpOptions { k_max: 2, tol: 0.0 });
+        let c = omp(&dict, &x, usize::MAX, &OmpOptions { k_max: 2, tol: 0.0 }).unwrap();
         assert!(c.nnz() <= 2);
     }
 
@@ -126,7 +139,7 @@ mod tests {
     fn respects_exclusion() {
         let dict = Matrix::identity(3);
         let x = [5.0, 0.0, 0.0];
-        let c = omp(&dict, &x, 0, &OmpOptions::default());
+        let c = omp(&dict, &x, 0, &OmpOptions::default()).unwrap();
         assert_eq!(c.to_dense()[0], 0.0);
     }
 
@@ -134,7 +147,16 @@ mod tests {
     fn stops_on_small_residual() {
         let dict = Matrix::identity(3);
         let x = [1.0, 0.0, 0.0];
-        let c = omp(&dict, &x, usize::MAX, &OmpOptions { k_max: 3, tol: 1e-9 });
+        let c = omp(
+            &dict,
+            &x,
+            usize::MAX,
+            &OmpOptions {
+                k_max: 3,
+                tol: 1e-9,
+            },
+        )
+        .unwrap();
         // One atom reproduces the target exactly; no more should be added.
         assert_eq!(c.nnz(), 1);
     }
@@ -142,7 +164,7 @@ mod tests {
     #[test]
     fn zero_target_gives_empty_code() {
         let dict = Matrix::identity(3);
-        let c = omp(&dict, &[0.0, 0.0, 0.0], usize::MAX, &OmpOptions::default());
+        let c = omp(&dict, &[0.0, 0.0, 0.0], usize::MAX, &OmpOptions::default()).unwrap();
         assert_eq!(c.nnz(), 0);
     }
 
@@ -150,12 +172,14 @@ mod tests {
     fn dependent_atoms_do_not_break_solver() {
         // Duplicate columns: the refit QR becomes singular once both are
         // selected; the solver must degrade gracefully.
-        let dict = Matrix::from_rows(&[
+        let dict = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let c = omp(
+            &dict,
             &[1.0, 1.0],
-            &[0.0, 0.0],
-        ])
+            usize::MAX,
+            &OmpOptions { k_max: 2, tol: 0.0 },
+        )
         .unwrap();
-        let c = omp(&dict, &[1.0, 1.0], usize::MAX, &OmpOptions { k_max: 2, tol: 0.0 });
         assert!(c.nnz() >= 1);
     }
 }

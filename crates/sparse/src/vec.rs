@@ -6,6 +6,7 @@
 
 /// A sparse vector with strictly increasing indices.
 #[derive(Debug, Clone, PartialEq, Default)]
+#[must_use = "dropping a solver's sparse code discards the solve"]
 pub struct SparseVec {
     indices: Vec<usize>,
     values: Vec<f64>,
@@ -16,7 +17,11 @@ pub struct SparseVec {
 impl SparseVec {
     /// An all-zero sparse vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        Self { indices: Vec::new(), values: Vec::new(), dim }
+        Self {
+            indices: Vec::new(),
+            values: Vec::new(),
+            dim,
+        }
     }
 
     /// Builds from a dense slice, keeping entries with `|v| > tol`.
@@ -29,18 +34,29 @@ impl SparseVec {
                 values.push(v);
             }
         }
-        Self { indices, values, dim: dense.len() }
+        Self {
+            indices,
+            values,
+            dim: dense.len(),
+        }
     }
 
     /// Builds from parallel index/value arrays. Indices must be strictly
     /// increasing and below `dim`; panics otherwise (programmer error).
     pub fn from_parts(dim: usize, indices: Vec<usize>, values: Vec<f64>) -> Self {
         assert_eq!(indices.len(), values.len(), "index/value length mismatch");
-        assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be strictly increasing");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
         if let Some(&last) = indices.last() {
             assert!(last < dim, "index {last} out of range for dim {dim}");
         }
-        Self { indices, values, dim }
+        Self {
+            indices,
+            values,
+            dim,
+        }
     }
 
     /// Logical dimension.
@@ -55,7 +71,10 @@ impl SparseVec {
 
     /// Iterator over `(index, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Stored indices.
@@ -119,12 +138,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_indices() {
-        SparseVec::from_parts(5, vec![3, 1], vec![1.0, 2.0]);
+        let _ = SparseVec::from_parts(5, vec![3, 1], vec![1.0, 2.0]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range() {
-        SparseVec::from_parts(2, vec![0, 2], vec![1.0, 2.0]);
+        let _ = SparseVec::from_parts(2, vec![0, 2], vec![1.0, 2.0]);
     }
 }

@@ -1,6 +1,10 @@
 //! Property-based tests for the sparse solvers: optimality conditions and
 //! cross-backend agreement on random instances.
 
+// Test code: a panic is a test failure, so unwrap is the idiom here
+// (clippy's allow-unwrap-in-tests does not reach integration-test helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsc_linalg::random::gaussian_matrix;
 use fedsc_linalg::Matrix;
 use fedsc_sparse::admm::{AdmmLasso, AdmmOptions};
@@ -29,8 +33,8 @@ proptest! {
         let opts = LassoOptions { max_iters: 100_000, ..Default::default() };
         let solver = LassoSolver::new(&gram, opts);
         let b = gram.col(0);
-        let c = solver.solve(b, lambda, 0);
-        let viol = solver.kkt_violation(b, lambda, 0, &c);
+        let c = solver.solve(b, lambda, 0).unwrap();
+        let viol = solver.kkt_violation(b, lambda, 0, &c).unwrap();
         prop_assert!(viol < 1e-4 * lambda.max(1.0), "violation {viol}");
         prop_assert_eq!(c.to_dense()[0], 0.0);
     }
@@ -40,7 +44,7 @@ proptest! {
         let (x, gram) = instance(seed, 5, cols);
         let lambda = 5.0;
         let b = gram.col(0);
-        let cd = LassoSolver::new(&gram, LassoOptions::default()).solve(b, lambda, 0);
+        let cd = LassoSolver::new(&gram, LassoOptions::default()).solve(b, lambda, 0).unwrap();
         let admm = AdmmLasso::new(&gram, lambda, AdmmOptions::default())
             .unwrap()
             .solve(b, 0)
@@ -63,8 +67,8 @@ proptest! {
         let opts = ElasticNetOptions { lambda, gamma: 20.0, max_sweeps: 100_000, ..Default::default() };
         let solver = ElasticNetSolver::new(&gram, opts);
         let b = gram.col(0);
-        let c = solver.solve(b, 0);
-        let viol = solver.kkt_violation(b, 0, &c);
+        let c = solver.solve(b, 0).unwrap();
+        let viol = solver.kkt_violation(b, 0, &c).unwrap();
         prop_assert!(viol < 1e-4, "violation {viol}");
     }
 
@@ -72,7 +76,7 @@ proptest! {
     fn omp_residual_orthogonal_to_support(seed in 0u64..2000, cols in 4usize..9) {
         let (x, _) = instance(seed, 6, cols);
         let target = x.col(0).to_vec();
-        let code = omp(&x, &target, 0, &OmpOptions { k_max: 3, tol: 1e-10 });
+        let code = omp(&x, &target, 0, &OmpOptions { k_max: 3, tol: 1e-10 }).unwrap();
         // Least-squares refit implies the residual is orthogonal to every
         // selected atom.
         let dense = code.to_dense();

@@ -17,12 +17,7 @@ pub trait SubspaceClusterer {
 
     /// Clusters the columns of `data` into `k` groups: affinity graph plus
     /// normalized spectral clustering.
-    fn cluster<R: Rng + ?Sized>(
-        &self,
-        data: &Matrix,
-        k: usize,
-        rng: &mut R,
-    ) -> Result<Vec<usize>> {
+    fn cluster<R: Rng + ?Sized>(&self, data: &Matrix, k: usize, rng: &mut R) -> Result<Vec<usize>> {
         let g = self.affinity(data)?;
         spectral_clustering(&g, &SpectralOptions::new(k), rng)
     }

@@ -19,25 +19,32 @@ pub struct Ensc {
 
 impl Default for Ensc {
     fn default() -> Self {
-        Self { elastic: ElasticNetOptions::default(), normalize: true }
+        Self {
+            elastic: ElasticNetOptions::default(),
+            normalize: true,
+        }
     }
 }
 
 impl Ensc {
     /// Computes the elastic-net self-expression coefficient matrix.
-    pub fn coefficients(&self, data: &Matrix) -> Matrix {
-        let x = if self.normalize { normalize_data(data) } else { data.clone() };
+    pub fn coefficients(&self, data: &Matrix) -> Result<Matrix> {
+        let x = if self.normalize {
+            normalize_data(data)
+        } else {
+            data.clone()
+        };
         let n = x.cols();
         let gram = x.gram();
         let solver = ElasticNetSolver::new(&gram, self.elastic.clone());
         let mut c = Matrix::zeros(n, n);
         for i in 0..n {
-            let code = solver.solve(gram.col(i), i);
+            let code = solver.solve(gram.col(i), i)?;
             for (j, v) in code.iter() {
                 c[(j, i)] = v;
             }
         }
-        c
+        Ok(c)
     }
 }
 
@@ -47,7 +54,7 @@ impl SubspaceClusterer for Ensc {
     }
 
     fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
-        Ok(AffinityGraph::from_coefficients(&self.coefficients(data)))
+        Ok(AffinityGraph::from_coefficients(&self.coefficients(data)?))
     }
 }
 
@@ -90,7 +97,11 @@ mod tests {
             e
         };
         let en = Ensc {
-            elastic: ElasticNetOptions { lambda: 0.5, gamma: 50.0, ..Default::default() },
+            elastic: ElasticNetOptions {
+                lambda: 0.5,
+                gamma: 50.0,
+                ..Default::default()
+            },
             normalize: true,
         };
         let e_en = count_edges(&en.affinity(&ds.data).unwrap());
@@ -103,7 +114,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let model = SubspaceModel::random(&mut rng, 15, 2, 2);
         let ds = model.sample_dataset(&mut rng, &[8, 8], 0.0);
-        let c = Ensc::default().coefficients(&ds.data);
+        let c = Ensc::default().coefficients(&ds.data).unwrap();
         for i in 0..16 {
             assert_eq!(c[(i, i)], 0.0);
         }

@@ -22,8 +22,13 @@ pub struct SubspaceModel {
 impl SubspaceModel {
     /// Draws `l` i.i.d. Haar-random subspaces of dimension `d` in `R^n`.
     pub fn random<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize, l: usize) -> Self {
-        let bases = (0..l).map(|_| random_orthonormal_basis(rng, n, d)).collect();
-        Self { ambient_dim: n, bases }
+        let bases = (0..l)
+            .map(|_| random_orthonormal_basis(rng, n, d))
+            .collect();
+        Self {
+            ambient_dim: n,
+            bases,
+        }
     }
 
     /// Number of subspaces `L`.
@@ -42,7 +47,10 @@ impl SubspaceModel {
         let basis = &self.bases[l];
         loop {
             let alpha = gaussian_vector(rng, basis.cols());
-            let mut x = basis.matvec(&alpha).expect("coefficient length matches basis");
+            // INVARIANT: `alpha` is drawn with length `basis.cols()` above.
+            let mut x = basis
+                .matvec(&alpha)
+                .expect("coefficient length matches basis");
             if vector::normalize(&mut x, 1e-300) > 0.0 {
                 return x;
             }
@@ -92,6 +100,7 @@ impl SubspaceModel {
         let mut worst = 0.0f64;
         for a in 0..l {
             for b in a + 1..l {
+                // INVARIANT: all model bases are built in the same R^n.
                 let aff = fedsc_linalg::angles::normalized_affinity(&self.bases[a], &self.bases[b])
                     .expect("bases share ambient dimension");
                 worst = worst.max(aff);
@@ -131,7 +140,7 @@ impl LabeledData {
 
     /// Number of distinct labels present.
     pub fn num_classes(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &l in &self.labels {
             seen.insert(l);
         }
@@ -155,8 +164,11 @@ mod tests {
             // Residual after projecting onto the basis vanishes.
             let c = model.bases[l].tr_matvec(&x).unwrap();
             let proj = model.bases[l].matvec(&c).unwrap();
-            let err: f64 =
-                proj.iter().zip(&x).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+            let err: f64 = proj
+                .iter()
+                .zip(&x)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-10);
         }
     }

@@ -28,7 +28,11 @@ impl Nsn {
     /// NSN collecting `num_neighbors` neighbors with subspace dimension cap
     /// `max_subspace_dim`.
     pub fn new(num_neighbors: usize, max_subspace_dim: usize) -> Self {
-        Self { num_neighbors, max_subspace_dim, normalize: true }
+        Self {
+            num_neighbors,
+            max_subspace_dim,
+            normalize: true,
+        }
     }
 }
 
@@ -44,7 +48,11 @@ impl SubspaceClusterer for Nsn {
     }
 
     fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
-        let x = if self.normalize { normalize_data(data) } else { data.clone() };
+        let x = if self.normalize {
+            normalize_data(data)
+        } else {
+            data.clone()
+        };
         let n = x.cols();
         let dim = x.rows();
         let mut w = Matrix::zeros(n, n);
@@ -136,7 +144,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!((cross as f64) < 0.1 * total as f64, "{cross}/{total} cross edges");
+        assert!(
+            (cross as f64) < 0.1 * total as f64,
+            "{cross}/{total} cross edges"
+        );
     }
 
     #[test]

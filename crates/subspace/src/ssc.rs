@@ -35,15 +35,23 @@ pub struct Ssc {
 
 impl Default for Ssc {
     fn default() -> Self {
-        Self { alpha: 50.0, lasso: LassoOptions::default(), normalize: true }
+        Self {
+            alpha: 50.0,
+            lasso: LassoOptions::default(),
+            normalize: true,
+        }
     }
 }
 
 impl Ssc {
     /// Computes the full self-expression coefficient matrix `C`
     /// (column `i` is the sparse code of point `i`; diagonal is zero).
-    pub fn coefficients(&self, data: &Matrix) -> Matrix {
-        let x = if self.normalize { normalize_data(data) } else { data.clone() };
+    pub fn coefficients(&self, data: &Matrix) -> Result<Matrix> {
+        let x = if self.normalize {
+            normalize_data(data)
+        } else {
+            data.clone()
+        };
         let n = x.cols();
         let gram = x.gram();
         let solver = LassoSolver::new(&gram, self.lasso.clone());
@@ -51,12 +59,12 @@ impl Ssc {
         for i in 0..n {
             let b = gram.col(i);
             let lambda = ssc_lambda(b, i, self.alpha);
-            let code = solver.solve(b, lambda, i);
+            let code = solver.solve(b, lambda, i)?;
             for (j, v) in code.iter() {
                 c[(j, i)] = v;
             }
         }
-        c
+        Ok(c)
     }
 }
 
@@ -66,7 +74,7 @@ impl SubspaceClusterer for Ssc {
     }
 
     fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
-        Ok(AffinityGraph::from_coefficients(&self.coefficients(data)))
+        Ok(AffinityGraph::from_coefficients(&self.coefficients(data)?))
     }
 }
 
@@ -83,7 +91,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let model = SubspaceModel::random(&mut rng, 10, 2, 2);
         let ds = model.sample_dataset(&mut rng, &[8, 8], 0.0);
-        let c = Ssc::default().coefficients(&ds.data);
+        let c = Ssc::default().coefficients(&ds.data).unwrap();
         for i in 0..16 {
             assert_eq!(c[(i, i)], 0.0);
         }

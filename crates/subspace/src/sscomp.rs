@@ -18,28 +18,41 @@ pub struct SscOmp {
 
 impl Default for SscOmp {
     fn default() -> Self {
-        Self { omp: OmpOptions { k_max: 10, tol: 1e-6 }, normalize: true }
+        Self {
+            omp: OmpOptions {
+                k_max: 10,
+                tol: 1e-6,
+            },
+            normalize: true,
+        }
     }
 }
 
 impl SscOmp {
     /// SSC-OMP with a per-point support budget.
     pub fn with_sparsity(k_max: usize) -> Self {
-        Self { omp: OmpOptions { k_max, tol: 1e-6 }, normalize: true }
+        Self {
+            omp: OmpOptions { k_max, tol: 1e-6 },
+            normalize: true,
+        }
     }
 
     /// Computes the OMP self-expression coefficient matrix.
-    pub fn coefficients(&self, data: &Matrix) -> Matrix {
-        let x = if self.normalize { normalize_data(data) } else { data.clone() };
+    pub fn coefficients(&self, data: &Matrix) -> Result<Matrix> {
+        let x = if self.normalize {
+            normalize_data(data)
+        } else {
+            data.clone()
+        };
         let n = x.cols();
         let mut c = Matrix::zeros(n, n);
         for i in 0..n {
-            let code = omp(&x, x.col(i).to_vec().as_slice(), i, &self.omp);
+            let code = omp(&x, x.col(i).to_vec().as_slice(), i, &self.omp)?;
             for (j, v) in code.iter() {
                 c[(j, i)] = v;
             }
         }
-        c
+        Ok(c)
     }
 }
 
@@ -49,7 +62,7 @@ impl SubspaceClusterer for SscOmp {
     }
 
     fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
-        Ok(AffinityGraph::from_coefficients(&self.coefficients(data)))
+        Ok(AffinityGraph::from_coefficients(&self.coefficients(data)?))
     }
 }
 
@@ -67,7 +80,7 @@ mod tests {
         let model = SubspaceModel::random(&mut rng, 20, 3, 2);
         let ds = model.sample_dataset(&mut rng, &[10, 10], 0.0);
         let algo = SscOmp::with_sparsity(3);
-        let c = algo.coefficients(&ds.data);
+        let c = algo.coefficients(&ds.data).unwrap();
         for i in 0..20 {
             let nnz = (0..20).filter(|&j| c[(j, i)] != 0.0).count();
             assert!(nnz <= 3, "column {i} has support {nnz}");
@@ -80,7 +93,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let model = SubspaceModel::random(&mut rng, 30, 3, 3);
         let ds = model.sample_dataset(&mut rng, &[15, 15, 15], 0.0);
-        let labels = SscOmp::with_sparsity(3).cluster(&ds.data, 3, &mut rng).unwrap();
+        let labels = SscOmp::with_sparsity(3)
+            .cluster(&ds.data, 3, &mut rng)
+            .unwrap();
         let acc = clustering_accuracy(&ds.labels, &labels);
         assert!(acc > 90.0, "accuracy {acc}");
     }

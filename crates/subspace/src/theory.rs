@@ -81,7 +81,10 @@ pub fn active_sets(device_labels: &[Vec<usize>], num_subspaces: usize) -> Vec<Ve
             }
         }
     }
-    active.into_iter().map(|s| s.into_iter().collect()).collect()
+    active
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect()
 }
 
 /// Statistical-heterogeneity summary of a device partition: per-subspace
@@ -113,7 +116,10 @@ impl Heterogeneity {
                 }
             }
         }
-        Self { devices_per_subspace: z_l, subspaces_per_device: l_z }
+        Self {
+            devices_per_subspace: z_l,
+            subspaces_per_device: l_z,
+        }
     }
 
     /// The paper's heterogeneity notion: some device sees fewer than all
@@ -131,20 +137,19 @@ pub fn inradius_estimate<R: Rng + ?Sized>(
     exclude: Option<usize>,
     restarts: usize,
     rng: &mut R,
-) -> f64 {
-    let cols: Vec<usize> =
-        (0..x.cols()).filter(|&j| Some(j) != exclude).collect();
+) -> Result<f64> {
+    let cols: Vec<usize> = (0..x.cols()).filter(|&j| Some(j) != exclude).collect();
     if cols.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let sub = x.select_columns(&cols);
     // Work in span coordinates: y_j = U^T x_j.
-    let u = orthonormal_basis(&sub, 1e-10);
+    let u = orthonormal_basis(&sub, 1e-10)?;
     let d = u.cols();
     if d == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
-    let y = u.tr_matmul(&sub).expect("shapes agree");
+    let y = u.tr_matmul(&sub)?;
     let m = y.cols();
     let h = |v: &[f64]| -> (f64, usize, f64) {
         let mut best = 0.0f64;
@@ -180,7 +185,7 @@ pub fn inradius_estimate<R: Rng + ?Sized>(
         }
         best_val = best_val.min(h(&v).0);
     }
-    best_val
+    Ok(best_val)
 }
 
 /// Estimates the subspace incoherence `mu(X_l)` (Definition 1) for points
@@ -206,11 +211,15 @@ pub fn incoherence_estimate(
     let mut v_cols: Vec<Vec<f64>> = Vec::with_capacity(n_l);
     for i in 0..n_l {
         let b = gram.col(i);
-        let code = solver.solve(b, dual_lambda, i).to_dense();
+        let code = solver.solve(b, dual_lambda, i)?.to_dense();
         // nu = lambda (x_i - X c); project onto span(basis_l), normalize.
         let fit = x_l.matvec(&code)?;
-        let mut nu: Vec<f64> =
-            x_l.col(i).iter().zip(&fit).map(|(&xi, &fi)| dual_lambda * (xi - fi)).collect();
+        let mut nu: Vec<f64> = x_l
+            .col(i)
+            .iter()
+            .zip(&fit)
+            .map(|(&xi, &fi)| dual_lambda * (xi - fi))
+            .collect();
         let coeffs = basis_l.tr_matvec(&nu)?;
         nu = basis_l.matvec(&coeffs)?;
         if vector::normalize(&mut nu, 1e-12) > 1e-12 {
@@ -263,12 +272,7 @@ pub fn tsc_affinity_bound(d: usize, l: usize, r_max: usize, z_prime: usize) -> f
 /// `q in [c1 log(r' max_l Z_l), min_l Z_l / 6]` with
 /// `c1 = 18 (12 pi)^(max_l d_l - 1)`; `None` when the interval is empty
 /// (the paper's point: `Z_l` must be exponential in `d_l`).
-pub fn tsc_q_range(
-    d_max: usize,
-    r_max: usize,
-    z_max: usize,
-    z_min: usize,
-) -> Option<(f64, f64)> {
+pub fn tsc_q_range(d_max: usize, r_max: usize, z_max: usize, z_min: usize) -> Option<(f64, f64)> {
     let c1 = 18.0 * (12.0 * std::f64::consts::PI).powi(d_max.saturating_sub(1) as i32);
     let lo = c1 * ((r_max as f64 * z_max as f64).max(1.0)).ln();
     let hi = z_min as f64 / 6.0;
@@ -278,20 +282,16 @@ pub fn tsc_q_range(
 /// Checks the *global semi-random condition* of Corollary 1/2 for a concrete
 /// subspace model: compares every pairwise affinity against the closed-form
 /// bound. Returns the worst margin `bound - aff` (positive = satisfied).
-pub fn semi_random_margin(
-    model: &SubspaceModel,
-    bound: f64,
-) -> f64 {
+pub fn semi_random_margin(model: &SubspaceModel, bound: f64) -> Result<f64> {
     let l = model.num_subspaces();
     let mut worst = f64::INFINITY;
     for a in 0..l {
         for b in a + 1..l {
-            let aff = angles::subspace_affinity(&model.bases[a], &model.bases[b])
-                .expect("bases share ambient dimension");
+            let aff = angles::subspace_affinity(&model.bases[a], &model.bases[b])?;
             worst = worst.min(bound - aff);
         }
     }
-    worst
+    Ok(worst)
 }
 
 #[cfg(test)]
@@ -367,8 +367,11 @@ mod tests {
         // P(I_2) = conv(+-e1, +-e2): inradius 1/sqrt(2).
         let x = Matrix::identity(2);
         let mut rng = StdRng::seed_from_u64(1);
-        let r = inradius_estimate(&x, None, 20, &mut rng);
-        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3, "r = {r}");
+        let r = inradius_estimate(&x, None, 20, &mut rng).unwrap();
+        assert!(
+            (r - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
+            "r = {r}"
+        );
     }
 
     #[test]
@@ -379,18 +382,20 @@ mod tests {
         let spread = Matrix::from_columns(&[
             &[1.0, 0.0],
             &[0.0, 1.0],
-            &[std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2],
-            &[std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2],
+            &[
+                std::f64::consts::FRAC_1_SQRT_2,
+                std::f64::consts::FRAC_1_SQRT_2,
+            ],
+            &[
+                std::f64::consts::FRAC_1_SQRT_2,
+                -std::f64::consts::FRAC_1_SQRT_2,
+            ],
         ])
         .unwrap();
-        let skewed = Matrix::from_columns(&[
-            &[1.0, 0.0],
-            &[0.999, 0.045],
-        ])
-        .unwrap();
+        let skewed = Matrix::from_columns(&[&[1.0, 0.0], &[0.999, 0.045]]).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let r_spread = inradius_estimate(&spread, None, 20, &mut rng);
-        let r_skewed = inradius_estimate(&skewed, None, 20, &mut rng);
+        let r_spread = inradius_estimate(&spread, None, 20, &mut rng).unwrap();
+        let r_skewed = inradius_estimate(&skewed, None, 20, &mut rng).unwrap();
         assert!(r_spread > 2.0 * r_skewed, "{r_spread} vs {r_skewed}");
     }
 
@@ -458,9 +463,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let model = SubspaceModel::random(&mut rng, 100, 2, 3);
         // Random planes in R^100 have tiny affinity: a bound of 0.5 is met.
-        assert!(semi_random_margin(&model, 0.5) > 0.0);
+        assert!(semi_random_margin(&model, 0.5).unwrap() > 0.0);
         // An impossible bound of 0 fails (affinity is non-negative and
         // almost surely positive).
-        assert!(semi_random_margin(&model, 0.0) <= 0.0);
+        assert!(semi_random_margin(&model, 0.0).unwrap() <= 0.0);
     }
 }

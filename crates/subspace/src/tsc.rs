@@ -39,7 +39,10 @@ impl Tsc {
 
 impl Default for Tsc {
     fn default() -> Self {
-        Self { q: 3, normalize: true }
+        Self {
+            q: 3,
+            normalize: true,
+        }
     }
 }
 
@@ -49,7 +52,11 @@ impl SubspaceClusterer for Tsc {
     }
 
     fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
-        let x = if self.normalize { normalize_data(data) } else { data.clone() };
+        let x = if self.normalize {
+            normalize_data(data)
+        } else {
+            data.clone()
+        };
         let n = x.cols();
         // Precompute |cos| similarities once; the kNN constructor consults
         // them O(n^2 log n) times otherwise.

@@ -2,6 +2,10 @@
 //! shared instances, plus the paper's argument for SSC over TSC as the
 //! *local* method (TSC's reliance on uniformly spread points).
 
+// Test code: a panic is a test failure, so unwrap is the idiom here
+// (clippy's allow-unwrap-in-tests does not reach integration-test helpers).
+#![allow(clippy::unwrap_used)]
+
 use fedsc_clustering::clustering_accuracy;
 use fedsc_linalg::random::{gaussian_vector, random_orthonormal_basis};
 use fedsc_linalg::{vector, Matrix};
@@ -24,11 +28,25 @@ fn all_five_algorithms_solve_the_easy_instance() {
         let acc = clustering_accuracy(&ds.labels, &labels);
         assert!(acc > 90.0, "{name} accuracy {acc}");
     };
-    run("SSC", Ssc::default().cluster(&ds.data, 3, &mut rng).unwrap());
+    run(
+        "SSC",
+        Ssc::default().cluster(&ds.data, 3, &mut rng).unwrap(),
+    );
     run("TSC", Tsc::new(6).cluster(&ds.data, 3, &mut rng).unwrap());
-    run("SSC-OMP", SscOmp::with_sparsity(3).cluster(&ds.data, 3, &mut rng).unwrap());
-    run("EnSC", Ensc::default().cluster(&ds.data, 3, &mut rng).unwrap());
-    run("NSN", Nsn::new(6, 3).cluster(&ds.data, 3, &mut rng).unwrap());
+    run(
+        "SSC-OMP",
+        SscOmp::with_sparsity(3)
+            .cluster(&ds.data, 3, &mut rng)
+            .unwrap(),
+    );
+    run(
+        "EnSC",
+        Ensc::default().cluster(&ds.data, 3, &mut rng).unwrap(),
+    );
+    run(
+        "NSN",
+        Nsn::new(6, 3).cluster(&ds.data, 3, &mut rng).unwrap(),
+    );
 }
 
 #[test]
@@ -43,7 +61,10 @@ fn noise_ladder_degrades_gracefully() {
         let labels = Ssc::default().cluster(&ds.data, 3, &mut rng).unwrap();
         let acc = clustering_accuracy(&ds.labels, &labels);
         assert!(acc > 85.0, "noise {noise}: accuracy {acc}");
-        assert!(acc <= prev + 10.0, "non-monotone beyond tolerance at {noise}");
+        assert!(
+            acc <= prev + 10.0,
+            "non-monotone beyond tolerance at {noise}"
+        );
         prev = acc;
     }
 }
@@ -69,8 +90,11 @@ fn skewed_instance(seed: u64) -> LabeledData {
             let sign = if lobe == 0 { 3.0 } else { -3.0 };
             for _ in 0..per_lobe {
                 let eps = gaussian_vector(&mut rng, d);
-                let coeff: Vec<f64> =
-                    mu.iter().zip(&eps).map(|(&m, &e)| sign * m + 0.25 * e).collect();
+                let coeff: Vec<f64> = mu
+                    .iter()
+                    .zip(&eps)
+                    .map(|(&m, &e)| sign * m + 0.25 * e)
+                    .collect();
                 let mut x = basis.matvec(&coeff).unwrap();
                 vector::normalize(&mut x, 1e-12);
                 cols.push(x);
@@ -79,7 +103,10 @@ fn skewed_instance(seed: u64) -> LabeledData {
         }
     }
     let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
-    LabeledData { data: Matrix::from_columns(&refs).unwrap(), labels }
+    LabeledData {
+        data: Matrix::from_columns(&refs).unwrap(),
+        labels,
+    }
 }
 
 #[test]

@@ -1,0 +1,167 @@
+//! `cargo xtask` — workspace static-analysis driver.
+//!
+//! `cargo xtask check` walks every `crates/*/src` tree (plus the root
+//! `src/`) and enforces the domain-specific correctness rules the stock
+//! toolchain cannot express (see `DESIGN.md`, "Correctness & lint
+//! policy"):
+//!
+//! 1. **Panic freedom** — no `unwrap()` / `expect()` / `panic!` /
+//!    `unreachable!` / `todo!` / `unimplemented!` in non-test library
+//!    code. The few justified sites carry a `// INVARIANT:` comment and an
+//!    exact-count entry in `crates/xtask/panic-allowlist.txt`.
+//! 2. **Deterministic randomness** — no `thread_rng` / `from_entropy` /
+//!    `OsRng` / `SystemTime`-seeded generators, and no `HashMap` /
+//!    `HashSet` (nondeterministic iteration order) in the numerical
+//!    crates. All randomness flows from caller-provided seeds.
+//! 3. **Sanctioned timing** — `Instant::now` only inside the two timing
+//!    helpers (`federated/src/parallel.rs`, `core/src/scheme.rs`);
+//!    the bench crate runs a relaxed profile where timing is allowed.
+//! 4. **Unignorable results** — solver/decomposition result structs are
+//!    declared `#[must_use]`, and public solver entry points return
+//!    `Result` or are `#[must_use]`.
+//!
+//! Exit status is non-zero iff any diagnostic fired; every diagnostic is a
+//! `file:line: [rule] message` the terminal can jump to.
+
+mod scan;
+
+use scan::{scan_source, Allowlist, Diagnostic, Profile};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates scanned with the strict profile.
+const STRICT_ROOTS: &[&str] = &[
+    "crates/linalg/src",
+    "crates/sparse/src",
+    "crates/graph/src",
+    "crates/clustering/src",
+    "crates/subspace/src",
+    "crates/federated/src",
+    "crates/data/src",
+    "crates/core/src",
+    "crates/xtask/src",
+    "src",
+];
+
+/// Crates scanned with the relaxed profile (timing allowed, `expect`
+/// with a message allowed; everything else still enforced).
+const RELAXED_ROOTS: &[&str] = &["crates/bench/src"];
+
+const ALLOWLIST_PATH: &str = "crates/xtask/panic-allowlist.txt";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => run_check(),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`; available: check");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask check");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Locates the workspace root: the ancestor of the current directory (or of
+/// this binary's manifest) containing the top-level `Cargo.toml` with a
+/// `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn run_check() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask: could not locate the workspace root");
+        return ExitCode::FAILURE;
+    };
+    let allowlist = match Allowlist::load(&root.join(ALLOWLIST_PATH)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask: cannot read {ALLOWLIST_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut invariant_counts = std::collections::BTreeMap::new();
+    let mut files_scanned = 0usize;
+    for (roots, profile) in [
+        (STRICT_ROOTS, Profile::Strict),
+        (RELAXED_ROOTS, Profile::Relaxed),
+    ] {
+        for rel in roots {
+            let dir = root.join(rel);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            collect_rs_files(&dir, &mut files);
+            files.sort();
+            for path in files {
+                let Ok(text) = std::fs::read_to_string(&path) else {
+                    diagnostics.push(Diagnostic::file_level(
+                        rel_label(&root, &path),
+                        "io",
+                        "file is not valid UTF-8 or could not be read",
+                    ));
+                    continue;
+                };
+                files_scanned += 1;
+                let label = rel_label(&root, &path);
+                let outcome = scan_source(&label, &text, profile, &allowlist);
+                diagnostics.extend(outcome.diagnostics);
+                invariant_counts.insert(label, outcome.invariant_sites.len());
+            }
+        }
+    }
+    diagnostics.extend(allowlist.reconcile(&invariant_counts));
+
+    if diagnostics.is_empty() {
+        println!("xtask check: {files_scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diagnostics {
+            eprintln!("{d}");
+        }
+        eprintln!(
+            "xtask check: {} violation(s) in {files_scanned} files",
+            diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

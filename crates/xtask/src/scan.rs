@@ -1,0 +1,792 @@
+//! The rule engine: pure functions from source text to diagnostics, so the
+//! self-tests can feed in adversarial snippets without touching the
+//! filesystem.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// How strictly a file is held to the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Library code: every rule applies.
+    Strict,
+    /// Bench/harness code: timing calls are sanctioned and `expect(...)`
+    /// (a message-carrying abort) is accepted; `unwrap()` and the other
+    /// messageless panics remain forbidden, as do nondeterminism rules.
+    Relaxed,
+}
+
+/// One `file:line: [rule] message` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    /// Short rule tag (`panic`, `rng`, `timing`, `must-use`, `allowlist`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn file_level(file: String, rule: &'static str, message: &str) -> Self {
+        Diagnostic {
+            file,
+            line: 0,
+            rule,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Rule violations.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Lines of panic sites justified by an `// INVARIANT:` comment; these
+    /// must be covered by an exact-count allowlist entry.
+    pub invariant_sites: Vec<usize>,
+}
+
+/// Exact-count allowlist for `// INVARIANT:`-justified panic sites.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: BTreeMap<String, usize>,
+}
+
+impl Allowlist {
+    /// Parses `# comment` / `path count` lines.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::parse(&text))
+    }
+
+    /// Parses the allowlist format (used directly by the self-tests).
+    pub fn parse(text: &str) -> Self {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(path), Some(count)) = (parts.next(), parts.next()) {
+                if let Ok(count) = count.parse::<usize>() {
+                    entries.insert(path.to_string(), count);
+                }
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Allowed invariant-site count for `file` (0 if unlisted).
+    pub fn allowed(&self, file: &str) -> usize {
+        self.entries.get(file).copied().unwrap_or(0)
+    }
+
+    /// Diagnostics for entries whose file was never visited or whose count
+    /// no longer matches; call after every file has been checked in.
+    pub fn reconcile(&self, seen: &BTreeMap<String, usize>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (file, &allowed) in &self.entries {
+            match seen.get(file) {
+                None => out.push(Diagnostic::file_level(
+                    file.clone(),
+                    "allowlist",
+                    "allowlisted file was not scanned (moved or deleted?); remove the entry",
+                )),
+                Some(&actual) if actual < allowed => out.push(Diagnostic::file_level(
+                    file.clone(),
+                    "allowlist",
+                    &format!(
+                        "allowlist grants {allowed} INVARIANT site(s) but only {actual} exist; \
+                         tighten the entry"
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// Forbidden panic constructs: token, plus whether the relaxed profile
+/// tolerates it.
+const PANIC_TOKENS: &[(&str, bool)] = &[
+    (".unwrap()", false),
+    (".unwrap_unchecked()", false),
+    (".expect(", true),
+    ("panic!(", false),
+    ("unreachable!(", false),
+    ("todo!(", false),
+    ("unimplemented!(", false),
+];
+
+/// Nondeterministic randomness / ordering sources (rule 2). All profiles.
+const RNG_TOKENS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+    "SystemTime::now",
+    "HashMap",
+    "HashSet",
+];
+
+/// Wall-clock constructs (rule 3): only the sanctioned timing helpers may
+/// observe time.
+const TIMING_TOKENS: &[&str] = &["Instant::now"];
+
+/// Files allowed to call `Instant::now` under the strict profile.
+const SANCTIONED_TIMING_FILES: &[&str] = &[
+    "crates/federated/src/parallel.rs",
+    "crates/core/src/scheme.rs",
+];
+
+/// Solver/decomposition result structs that must be declared `#[must_use]`
+/// (rule 4a): ignoring one silently drops a factorization.
+const MUST_USE_STRUCTS: &[&str] = &[
+    "Svd",
+    "SymmetricEig",
+    "Qr",
+    "Lu",
+    "Cholesky",
+    "SparseVec",
+    "KMeansResult",
+];
+
+/// `pub fn` name prefixes that are solver entry points (rule 4b): they must
+/// return `Result` or carry `#[must_use]`.
+const SOLVER_FN_PREFIXES: &[&str] = &[
+    "solve",
+    "svd",
+    "eigh",
+    "lanczos",
+    "omp",
+    "kmeans",
+    "spectral_clustering",
+    "cluster",
+];
+
+/// Scans one file; `label` is its workspace-relative path.
+pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist) -> ScanOutcome {
+    let mut out = ScanOutcome::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let stripped = strip_comments_and_strings(text);
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let test_mask = test_region_mask(&stripped_lines);
+    let timing_sanctioned = SANCTIONED_TIMING_FILES.contains(&label);
+
+    /// A panic token is justified when an `// INVARIANT:` comment sits on the
+    /// same statement: walk upward through comment lines and
+    /// statement-continuation lines (no `;`, not a block boundary) for a few
+    /// lines at most, so the comment may precede a multi-line expression.
+    fn invariant_above(lines: &[&str], idx: usize) -> bool {
+        let mut back = 0usize;
+        let mut i = idx;
+        while i > 0 && back < 6 {
+            i -= 1;
+            back += 1;
+            let t = lines[i].trim();
+            if t.starts_with("// INVARIANT:") {
+                return true;
+            }
+            let is_comment = t.starts_with("//");
+            let continues = !t.contains(';') && !t.ends_with('{') && !t.ends_with('}');
+            if !is_comment && !continues {
+                break;
+            }
+        }
+        false
+    }
+
+    let mut pending_must_use = false;
+    for (idx, &code) in stripped_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let raw = lines.get(idx).copied().unwrap_or("");
+        if test_mask[idx] {
+            continue;
+        }
+
+        // Rule 1: panic freedom.
+        for &(token, relaxed_ok) in PANIC_TOKENS {
+            if !code.contains(token) {
+                continue;
+            }
+            if relaxed_ok && profile == Profile::Relaxed {
+                continue;
+            }
+            let justified = raw.contains("// INVARIANT:") || invariant_above(&lines, idx);
+            if justified {
+                out.invariant_sites.push(line_no);
+            } else {
+                out.diagnostics.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "panic",
+                    message: format!(
+                        "`{token}` in library code; return `Result` (or justify with an \
+                         `// INVARIANT:` comment plus an allowlist entry)"
+                    ),
+                });
+            }
+        }
+
+        // Rule 2: deterministic randomness and iteration order.
+        for &token in RNG_TOKENS {
+            if code.contains(token) {
+                out.diagnostics.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "rng",
+                    message: format!(
+                        "`{token}` is nondeterministic; derive randomness from a caller-provided \
+                         seed (and use BTree collections for deterministic iteration)"
+                    ),
+                });
+            }
+        }
+
+        // Rule 3: sanctioned timing only.
+        if profile == Profile::Strict && !timing_sanctioned {
+            for &token in TIMING_TOKENS {
+                if code.contains(token) {
+                    out.diagnostics.push(Diagnostic {
+                        file: label.to_string(),
+                        line: line_no,
+                        rule: "timing",
+                        message: format!(
+                            "`{token}` outside the sanctioned timing helpers \
+                             (federated::parallel, core::scheme); route timing through \
+                             `par_map_timed`/`time_phase`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 4a: solver result structs must be #[must_use].
+        if let Some(name) = declared_struct_name(code) {
+            if MUST_USE_STRUCTS.contains(&name) && !pending_must_use {
+                out.diagnostics.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "must-use",
+                    message: format!(
+                        "solver result struct `{name}` must be declared `#[must_use]`"
+                    ),
+                });
+            }
+        }
+
+        // Rule 4b: public solver entry points return Result or #[must_use].
+        if let Some((name, ret)) = pub_fn_signature(code, stripped_lines.get(idx + 1).copied()) {
+            let is_solver = SOLVER_FN_PREFIXES.iter().any(|p| name.starts_with(p));
+            // A `Result` return, a `#[must_use]` attribute, or returning a
+            // type that is itself `#[must_use]` all make the result
+            // unignorable.
+            let ret_is_must_use_type = MUST_USE_STRUCTS.iter().any(|s| ret.contains(s));
+            if is_solver
+                && !ret.contains("Result<")
+                && !ret.is_empty()
+                && !ret_is_must_use_type
+                && !pending_must_use
+            {
+                out.diagnostics.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "must-use",
+                    message: format!(
+                        "solver entry point `{name}` returns `{ret}`: return `Result` or mark \
+                         it `#[must_use]`"
+                    ),
+                });
+            }
+        }
+
+        pending_must_use = code.contains("#[must_use");
+    }
+
+    // Reconcile this file's INVARIANT sites with its allowlist budget.
+    let allowed = allow.allowed(label);
+    if out.invariant_sites.len() > allowed {
+        for &line in &out.invariant_sites {
+            out.diagnostics.push(Diagnostic {
+                file: label.to_string(),
+                line,
+                rule: "allowlist",
+                message: format!(
+                    "{} INVARIANT site(s) but the allowlist grants {allowed}; add or tighten \
+                     the `crates/xtask/panic-allowlist.txt` entry",
+                    out.invariant_sites.len()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `pub struct Name` (after attributes) -> `Name`.
+fn declared_struct_name(code: &str) -> Option<&str> {
+    let rest = code.trim_start().strip_prefix("pub struct ")?;
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+/// `pub fn name(...) -> Ret {` -> `(name, Ret)`. The return type may sit on
+/// the following line; shape-only parsing, good enough for rustfmt'd code.
+fn pub_fn_signature<'a>(code: &'a str, next: Option<&'a str>) -> Option<(&'a str, String)> {
+    let t = code.trim_start();
+    let rest = t
+        .strip_prefix("pub fn ")
+        .or_else(|| t.strip_prefix("pub(crate) fn "))?;
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    let name = &rest[..end];
+    let ret = match code.split_once("->") {
+        Some((_, r)) => r.trim().trim_end_matches('{').trim().to_string(),
+        None => {
+            if code.trim_end().ends_with(')') {
+                // Signature closed without an arrow: returns unit.
+                String::new()
+            } else {
+                // Multi-line signature: peek one line for the arrow.
+                match next.and_then(|n| n.split_once("->")) {
+                    Some((_, r)) => r.trim().trim_end_matches('{').trim().to_string(),
+                    None => String::new(),
+                }
+            }
+        }
+    };
+    Some((name, ret))
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items by brace tracking.
+fn test_region_mask(stripped_lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; stripped_lines.len()];
+    let mut depth: i64 = 0;
+    let mut region_end_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    for (idx, &line) in stripped_lines.iter().enumerate() {
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if region_end_depth.is_none() && line.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if let Some(end_depth) = region_end_depth {
+            mask[idx] = true;
+            depth += opens - closes;
+            if depth <= end_depth {
+                region_end_depth = None;
+            }
+            continue;
+        }
+        if pending_cfg_test {
+            mask[idx] = true;
+            if opens > 0 {
+                // The gated item's body starts here.
+                pending_cfg_test = false;
+                depth += opens - closes;
+                if opens - closes > 0 {
+                    region_end_depth = Some(depth - (opens - closes));
+                }
+                continue;
+            }
+        }
+        depth += opens - closes;
+    }
+    mask
+}
+
+/// Blanks out comments and string/char literals so token search cannot
+/// false-positive on documentation or message text. Line structure is
+/// preserved.
+fn strip_comments_and_strings(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum S {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut state = S::Code;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = if i + 1 < bytes.len() {
+            bytes[i + 1] as char
+        } else {
+            '\0'
+        };
+        match state {
+            S::Code => match (c, next) {
+                ('/', '/') => {
+                    state = S::LineComment;
+                    out.push(' ');
+                    i += 1;
+                }
+                ('/', '*') => {
+                    state = S::BlockComment(1);
+                    out.push(' ');
+                    i += 1;
+                }
+                ('"', _) => {
+                    state = S::Str;
+                    out.push('"');
+                }
+                ('r', '"') | ('r', '#') if !prev_ident(&out) => {
+                    // Raw string: count the hashes.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'"' {
+                        state = S::RawStr(hashes);
+                        out.push(' ');
+                        i = j;
+                    } else {
+                        out.push(c);
+                    }
+                }
+                ('\'', _) => {
+                    // Lifetime or char literal: a char literal closes with
+                    // a quote within a few chars.
+                    if next == '\\' || (i + 2 < bytes.len() && bytes[i + 2] == b'\'') {
+                        state = S::Char;
+                    }
+                    out.push('\'');
+                }
+                _ => out.push(c),
+            },
+            S::LineComment => {
+                if c == '\n' {
+                    state = S::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            S::BlockComment(d) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == '*' {
+                    state = S::BlockComment(d + 1);
+                    i += 1;
+                } else if c == '*' && next == '/' {
+                    state = if d == 1 {
+                        S::Code
+                    } else {
+                        S::BlockComment(d - 1)
+                    };
+                    i += 1;
+                }
+            }
+            S::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next != '\0' {
+                        out.push(if next == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    state = S::Code;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            S::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut h = 0;
+                    while j < bytes.len() && bytes[j] == b'#' && h < hashes {
+                        h += 1;
+                        j += 1;
+                    }
+                    if h == hashes {
+                        state = S::Code;
+                        out.push(' ');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i = j - 1;
+                    } else {
+                        out.push(' ');
+                    }
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            S::Char => {
+                if c == '\\' && next != '\0' {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    state = S::Code;
+                    out.push('\'');
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the last pushed char continues an identifier (so `r` in `var` is
+/// not misread as a raw-string prefix).
+fn prev_ident(out: &str) -> bool {
+    out.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(label: &str, text: &str) -> ScanOutcome {
+        scan_source(label, text, Profile::Strict, &Allowlist::default())
+    }
+
+    #[test]
+    fn flags_unwrap_with_file_and_line() {
+        let src = "fn f() {\n    let x = g().unwrap();\n}\n";
+        let out = strict("crates/linalg/src/x.rs", src);
+        assert_eq!(out.diagnostics.len(), 1);
+        let d = &out.diagnostics[0];
+        assert_eq!(
+            (d.file.as_str(), d.line, d.rule),
+            ("crates/linalg/src/x.rs", 2, "panic")
+        );
+        assert!(format!("{d}").starts_with("crates/linalg/src/x.rs:2: [panic]"));
+    }
+
+    #[test]
+    fn flags_every_panic_macro() {
+        for token in [
+            "panic!(\"x\")",
+            "unreachable!()",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            let src = format!("fn f() {{ {token} }}\n");
+            let out = strict("crates/core/src/x.rs", &src);
+            assert_eq!(out.diagnostics.len(), 1, "{token} not flagged");
+        }
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); panic!(); }\n}\n";
+        let out = strict("crates/linalg/src/x.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn code_after_test_module_is_checked_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x().unwrap(); }\n}\n\nfn lib() { y().unwrap(); }\n";
+        let out = strict("crates/linalg/src/x.rs", src);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].line, 6);
+    }
+
+    #[test]
+    fn doc_comments_and_strings_do_not_false_positive() {
+        let src = "/// Call `x.unwrap()` and panic!(…).\n//! thread_rng in prose\nfn f() {\n    let msg = \"Instant::now inside a string: .unwrap()\";\n    let _ = msg;\n}\n";
+        let out = strict("crates/linalg/src/x.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn invariant_comment_without_allowlist_entry_fails() {
+        let src = "fn f() {\n    // INVARIANT: shapes agree by construction\n    let x = g().expect(\"shapes\");\n}\n";
+        let out = strict("crates/linalg/src/x.rs", src);
+        assert_eq!(out.invariant_sites, vec![3]);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "allowlist");
+    }
+
+    #[test]
+    fn invariant_comment_covers_multiline_statement() {
+        // The comment precedes a statement whose `.expect` lands on a
+        // continuation line two rows down.
+        let src = "fn f() {\n    // INVARIANT: columns share length\n    let x = build(a, b)\n        .expect(\"ragged input\");\n}\n";
+        let allow = Allowlist::parse("crates/linalg/src/x.rs 1\n");
+        let out = scan_source("crates/linalg/src/x.rs", src, Profile::Strict, &allow);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.invariant_sites, vec![4]);
+    }
+
+    #[test]
+    fn invariant_comment_on_earlier_statement_does_not_leak() {
+        // A completed statement sits between the comment and the panic site,
+        // so the justification must not carry over.
+        let src = "fn f() {\n    // INVARIANT: for the first call only\n    let a = g().expect(\"first\");\n    let b = h().unwrap();\n}\n";
+        let out = strict("crates/linalg/src/x.rs", src);
+        assert_eq!(out.invariant_sites, vec![3]);
+        assert_eq!(
+            out.diagnostics.iter().filter(|d| d.rule == "panic").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn invariant_comment_with_allowlist_entry_passes() {
+        let src = "fn f() {\n    // INVARIANT: shapes agree by construction\n    let x = g().expect(\"shapes\");\n}\n";
+        let allow = Allowlist::parse("crates/linalg/src/x.rs 1\n");
+        let out = scan_source("crates/linalg/src/x.rs", src, Profile::Strict, &allow);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn overdrawn_allowlist_budget_fails() {
+        let src = "fn f() {\n    // INVARIANT: a\n    a().expect(\"a\");\n    // INVARIANT: b\n    b().expect(\"b\");\n}\n";
+        let allow = Allowlist::parse("crates/linalg/src/x.rs 1\n");
+        let out = scan_source("crates/linalg/src/x.rs", src, Profile::Strict, &allow);
+        assert!(!out.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_reported() {
+        let allow = Allowlist::parse("crates/linalg/src/gone.rs 2\ncrates/linalg/src/over.rs 3\n");
+        let mut seen = std::collections::BTreeMap::new();
+        seen.insert("crates/linalg/src/over.rs".to_string(), 1usize);
+        let diags = allow.reconcile(&seen);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "allowlist"));
+    }
+
+    #[test]
+    fn nondeterministic_rng_and_collections_flagged() {
+        for token in [
+            "rand::thread_rng()",
+            "StdRng::from_entropy()",
+            "OsRng.next()",
+            "SystemTime::now()",
+            "HashMap::new()",
+            "HashSet::new()",
+        ] {
+            let src = format!("fn f() {{ let _ = {token}; }}\n");
+            let out = strict("crates/clustering/src/x.rs", &src);
+            assert!(
+                out.diagnostics.iter().any(|d| d.rule == "rng"),
+                "{token} not flagged: {:?}",
+                out.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn timing_forbidden_except_sanctioned_files() {
+        let src = "fn f() { let t = Instant::now(); let _ = t; }\n";
+        let out = strict("crates/subspace/src/x.rs", src);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "timing");
+        for sanctioned in super::SANCTIONED_TIMING_FILES {
+            let out = strict(sanctioned, src);
+            assert!(
+                out.diagnostics.is_empty(),
+                "{sanctioned}: {:?}",
+                out.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_profile_allows_timing_and_expect_only() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let v = g().expect(\"context\");\n    let w = h().unwrap();\n    let _ = (t, v, w);\n}\n";
+        let out = scan_source(
+            "crates/bench/src/x.rs",
+            src,
+            Profile::Relaxed,
+            &Allowlist::default(),
+        );
+        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].rule, "panic");
+        assert_eq!(out.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn must_use_struct_rule() {
+        let bad = "pub struct Svd {\n    pub u: Matrix,\n}\n";
+        let out = strict("crates/linalg/src/svd.rs", bad);
+        assert!(out.diagnostics.iter().any(|d| d.rule == "must-use"));
+        let good = "#[must_use = \"dropping a factorization discards the work\"]\npub struct Svd {\n    pub u: Matrix,\n}\n";
+        let out = strict("crates/linalg/src/svd.rs", good);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn solver_entry_points_must_return_result_or_must_use() {
+        let bad = "pub fn solve_least_squares(b: &[f64]) -> Vec<f64> {\n    Vec::new()\n}\n";
+        let out = strict("crates/linalg/src/qr.rs", bad);
+        assert!(
+            out.diagnostics.iter().any(|d| d.rule == "must-use"),
+            "{:?}",
+            out.diagnostics
+        );
+        let ok_result =
+            "pub fn solve_least_squares(b: &[f64]) -> Result<Vec<f64>> {\n    Ok(Vec::new())\n}\n";
+        assert!(strict("crates/linalg/src/qr.rs", ok_result)
+            .diagnostics
+            .is_empty());
+        let ok_attr = "#[must_use]\npub fn solve_norm(b: &[f64]) -> f64 {\n    0.0\n}\n";
+        assert!(strict("crates/linalg/src/qr.rs", ok_attr)
+            .diagnostics
+            .is_empty());
+        // Returning a type that is itself #[must_use] also satisfies the rule.
+        let ok_type = "pub fn kmeans(d: &[f64]) -> KMeansResult {\n    run(d)\n}\n";
+        assert!(strict("crates/clustering/src/kmeans.rs", ok_type)
+            .diagnostics
+            .is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_opaque() {
+        let src = "fn f() {\n    let s = r#\"panic!( .unwrap() \"#;\n    let c = '\\u{1F600}';\n    let _ = (s, c);\n}\n";
+        let out = strict("crates/linalg/src/x.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn allowlist_parse_ignores_comments_and_blanks() {
+        let a = Allowlist::parse("# header\n\ncrates/a/src/x.rs 2\n  crates/b/src/y.rs   1  \n");
+        assert_eq!(a.allowed("crates/a/src/x.rs"), 2);
+        assert_eq!(a.allowed("crates/b/src/y.rs"), 1);
+        assert_eq!(a.allowed("crates/c/src/z.rs"), 0);
+    }
+}

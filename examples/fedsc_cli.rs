@@ -25,7 +25,8 @@ fn main() {
     let args: HashMap<String, String> = std::env::args()
         .skip(1)
         .filter_map(|a| {
-            a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string()))
+            a.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
         })
         .collect();
     let get_usize = |k: &str, d: usize| args.get(k).and_then(|v| v.parse().ok()).unwrap_or(d);
@@ -55,7 +56,11 @@ fn main() {
         noise_std: 0.0,
     };
     let ds = generate(&cfg, &mut rng);
-    let part = if l_prime >= l { Partition::Iid } else { Partition::NonIid { l_prime } };
+    let part = if l_prime >= l {
+        Partition::Iid
+    } else {
+        Partition::NonIid { l_prime }
+    };
     let fed = partition_dataset(&ds.data, z, part, &mut rng);
     let truth = fed.global_truth();
 
@@ -74,8 +79,14 @@ fn main() {
     );
     let out = FedSc::new(fc).run(&fed).expect("Fed-SC run");
 
-    println!("ACC   = {:.2}%", clustering_accuracy(&truth, &out.predictions));
-    println!("NMI   = {:.2}%", normalized_mutual_information(&truth, &out.predictions));
+    println!(
+        "ACC   = {:.2}%",
+        clustering_accuracy(&truth, &out.predictions)
+    );
+    println!(
+        "NMI   = {:.2}%",
+        normalized_mutual_information(&truth, &out.predictions)
+    );
     if ds.data.len() <= 3000 {
         let g = out.induced_global_affinity();
         let c = connectivity(&g, &truth).expect("connectivity");
@@ -89,7 +100,9 @@ fn main() {
     );
     println!(
         "comm  = {} uplink + {} downlink bits over {} devices (one shot)",
-        out.comm.uplink_bits, out.comm.downlink_bits, fed.devices.len()
+        out.comm.uplink_bits,
+        out.comm.downlink_bits,
+        fed.devices.len()
     );
     println!("r^(z) = {:?}", {
         let mut h = HashMap::new();

@@ -19,7 +19,10 @@ fn main() {
     let l = 10;
     let l_prime = 2;
     let devices = 60;
-    let ds = generate(&SyntheticConfig::paper(l, 12 * devices * l_prime / l), &mut rng);
+    let ds = generate(
+        &SyntheticConfig::paper(l, 12 * devices * l_prime / l),
+        &mut rng,
+    );
     let fed = partition_dataset(&ds.data, devices, Partition::NonIid { l_prime }, &mut rng);
     let truth = fed.global_truth();
     println!(
@@ -34,7 +37,10 @@ fn main() {
         cfg.cluster_count = ClusterCountPolicy::Fixed(l_prime);
         cfg.channel.noise_delta = delta;
         let out = FedSc::new(cfg).run(&fed).expect("Fed-SC run");
-        println!("{delta:>8.3}  {:>8.2}", clustering_accuracy(&truth, &out.predictions));
+        println!(
+            "{delta:>8.3}  {:>8.2}",
+            clustering_accuracy(&truth, &out.predictions)
+        );
     }
 
     println!("\n## Scalar quantization of the uploaded samples");

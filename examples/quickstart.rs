@@ -27,7 +27,12 @@ fn main() {
 
     // Distribute over 48 devices; each device only sees points from 2 of
     // the 8 clusters (statistical heterogeneity, the paper's key lever).
-    let fed = partition_dataset(&dataset.data, 48, Partition::NonIid { l_prime: 2 }, &mut rng);
+    let fed = partition_dataset(
+        &dataset.data,
+        48,
+        Partition::NonIid { l_prime: 2 },
+        &mut rng,
+    );
     println!("devices: {} (2 clusters per device)", fed.devices.len());
 
     // One-shot Fed-SC with a central SSC.

@@ -40,8 +40,14 @@ fn main() {
     // --- Heterogeneity and active sets (Definitions 2-3). ---
     let dev_labels = fed.device_labels();
     let het = Heterogeneity::from_device_labels(&dev_labels, l);
-    println!("Z_l (devices per subspace) = {:?}", het.devices_per_subspace);
-    println!("L^(z) (subspaces per device) = {:?}", het.subspaces_per_device);
+    println!(
+        "Z_l (devices per subspace) = {:?}",
+        het.devices_per_subspace
+    );
+    println!(
+        "L^(z) (subspaces per device) = {:?}",
+        het.subspaces_per_device
+    );
     println!("heterogeneous: {}", het.is_heterogeneous(l));
     let active = active_sets(&dev_labels, l);
     for (s, a) in active.iter().enumerate() {
@@ -54,8 +60,14 @@ fn main() {
     let b_ssc = ssc_affinity_bound(d, l, l_prime, z_prime, 1.0, 1.0);
     let b_tsc = tsc_affinity_bound(d, l, l_prime, z_prime);
     println!("\nmax pairwise affinity      = {aff_max:.4}");
-    println!("Corollary 1 (SSC) bound    = {b_ssc:.4} (margin {:+.4})", semi_random_margin(&ds.model, b_ssc));
-    println!("Corollary 2 (TSC) bound    = {b_tsc:.4} (margin {:+.4})", semi_random_margin(&ds.model, b_tsc));
+    println!(
+        "Corollary 1 (SSC) bound    = {b_ssc:.4} (margin {:+.4})",
+        semi_random_margin(&ds.model, b_ssc).expect("model bases share ambient dimension")
+    );
+    println!(
+        "Corollary 2 (TSC) bound    = {b_tsc:.4} (margin {:+.4})",
+        semi_random_margin(&ds.model, b_tsc).expect("model bases share ambient dimension")
+    );
     match tsc_q_range(d, l_prime, z_prime, z_prime) {
         Some((lo, hi)) => println!("Theorem 2 q-range          = [{lo:.1}, {hi:.1}]"),
         None => println!(
@@ -66,7 +78,8 @@ fn main() {
 
     // --- Deterministic-side quantities on one device. ---
     let dev = &fed.devices[0];
-    let r = inradius_estimate(&dev.data, Some(0), 30, &mut rng);
+    let r =
+        inradius_estimate(&dev.data, Some(0), 30, &mut rng).expect("device data is well-formed");
     println!("\ninradius estimate on device 0 (excluding point 0) = {r:.4}");
 
     // --- SEP / exact clustering of the graphs Fed-SC builds. ---

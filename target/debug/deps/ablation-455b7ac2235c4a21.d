@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation-455b7ac2235c4a21.d: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-455b7ac2235c4a21.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation-462a0a6fd717419b.d: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-462a0a6fd717419b.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-63a0ddb4a8063926.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-63a0ddb4a8063926: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

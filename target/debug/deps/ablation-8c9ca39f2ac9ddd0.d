@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8c9ca39f2ac9ddd0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8c9ca39f2ac9ddd0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-cf94efa7a45330b2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-cf94efa7a45330b2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

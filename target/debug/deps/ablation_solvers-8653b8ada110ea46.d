@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation_solvers-8653b8ada110ea46.d: /root/repo/clippy.toml crates/bench/benches/ablation_solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_solvers-8653b8ada110ea46.rmeta: /root/repo/clippy.toml crates/bench/benches/ablation_solvers.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/ablation_solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/algorithms-01241e659d688d57.d: /root/repo/clippy.toml crates/subspace/tests/algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithms-01241e659d688d57.rmeta: /root/repo/clippy.toml crates/subspace/tests/algorithms.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/subspace/tests/algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

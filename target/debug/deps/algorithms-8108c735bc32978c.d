@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-8108c735bc32978c.d: crates/subspace/tests/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-8108c735bc32978c: crates/subspace/tests/algorithms.rs
+
+crates/subspace/tests/algorithms.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bytes-5cdce8947d7e8fc1.d: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-5cdce8947d7e8fc1.rmeta: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

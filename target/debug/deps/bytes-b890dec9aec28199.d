@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-b890dec9aec28199.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-b890dec9aec28199: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bytes-f9a17bf63b2d251a.d: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-f9a17bf63b2d251a.rmeta: /root/repo/clippy.toml vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

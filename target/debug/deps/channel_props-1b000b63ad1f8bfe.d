@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/channel_props-1b000b63ad1f8bfe.d: crates/federated/tests/channel_props.rs
+
+/root/repo/target/debug/deps/channel_props-1b000b63ad1f8bfe: crates/federated/tests/channel_props.rs
+
+crates/federated/tests/channel_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/channel_props-68c880f72f0c0b04.d: /root/repo/clippy.toml crates/federated/tests/channel_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchannel_props-68c880f72f0c0b04.rmeta: /root/repo/clippy.toml crates/federated/tests/channel_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/federated/tests/channel_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/channel_props-71f67564250cea0b.d: crates/federated/tests/channel_props.rs
+
+/root/repo/target/debug/deps/channel_props-71f67564250cea0b: crates/federated/tests/channel_props.rs
+
+crates/federated/tests/channel_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/clustering_props-b530bb47deee8045.d: /root/repo/clippy.toml crates/clustering/tests/clustering_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclustering_props-b530bb47deee8045.rmeta: /root/repo/clippy.toml crates/clustering/tests/clustering_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/clustering/tests/clustering_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

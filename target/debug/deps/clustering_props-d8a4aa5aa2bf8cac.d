@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clustering_props-d8a4aa5aa2bf8cac.d: crates/clustering/tests/clustering_props.rs
+
+/root/repo/target/debug/deps/clustering_props-d8a4aa5aa2bf8cac: crates/clustering/tests/clustering_props.rs
+
+crates/clustering/tests/clustering_props.rs:

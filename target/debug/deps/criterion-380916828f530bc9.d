@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/criterion-380916828f530bc9.d: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-380916828f530bc9.rmeta: /root/repo/clippy.toml vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-0bc495b6fb8efadf.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-0bc495b6fb8efadf: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

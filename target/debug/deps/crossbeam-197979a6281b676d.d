@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crossbeam-197979a6281b676d.d: /root/repo/clippy.toml vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-197979a6281b676d.rmeta: /root/repo/clippy.toml vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crossbeam-dd64b927707aad87.d: /root/repo/clippy.toml vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-dd64b927707aad87.rmeta: /root/repo/clippy.toml vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

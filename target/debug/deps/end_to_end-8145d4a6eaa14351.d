@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8145d4a6eaa14351.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8145d4a6eaa14351: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/end_to_end-d429abda3a78a052.d: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-d429abda3a78a052.rmeta: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-edc39f7f4c8b1319.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-edc39f7f4c8b1319: tests/end_to_end.rs
+
+tests/end_to_end.rs:

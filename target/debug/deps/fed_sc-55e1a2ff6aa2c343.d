@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fed_sc-55e1a2ff6aa2c343.d: src/lib.rs
+
+/root/repo/target/debug/deps/fed_sc-55e1a2ff6aa2c343: src/lib.rs
+
+src/lib.rs:

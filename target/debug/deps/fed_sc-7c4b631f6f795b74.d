@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fed_sc-7c4b631f6f795b74.d: src/lib.rs
+
+/root/repo/target/debug/deps/fed_sc-7c4b631f6f795b74: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fed_sc-ce596dd32092d966.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfed_sc-ce596dd32092d966.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfed_sc-ce596dd32092d966.rmeta: src/lib.rs
+
+src/lib.rs:

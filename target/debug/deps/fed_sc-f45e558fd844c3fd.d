@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fed_sc-f45e558fd844c3fd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfed_sc-f45e558fd844c3fd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfed_sc-f45e558fd844c3fd.rmeta: src/lib.rs
+
+src/lib.rs:

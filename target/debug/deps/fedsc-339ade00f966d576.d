@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedsc-339ade00f966d576.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/fedsc-339ade00f966d576: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/central.rs:
+crates/core/src/config.rs:
+crates/core/src/local.rs:
+crates/core/src/scheme.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedsc-4507621a9cbf988f.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc-4507621a9cbf988f.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/central.rs:
+crates/core/src/config.rs:
+crates/core/src/local.rs:
+crates/core/src/scheme.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

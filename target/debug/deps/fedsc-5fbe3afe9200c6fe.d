@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedsc-5fbe3afe9200c6fe.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libfedsc-5fbe3afe9200c6fe.rlib: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libfedsc-5fbe3afe9200c6fe.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/central.rs:
+crates/core/src/config.rs:
+crates/core/src/local.rs:
+crates/core/src/scheme.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedsc-81f9dfc19d37dcd6.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libfedsc-81f9dfc19d37dcd6.rlib: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libfedsc-81f9dfc19d37dcd6.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/central.rs:
+crates/core/src/config.rs:
+crates/core/src/local.rs:
+crates/core/src/scheme.rs:
+crates/core/src/wire.rs:

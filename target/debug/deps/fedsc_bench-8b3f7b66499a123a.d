@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fedsc_bench-8b3f7b66499a123a.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/privacy.rs crates/bench/src/figures/table3.rs crates/bench/src/figures/table4.rs crates/bench/src/figures/ablation.rs crates/bench/src/harness.rs crates/bench/src/methods.rs
+
+/root/repo/target/debug/deps/libfedsc_bench-8b3f7b66499a123a.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/privacy.rs crates/bench/src/figures/table3.rs crates/bench/src/figures/table4.rs crates/bench/src/figures/ablation.rs crates/bench/src/harness.rs crates/bench/src/methods.rs
+
+/root/repo/target/debug/deps/libfedsc_bench-8b3f7b66499a123a.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/privacy.rs crates/bench/src/figures/table3.rs crates/bench/src/figures/table4.rs crates/bench/src/figures/ablation.rs crates/bench/src/harness.rs crates/bench/src/methods.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/fig4.rs:
+crates/bench/src/figures/fig5.rs:
+crates/bench/src/figures/fig6.rs:
+crates/bench/src/figures/fig7.rs:
+crates/bench/src/figures/privacy.rs:
+crates/bench/src/figures/table3.rs:
+crates/bench/src/figures/table4.rs:
+crates/bench/src/figures/ablation.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/methods.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fedsc_bench-fbf539390f9d6ffa.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/ablation.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/privacy.rs crates/bench/src/figures/table3.rs crates/bench/src/figures/table4.rs crates/bench/src/harness.rs crates/bench/src/methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_bench-fbf539390f9d6ffa.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/ablation.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/privacy.rs crates/bench/src/figures/table3.rs crates/bench/src/figures/table4.rs crates/bench/src/harness.rs crates/bench/src/methods.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/ablation.rs:
+crates/bench/src/figures/fig4.rs:
+crates/bench/src/figures/fig5.rs:
+crates/bench/src/figures/fig6.rs:
+crates/bench/src/figures/fig7.rs:
+crates/bench/src/figures/privacy.rs:
+crates/bench/src/figures/table3.rs:
+crates/bench/src/figures/table4.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

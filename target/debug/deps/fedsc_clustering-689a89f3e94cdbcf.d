@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedsc_clustering-689a89f3e94cdbcf.d: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+/root/repo/target/debug/deps/libfedsc_clustering-689a89f3e94cdbcf.rlib: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+/root/repo/target/debug/deps/libfedsc_clustering-689a89f3e94cdbcf.rmeta: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/conn.rs:
+crates/clustering/src/hungarian.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/metrics.rs:
+crates/clustering/src/spectral.rs:

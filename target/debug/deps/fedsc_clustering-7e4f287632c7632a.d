@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedsc_clustering-7e4f287632c7632a.d: /root/repo/clippy.toml crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_clustering-7e4f287632c7632a.rmeta: /root/repo/clippy.toml crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/clustering/src/lib.rs:
+crates/clustering/src/conn.rs:
+crates/clustering/src/hungarian.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/metrics.rs:
+crates/clustering/src/spectral.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

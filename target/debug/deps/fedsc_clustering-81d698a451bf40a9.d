@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedsc_clustering-81d698a451bf40a9.d: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+/root/repo/target/debug/deps/libfedsc_clustering-81d698a451bf40a9.rlib: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+/root/repo/target/debug/deps/libfedsc_clustering-81d698a451bf40a9.rmeta: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/conn.rs:
+crates/clustering/src/hungarian.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/metrics.rs:
+crates/clustering/src/spectral.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedsc_clustering-e6e5f7b84303ef7d.d: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+/root/repo/target/debug/deps/fedsc_clustering-e6e5f7b84303ef7d: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/conn.rs:
+crates/clustering/src/hungarian.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/metrics.rs:
+crates/clustering/src/spectral.rs:

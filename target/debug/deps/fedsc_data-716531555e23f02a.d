@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedsc_data-716531555e23f02a.d: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_data-716531555e23f02a.rmeta: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/data/src/lib.rs:
+crates/data/src/realworld.rs:
+crates/data/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedsc_data-d16cdf0753a1b462.d: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libfedsc_data-d16cdf0753a1b462.rlib: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libfedsc_data-d16cdf0753a1b462.rmeta: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/realworld.rs:
+crates/data/src/synthetic.rs:

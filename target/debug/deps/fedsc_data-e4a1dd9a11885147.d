@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedsc_data-e4a1dd9a11885147.d: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libfedsc_data-e4a1dd9a11885147.rlib: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libfedsc_data-e4a1dd9a11885147.rmeta: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/realworld.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedsc_data-f06fc6de4f9a2034.d: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/fedsc_data-f06fc6de4f9a2034: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/realworld.rs:
+crates/data/src/synthetic.rs:

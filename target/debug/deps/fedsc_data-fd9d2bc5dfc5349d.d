@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedsc_data-fd9d2bc5dfc5349d.d: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_data-fd9d2bc5dfc5349d.rmeta: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/data/src/lib.rs:
+crates/data/src/realworld.rs:
+crates/data/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedsc_federated-15e42826cf9436d6.d: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+/root/repo/target/debug/deps/libfedsc_federated-15e42826cf9436d6.rlib: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+/root/repo/target/debug/deps/libfedsc_federated-15e42826cf9436d6.rmeta: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+crates/federated/src/lib.rs:
+crates/federated/src/channel.rs:
+crates/federated/src/kfed.rs:
+crates/federated/src/parallel.rs:
+crates/federated/src/partition.rs:
+crates/federated/src/privacy.rs:

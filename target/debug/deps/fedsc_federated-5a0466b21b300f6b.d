@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedsc_federated-5a0466b21b300f6b.d: /root/repo/clippy.toml crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_federated-5a0466b21b300f6b.rmeta: /root/repo/clippy.toml crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/federated/src/lib.rs:
+crates/federated/src/channel.rs:
+crates/federated/src/kfed.rs:
+crates/federated/src/parallel.rs:
+crates/federated/src/partition.rs:
+crates/federated/src/privacy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

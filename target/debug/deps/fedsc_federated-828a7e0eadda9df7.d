@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedsc_federated-828a7e0eadda9df7.d: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+/root/repo/target/debug/deps/fedsc_federated-828a7e0eadda9df7: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+crates/federated/src/lib.rs:
+crates/federated/src/channel.rs:
+crates/federated/src/kfed.rs:
+crates/federated/src/parallel.rs:
+crates/federated/src/partition.rs:
+crates/federated/src/privacy.rs:

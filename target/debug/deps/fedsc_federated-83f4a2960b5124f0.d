@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedsc_federated-83f4a2960b5124f0.d: /root/repo/clippy.toml crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_federated-83f4a2960b5124f0.rmeta: /root/repo/clippy.toml crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/federated/src/lib.rs:
+crates/federated/src/channel.rs:
+crates/federated/src/kfed.rs:
+crates/federated/src/parallel.rs:
+crates/federated/src/partition.rs:
+crates/federated/src/privacy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

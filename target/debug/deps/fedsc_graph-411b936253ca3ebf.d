@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedsc_graph-411b936253ca3ebf.d: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+/root/repo/target/debug/deps/fedsc_graph-411b936253ca3ebf: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/affinity.rs:
+crates/graph/src/laplacian.rs:

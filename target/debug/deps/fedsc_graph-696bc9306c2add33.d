@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedsc_graph-696bc9306c2add33.d: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+/root/repo/target/debug/deps/libfedsc_graph-696bc9306c2add33.rlib: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+/root/repo/target/debug/deps/libfedsc_graph-696bc9306c2add33.rmeta: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/affinity.rs:
+crates/graph/src/laplacian.rs:

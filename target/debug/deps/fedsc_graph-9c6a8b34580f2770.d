@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedsc_graph-9c6a8b34580f2770.d: /root/repo/clippy.toml crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_graph-9c6a8b34580f2770.rmeta: /root/repo/clippy.toml crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/graph/src/lib.rs:
+crates/graph/src/affinity.rs:
+crates/graph/src/laplacian.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedsc_graph-dd8db7a53c8feb86.d: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+/root/repo/target/debug/deps/libfedsc_graph-dd8db7a53c8feb86.rlib: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+/root/repo/target/debug/deps/libfedsc_graph-dd8db7a53c8feb86.rmeta: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/affinity.rs:
+crates/graph/src/laplacian.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedsc_linalg-b53a0d392085a784.d: crates/linalg/src/lib.rs crates/linalg/src/angles.rs crates/linalg/src/eigh.rs crates/linalg/src/error.rs crates/linalg/src/lanczos.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/random.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libfedsc_linalg-b53a0d392085a784.rlib: crates/linalg/src/lib.rs crates/linalg/src/angles.rs crates/linalg/src/eigh.rs crates/linalg/src/error.rs crates/linalg/src/lanczos.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/random.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libfedsc_linalg-b53a0d392085a784.rmeta: crates/linalg/src/lib.rs crates/linalg/src/angles.rs crates/linalg/src/eigh.rs crates/linalg/src/error.rs crates/linalg/src/lanczos.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/random.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/angles.rs:
+crates/linalg/src/eigh.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lanczos.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/random.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fedsc_linalg-cec7e765d2e40ceb.d: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/angles.rs crates/linalg/src/eigh.rs crates/linalg/src/error.rs crates/linalg/src/lanczos.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/random.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_linalg-cec7e765d2e40ceb.rmeta: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/angles.rs crates/linalg/src/eigh.rs crates/linalg/src/error.rs crates/linalg/src/lanczos.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/random.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/src/lib.rs:
+crates/linalg/src/angles.rs:
+crates/linalg/src/eigh.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lanczos.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/random.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

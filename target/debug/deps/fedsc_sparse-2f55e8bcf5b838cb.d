@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedsc_sparse-2f55e8bcf5b838cb.d: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+/root/repo/target/debug/deps/libfedsc_sparse-2f55e8bcf5b838cb.rlib: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+/root/repo/target/debug/deps/libfedsc_sparse-2f55e8bcf5b838cb.rmeta: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/admm.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/elastic_net.rs:
+crates/sparse/src/lasso.rs:
+crates/sparse/src/omp.rs:
+crates/sparse/src/vec.rs:

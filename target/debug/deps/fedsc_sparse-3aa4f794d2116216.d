@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedsc_sparse-3aa4f794d2116216.d: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+/root/repo/target/debug/deps/libfedsc_sparse-3aa4f794d2116216.rlib: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+/root/repo/target/debug/deps/libfedsc_sparse-3aa4f794d2116216.rmeta: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/admm.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/elastic_net.rs:
+crates/sparse/src/lasso.rs:
+crates/sparse/src/omp.rs:
+crates/sparse/src/vec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedsc_sparse-b7cf4df0a5698cb1.d: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+/root/repo/target/debug/deps/fedsc_sparse-b7cf4df0a5698cb1: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/admm.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/elastic_net.rs:
+crates/sparse/src/lasso.rs:
+crates/sparse/src/omp.rs:
+crates/sparse/src/vec.rs:

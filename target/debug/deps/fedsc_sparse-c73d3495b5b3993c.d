@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedsc_sparse-c73d3495b5b3993c.d: /root/repo/clippy.toml crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_sparse-c73d3495b5b3993c.rmeta: /root/repo/clippy.toml crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/sparse/src/lib.rs:
+crates/sparse/src/admm.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/elastic_net.rs:
+crates/sparse/src/lasso.rs:
+crates/sparse/src/omp.rs:
+crates/sparse/src/vec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedsc_subspace-2ae9903cedd55f9e.d: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+/root/repo/target/debug/deps/libfedsc_subspace-2ae9903cedd55f9e.rlib: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+/root/repo/target/debug/deps/libfedsc_subspace-2ae9903cedd55f9e.rmeta: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+crates/subspace/src/lib.rs:
+crates/subspace/src/algo.rs:
+crates/subspace/src/ensc.rs:
+crates/subspace/src/model.rs:
+crates/subspace/src/nsn.rs:
+crates/subspace/src/ssc.rs:
+crates/subspace/src/sscomp.rs:
+crates/subspace/src/theory.rs:
+crates/subspace/src/tsc.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fedsc_subspace-a9ab106a93ad2942.d: /root/repo/clippy.toml crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedsc_subspace-a9ab106a93ad2942.rmeta: /root/repo/clippy.toml crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/subspace/src/lib.rs:
+crates/subspace/src/algo.rs:
+crates/subspace/src/ensc.rs:
+crates/subspace/src/model.rs:
+crates/subspace/src/nsn.rs:
+crates/subspace/src/ssc.rs:
+crates/subspace/src/sscomp.rs:
+crates/subspace/src/theory.rs:
+crates/subspace/src/tsc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedsc_subspace-f98b54d012b77354.d: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+/root/repo/target/debug/deps/fedsc_subspace-f98b54d012b77354: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+crates/subspace/src/lib.rs:
+crates/subspace/src/algo.rs:
+crates/subspace/src/ensc.rs:
+crates/subspace/src/model.rs:
+crates/subspace/src/nsn.rs:
+crates/subspace/src/ssc.rs:
+crates/subspace/src/sscomp.rs:
+crates/subspace/src/theory.rs:
+crates/subspace/src/tsc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-2c47cf7fabfee5bd.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-2c47cf7fabfee5bd: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

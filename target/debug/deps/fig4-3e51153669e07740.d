@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4-3e51153669e07740.d: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-3e51153669e07740.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8f54719ab87ceabb.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8f54719ab87ceabb: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

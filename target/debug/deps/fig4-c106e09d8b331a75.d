@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4-c106e09d8b331a75.d: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-c106e09d8b331a75.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

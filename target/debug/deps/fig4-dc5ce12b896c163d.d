@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-dc5ce12b896c163d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-dc5ce12b896c163d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

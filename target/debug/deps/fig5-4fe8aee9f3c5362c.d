@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5-4fe8aee9f3c5362c.d: /root/repo/clippy.toml crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-4fe8aee9f3c5362c.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

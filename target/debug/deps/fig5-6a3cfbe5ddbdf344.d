@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-6a3cfbe5ddbdf344.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-6a3cfbe5ddbdf344: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-86a9dd1938e7184d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-86a9dd1938e7184d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-9f625adb51c88da5.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-9f625adb51c88da5: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

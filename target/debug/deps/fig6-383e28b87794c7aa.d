@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-383e28b87794c7aa.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-383e28b87794c7aa: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b3239e2ea32006e8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b3239e2ea32006e8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b536e4e2a52998c7.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b536e4e2a52998c7: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

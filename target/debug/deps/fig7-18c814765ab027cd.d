@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-18c814765ab027cd.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-18c814765ab027cd: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-29eb2d5fe8c49f40.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-29eb2d5fe8c49f40: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

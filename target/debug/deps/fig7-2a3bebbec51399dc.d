@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7-2a3bebbec51399dc.d: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-2a3bebbec51399dc.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3b52e401e53a37b3.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3b52e401e53a37b3: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figures-48da0961f37aa055.d: /root/repo/clippy.toml crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-48da0961f37aa055.rmeta: /root/repo/clippy.toml crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

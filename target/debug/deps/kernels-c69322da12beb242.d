@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kernels-c69322da12beb242.d: /root/repo/clippy.toml crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-c69322da12beb242.rmeta: /root/repo/clippy.toml crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/laplacian_props-556cbc19df3fea0b.d: /root/repo/clippy.toml crates/graph/tests/laplacian_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaplacian_props-556cbc19df3fea0b.rmeta: /root/repo/clippy.toml crates/graph/tests/laplacian_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/graph/tests/laplacian_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laplacian_props-d820ab83c11d8416.d: crates/graph/tests/laplacian_props.rs
+
+/root/repo/target/debug/deps/laplacian_props-d820ab83c11d8416: crates/graph/tests/laplacian_props.rs
+
+crates/graph/tests/laplacian_props.rs:

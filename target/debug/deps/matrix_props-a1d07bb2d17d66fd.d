@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/matrix_props-a1d07bb2d17d66fd.d: /root/repo/clippy.toml crates/linalg/tests/matrix_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatrix_props-a1d07bb2d17d66fd.rmeta: /root/repo/clippy.toml crates/linalg/tests/matrix_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/tests/matrix_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

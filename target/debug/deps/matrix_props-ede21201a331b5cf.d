@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix_props-ede21201a331b5cf.d: crates/linalg/tests/matrix_props.rs
+
+/root/repo/target/debug/deps/matrix_props-ede21201a331b5cf: crates/linalg/tests/matrix_props.rs
+
+crates/linalg/tests/matrix_props.rs:

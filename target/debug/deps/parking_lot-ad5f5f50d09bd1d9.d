@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parking_lot-ad5f5f50d09bd1d9.d: /root/repo/clippy.toml vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-ad5f5f50d09bd1d9.rmeta: /root/repo/clippy.toml vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-dbd6fc9698f3da72.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-dbd6fc9698f3da72: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

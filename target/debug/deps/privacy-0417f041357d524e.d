@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/privacy-0417f041357d524e.d: crates/bench/src/bin/privacy.rs
+
+/root/repo/target/debug/deps/privacy-0417f041357d524e: crates/bench/src/bin/privacy.rs
+
+crates/bench/src/bin/privacy.rs:

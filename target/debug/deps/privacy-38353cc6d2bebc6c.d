@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/privacy-38353cc6d2bebc6c.d: /root/repo/clippy.toml crates/bench/src/bin/privacy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprivacy-38353cc6d2bebc6c.rmeta: /root/repo/clippy.toml crates/bench/src/bin/privacy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/privacy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/privacy-a07f9b293e7f1936.d: crates/bench/src/bin/privacy.rs
+
+/root/repo/target/debug/deps/privacy-a07f9b293e7f1936: crates/bench/src/bin/privacy.rs
+
+crates/bench/src/bin/privacy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/privacy-b53281558631c2f4.d: crates/bench/src/bin/privacy.rs
+
+/root/repo/target/debug/deps/privacy-b53281558631c2f4: crates/bench/src/bin/privacy.rs
+
+crates/bench/src/bin/privacy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/privacy-bc5172a9a991a353.d: /root/repo/clippy.toml crates/bench/src/bin/privacy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprivacy-bc5172a9a991a353.rmeta: /root/repo/clippy.toml crates/bench/src/bin/privacy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/privacy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

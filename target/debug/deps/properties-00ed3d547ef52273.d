@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-00ed3d547ef52273.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-00ed3d547ef52273: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-479ada59508a29d9.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-479ada59508a29d9: tests/properties.rs
+
+tests/properties.rs:

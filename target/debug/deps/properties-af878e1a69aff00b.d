@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-af878e1a69aff00b.d: /root/repo/clippy.toml tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-af878e1a69aff00b.rmeta: /root/repo/clippy.toml tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

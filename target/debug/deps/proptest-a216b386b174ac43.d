@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-a216b386b174ac43.d: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-a216b386b174ac43.rmeta: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-d55415b4bb53a6d0.d: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d55415b4bb53a6d0.rmeta: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

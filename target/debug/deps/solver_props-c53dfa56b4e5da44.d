@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_props-c53dfa56b4e5da44.d: crates/sparse/tests/solver_props.rs
+
+/root/repo/target/debug/deps/solver_props-c53dfa56b4e5da44: crates/sparse/tests/solver_props.rs
+
+crates/sparse/tests/solver_props.rs:

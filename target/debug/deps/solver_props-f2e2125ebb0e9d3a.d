@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/solver_props-f2e2125ebb0e9d3a.d: /root/repo/clippy.toml crates/sparse/tests/solver_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_props-f2e2125ebb0e9d3a.rmeta: /root/repo/clippy.toml crates/sparse/tests/solver_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/sparse/tests/solver_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/surrogate_props-21da1df97df8ad4d.d: /root/repo/clippy.toml crates/data/tests/surrogate_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsurrogate_props-21da1df97df8ad4d.rmeta: /root/repo/clippy.toml crates/data/tests/surrogate_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/data/tests/surrogate_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

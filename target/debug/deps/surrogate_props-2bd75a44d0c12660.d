@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surrogate_props-2bd75a44d0c12660.d: crates/data/tests/surrogate_props.rs
+
+/root/repo/target/debug/deps/surrogate_props-2bd75a44d0c12660: crates/data/tests/surrogate_props.rs
+
+crates/data/tests/surrogate_props.rs:

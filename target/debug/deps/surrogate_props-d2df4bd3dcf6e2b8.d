@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surrogate_props-d2df4bd3dcf6e2b8.d: crates/data/tests/surrogate_props.rs
+
+/root/repo/target/debug/deps/surrogate_props-d2df4bd3dcf6e2b8: crates/data/tests/surrogate_props.rs
+
+crates/data/tests/surrogate_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3a321e7adad358b7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3a321e7adad358b7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-7ab8b8a8b3306dbd.d: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-7ab8b8a8b3306dbd.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c06d4d2caa7586d9.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-c06d4d2caa7586d9: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ec7aafc365ed2b32.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ec7aafc365ed2b32: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table4-7750046225f9efa0.d: /root/repo/clippy.toml crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-7750046225f9efa0.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-8cb8dd635a31cf11.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-8cb8dd635a31cf11: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table4-93e91f9d07e5d3ad.d: /root/repo/clippy.toml crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-93e91f9d07e5d3ad.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

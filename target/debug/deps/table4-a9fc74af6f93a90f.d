@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-a9fc74af6f93a90f.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-a9fc74af6f93a90f: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

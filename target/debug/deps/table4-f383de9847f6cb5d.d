@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f383de9847f6cb5d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f383de9847f6cb5d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

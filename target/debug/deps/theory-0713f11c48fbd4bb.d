@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-0713f11c48fbd4bb.d: tests/theory.rs
+
+/root/repo/target/debug/deps/theory-0713f11c48fbd4bb: tests/theory.rs
+
+tests/theory.rs:

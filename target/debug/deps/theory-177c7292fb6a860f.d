@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/theory-177c7292fb6a860f.d: /root/repo/clippy.toml tests/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory-177c7292fb6a860f.rmeta: /root/repo/clippy.toml tests/theory.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

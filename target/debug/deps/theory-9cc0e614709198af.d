@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-9cc0e614709198af.d: tests/theory.rs
+
+/root/repo/target/debug/deps/theory-9cc0e614709198af: tests/theory.rs
+
+tests/theory.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-5af337c477092ca4.d: /root/repo/clippy.toml crates/xtask/src/main.rs crates/xtask/src/scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-5af337c477092ca4.rmeta: /root/repo/clippy.toml crates/xtask/src/main.rs crates/xtask/src/scan.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/main.rs:
+crates/xtask/src/scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

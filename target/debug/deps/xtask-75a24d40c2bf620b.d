@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xtask-75a24d40c2bf620b.d: crates/xtask/src/main.rs crates/xtask/src/scan.rs
+
+/root/repo/target/debug/deps/xtask-75a24d40c2bf620b: crates/xtask/src/main.rs crates/xtask/src/scan.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/scan.rs:

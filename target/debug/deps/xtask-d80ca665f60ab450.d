@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xtask-d80ca665f60ab450.d: crates/xtask/src/main.rs crates/xtask/src/scan.rs
+
+/root/repo/target/debug/deps/xtask-d80ca665f60ab450: crates/xtask/src/main.rs crates/xtask/src/scan.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/scan.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-f183a62e7942a50f.d: /root/repo/clippy.toml crates/xtask/src/main.rs crates/xtask/src/scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-f183a62e7942a50f.rmeta: /root/repo/clippy.toml crates/xtask/src/main.rs crates/xtask/src/scan.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/main.rs:
+crates/xtask/src/scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fedsc_cli-4ab47f7463aca47a.d: examples/fedsc_cli.rs
+
+/root/repo/target/debug/examples/fedsc_cli-4ab47f7463aca47a: examples/fedsc_cli.rs
+
+examples/fedsc_cli.rs:

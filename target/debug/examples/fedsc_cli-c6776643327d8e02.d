@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/fedsc_cli-c6776643327d8e02.d: /root/repo/clippy.toml examples/fedsc_cli.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfedsc_cli-c6776643327d8e02.rmeta: /root/repo/clippy.toml examples/fedsc_cli.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/fedsc_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

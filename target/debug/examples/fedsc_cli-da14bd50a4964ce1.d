@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fedsc_cli-da14bd50a4964ce1.d: examples/fedsc_cli.rs
+
+/root/repo/target/debug/examples/fedsc_cli-da14bd50a4964ce1: examples/fedsc_cli.rs
+
+examples/fedsc_cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/hospital_records-4fc75dd08088eceb.d: /root/repo/clippy.toml examples/hospital_records.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhospital_records-4fc75dd08088eceb.rmeta: /root/repo/clippy.toml examples/hospital_records.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/hospital_records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

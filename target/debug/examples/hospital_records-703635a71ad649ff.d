@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hospital_records-703635a71ad649ff.d: examples/hospital_records.rs
+
+/root/repo/target/debug/examples/hospital_records-703635a71ad649ff: examples/hospital_records.rs
+
+examples/hospital_records.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hospital_records-9470fcf949c2d8ce.d: examples/hospital_records.rs
+
+/root/repo/target/debug/examples/hospital_records-9470fcf949c2d8ce: examples/hospital_records.rs
+
+examples/hospital_records.rs:

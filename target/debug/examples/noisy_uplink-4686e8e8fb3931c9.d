@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_uplink-4686e8e8fb3931c9.d: examples/noisy_uplink.rs
+
+/root/repo/target/debug/examples/noisy_uplink-4686e8e8fb3931c9: examples/noisy_uplink.rs
+
+examples/noisy_uplink.rs:

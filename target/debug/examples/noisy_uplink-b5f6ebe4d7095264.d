@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/noisy_uplink-b5f6ebe4d7095264.d: /root/repo/clippy.toml examples/noisy_uplink.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoisy_uplink-b5f6ebe4d7095264.rmeta: /root/repo/clippy.toml examples/noisy_uplink.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/noisy_uplink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

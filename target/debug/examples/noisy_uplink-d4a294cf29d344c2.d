@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_uplink-d4a294cf29d344c2.d: examples/noisy_uplink.rs
+
+/root/repo/target/debug/examples/noisy_uplink-d4a294cf29d344c2: examples/noisy_uplink.rs
+
+examples/noisy_uplink.rs:

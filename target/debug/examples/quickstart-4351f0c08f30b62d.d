@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4351f0c08f30b62d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4351f0c08f30b62d: examples/quickstart.rs
+
+examples/quickstart.rs:

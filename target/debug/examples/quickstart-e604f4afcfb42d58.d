@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e604f4afcfb42d58.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e604f4afcfb42d58: examples/quickstart.rs
+
+examples/quickstart.rs:

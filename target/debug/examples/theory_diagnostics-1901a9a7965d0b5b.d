@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/theory_diagnostics-1901a9a7965d0b5b.d: examples/theory_diagnostics.rs
+
+/root/repo/target/debug/examples/theory_diagnostics-1901a9a7965d0b5b: examples/theory_diagnostics.rs
+
+examples/theory_diagnostics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/theory_diagnostics-d171e798e957d9c3.d: examples/theory_diagnostics.rs
+
+/root/repo/target/debug/examples/theory_diagnostics-d171e798e957d9c3: examples/theory_diagnostics.rs
+
+examples/theory_diagnostics.rs:

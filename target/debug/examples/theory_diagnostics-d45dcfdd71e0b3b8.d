@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/theory_diagnostics-d45dcfdd71e0b3b8.d: /root/repo/clippy.toml examples/theory_diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtheory_diagnostics-d45dcfdd71e0b3b8.rmeta: /root/repo/clippy.toml examples/theory_diagnostics.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/theory_diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

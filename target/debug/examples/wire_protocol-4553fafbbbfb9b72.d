@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/wire_protocol-4553fafbbbfb9b72.d: /root/repo/clippy.toml examples/wire_protocol.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwire_protocol-4553fafbbbfb9b72.rmeta: /root/repo/clippy.toml examples/wire_protocol.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/wire_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

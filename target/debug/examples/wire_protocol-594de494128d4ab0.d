@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_protocol-594de494128d4ab0.d: examples/wire_protocol.rs
+
+/root/repo/target/debug/examples/wire_protocol-594de494128d4ab0: examples/wire_protocol.rs
+
+examples/wire_protocol.rs:

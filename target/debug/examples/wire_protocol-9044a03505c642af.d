@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_protocol-9044a03505c642af.d: examples/wire_protocol.rs
+
+/root/repo/target/debug/examples/wire_protocol-9044a03505c642af: examples/wire_protocol.rs
+
+examples/wire_protocol.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fed_sc-249e5b84f9da61c1.d: src/lib.rs
+
+/root/repo/target/release/deps/libfed_sc-249e5b84f9da61c1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfed_sc-249e5b84f9da61c1.rmeta: src/lib.rs
+
+src/lib.rs:

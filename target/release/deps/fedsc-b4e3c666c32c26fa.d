@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedsc-b4e3c666c32c26fa.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libfedsc-b4e3c666c32c26fa.rlib: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libfedsc-b4e3c666c32c26fa.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/local.rs crates/core/src/scheme.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/central.rs:
+crates/core/src/config.rs:
+crates/core/src/local.rs:
+crates/core/src/scheme.rs:
+crates/core/src/wire.rs:

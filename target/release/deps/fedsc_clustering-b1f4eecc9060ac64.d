@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedsc_clustering-b1f4eecc9060ac64.d: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+/root/repo/target/release/deps/libfedsc_clustering-b1f4eecc9060ac64.rlib: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+/root/repo/target/release/deps/libfedsc_clustering-b1f4eecc9060ac64.rmeta: crates/clustering/src/lib.rs crates/clustering/src/conn.rs crates/clustering/src/hungarian.rs crates/clustering/src/kmeans.rs crates/clustering/src/metrics.rs crates/clustering/src/spectral.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/conn.rs:
+crates/clustering/src/hungarian.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/metrics.rs:
+crates/clustering/src/spectral.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedsc_data-ac88e7024163f6a8.d: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libfedsc_data-ac88e7024163f6a8.rlib: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libfedsc_data-ac88e7024163f6a8.rmeta: crates/data/src/lib.rs crates/data/src/realworld.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/realworld.rs:
+crates/data/src/synthetic.rs:

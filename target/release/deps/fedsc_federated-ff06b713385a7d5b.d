@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedsc_federated-ff06b713385a7d5b.d: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+/root/repo/target/release/deps/libfedsc_federated-ff06b713385a7d5b.rlib: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+/root/repo/target/release/deps/libfedsc_federated-ff06b713385a7d5b.rmeta: crates/federated/src/lib.rs crates/federated/src/channel.rs crates/federated/src/kfed.rs crates/federated/src/parallel.rs crates/federated/src/partition.rs crates/federated/src/privacy.rs
+
+crates/federated/src/lib.rs:
+crates/federated/src/channel.rs:
+crates/federated/src/kfed.rs:
+crates/federated/src/parallel.rs:
+crates/federated/src/partition.rs:
+crates/federated/src/privacy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedsc_graph-ac91f2220bb2429b.d: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+/root/repo/target/release/deps/libfedsc_graph-ac91f2220bb2429b.rlib: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+/root/repo/target/release/deps/libfedsc_graph-ac91f2220bb2429b.rmeta: crates/graph/src/lib.rs crates/graph/src/affinity.rs crates/graph/src/laplacian.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/affinity.rs:
+crates/graph/src/laplacian.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedsc_sparse-b330a0ed11c98cdb.d: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+/root/repo/target/release/deps/libfedsc_sparse-b330a0ed11c98cdb.rlib: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+/root/repo/target/release/deps/libfedsc_sparse-b330a0ed11c98cdb.rmeta: crates/sparse/src/lib.rs crates/sparse/src/admm.rs crates/sparse/src/csr.rs crates/sparse/src/elastic_net.rs crates/sparse/src/lasso.rs crates/sparse/src/omp.rs crates/sparse/src/vec.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/admm.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/elastic_net.rs:
+crates/sparse/src/lasso.rs:
+crates/sparse/src/omp.rs:
+crates/sparse/src/vec.rs:

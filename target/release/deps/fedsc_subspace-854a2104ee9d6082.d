@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fedsc_subspace-854a2104ee9d6082.d: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+/root/repo/target/release/deps/libfedsc_subspace-854a2104ee9d6082.rlib: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+/root/repo/target/release/deps/libfedsc_subspace-854a2104ee9d6082.rmeta: crates/subspace/src/lib.rs crates/subspace/src/algo.rs crates/subspace/src/ensc.rs crates/subspace/src/model.rs crates/subspace/src/nsn.rs crates/subspace/src/ssc.rs crates/subspace/src/sscomp.rs crates/subspace/src/theory.rs crates/subspace/src/tsc.rs
+
+crates/subspace/src/lib.rs:
+crates/subspace/src/algo.rs:
+crates/subspace/src/ensc.rs:
+crates/subspace/src/model.rs:
+crates/subspace/src/nsn.rs:
+crates/subspace/src/ssc.rs:
+crates/subspace/src/sscomp.rs:
+crates/subspace/src/theory.rs:
+crates/subspace/src/tsc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_probe-ce00070de06d475f.d: examples/seed_probe.rs
+
+/root/repo/target/release/examples/seed_probe-ce00070de06d475f: examples/seed_probe.rs
+
+examples/seed_probe.rs:

@@ -40,7 +40,9 @@ fn instance(
 fn near_orthogonal_subspaces_cluster_exactly() {
     // d = 3 subspaces in R^40 are near-orthogonal: Fed-SC should be ~exact.
     let (fed, truth) = instance(5, 3, 40, 2, 25, 10, 1);
-    let out = FedSc::new(FedScConfig::new(5, CentralBackend::Ssc)).run(&fed).unwrap();
+    let out = FedSc::new(FedScConfig::new(5, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     let acc = clustering_accuracy(&truth, &out.predictions);
     assert!(acc > 97.0, "accuracy {acc}");
     let nmi = normalized_mutual_information(&truth, &out.predictions);
@@ -50,7 +52,9 @@ fn near_orthogonal_subspaces_cluster_exactly() {
 #[test]
 fn tsc_backend_matches_ssc_with_enough_devices() {
     let (fed, truth) = instance(4, 3, 30, 2, 40, 10, 2);
-    let ssc = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    let ssc = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     let tsc = FedSc::new(FedScConfig::new(4, CentralBackend::Tsc { q: None }))
         .run(&fed)
         .unwrap();
@@ -78,7 +82,9 @@ fn one_shot_contract_holds() {
     // Exactly one uplink and one downlink message per device, and the
     // uplink bit count follows Section IV-E.
     let (fed, _) = instance(4, 3, 30, 2, 16, 8, 4);
-    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     assert_eq!(out.comm.uplink_messages, 16);
     assert_eq!(out.comm.downlink_messages, 16);
     assert_eq!(out.comm.uplink_bits, 30 * 64 * out.samples.cols() as u64);
@@ -91,7 +97,9 @@ fn predictions_respect_local_partitions() {
     // Phase 3 relabels whole local clusters, so any two points the device
     // put together must share a final label.
     let (fed, _) = instance(4, 3, 30, 2, 12, 8, 5);
-    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     for (i, &ci) in out.point_cluster.iter().enumerate() {
         for (j, &cj) in out.point_cluster.iter().enumerate().skip(i + 1) {
             if ci == cj {
@@ -104,7 +112,9 @@ fn predictions_respect_local_partitions() {
 #[test]
 fn induced_graph_holds_sep_on_easy_instance() {
     let (fed, truth) = instance(4, 3, 40, 2, 24, 10, 6);
-    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     let g = out.induced_global_affinity();
     // Near-orthogonal subspaces: the sample-level graph has essentially no
     // cross-subspace edges, so the induced graph satisfies SEP up to a tiny
@@ -161,7 +171,9 @@ fn kfed_loses_to_fed_sc_on_subspace_data() {
     // The headline comparison: subspace-structured data defeats k-means
     // geometry, so Fed-SC must beat k-FED by a wide margin.
     let (fed, truth) = instance(5, 3, 30, 2, 25, 10, 10);
-    let fs = FedSc::new(FedScConfig::new(5, CentralBackend::Ssc)).run(&fed).unwrap();
+    let fs = FedSc::new(FedScConfig::new(5, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     let kf = fed_sc::federated::kfed(&fed, &fed_sc::federated::KFedConfig::new(5, 2)).unwrap();
     let a_fs = clustering_accuracy(&truth, &fs.predictions);
     let a_kf = clustering_accuracy(&truth, &kf.predictions);
@@ -185,7 +197,9 @@ fn empty_and_tiny_devices_are_tolerated() {
     };
     let ds = generate(&cfg, &mut rng);
     let fed = partition_dataset(&ds.data, 10, Partition::NonIid { l_prime: 1 }, &mut rng);
-    let out = FedSc::new(FedScConfig::new(3, CentralBackend::Ssc)).run(&fed).unwrap();
+    let out = FedSc::new(FedScConfig::new(3, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     assert_eq!(out.predictions.len(), 36);
     assert!(out.predictions.iter().all(|&l| l < 3));
 }

@@ -3,6 +3,10 @@
 //! metric axioms, partitioner bookkeeping, and the sampling step of
 //! Algorithm 2.
 
+// Test code: a panic is a test failure, so unwrap is the idiom here
+// (clippy's allow-unwrap-in-tests does not reach integration-test helpers).
+#![allow(clippy::unwrap_used)]
+
 use fed_sc::clustering::{adjusted_rand_index, clustering_accuracy, normalized_mutual_information};
 use fed_sc::federated::partition::{partition_dataset, Partition};
 use fed_sc::linalg::eigh::eigh;
@@ -98,8 +102,9 @@ proptest! {
         let solver = LassoSolver::new(&gram, opts);
         let b = gram.col(0);
         let lambda = ssc_lambda(b, 0, lambda_scale);
-        let c = solver.solve(b, lambda, 0);
-        let viol = solver.kkt_violation(b, lambda, 0, &c);
+        let c = solver.solve(b, lambda, 0).expect("well-formed lasso instance");
+        let viol =
+            solver.kkt_violation(b, lambda, 0, &c).expect("well-formed lasso instance");
         prop_assert!(viol < 1e-4 * lambda.max(1.0), "KKT violation {viol} at lambda {lambda}");
         // Exclusion respected.
         prop_assert!(c.to_dense()[0] == 0.0);

@@ -3,6 +3,10 @@
 //! SEP), the heterogeneity benefit of Theorem 1's discussion, and the
 //! monotonicity structure of Corollaries 1-2.
 
+// Test code: a panic is a test failure, so unwrap is the idiom here
+// (clippy's allow-unwrap-in-tests does not reach integration-test helpers).
+#![allow(clippy::unwrap_used)]
+
 use fed_sc::clustering::clustering_accuracy;
 use fed_sc::data::synthetic::{generate, SyntheticConfig};
 use fed_sc::federated::partition::{partition_dataset, Partition};
@@ -31,7 +35,10 @@ fn lemma2_cluster_spans_equal_true_subspaces() {
     let g = Ssc::default().affinity(&ds.data.data).unwrap();
     let comp = g.connected_components(1e-6);
     let num_comp = comp.iter().copied().max().unwrap() + 1;
-    assert!(num_comp >= 3, "expected at least 3 components, got {num_comp}");
+    assert!(
+        num_comp >= 3,
+        "expected at least 3 components, got {num_comp}"
+    );
     for c in 0..num_comp {
         let members: Vec<usize> = (0..ds.data.len()).filter(|&i| comp[i] == c).collect();
         if members.len() < 4 {
@@ -56,23 +63,41 @@ fn heterogeneity_benefit_more_local_clusters_hurts() {
     // The same global data, partitioned with L' = 2 vs L' = 5: stronger
     // heterogeneity (smaller L') must not do worse. This is the empirical
     // content of the paper's Corollary discussion and Fig. 5 / Table IV.
-    let mut rng = StdRng::seed_from_u64(2);
-    let cfg = SyntheticConfig::paper(10, 120);
-    let ds = generate(&cfg, &mut rng);
-    let acc_for = |l_prime: usize, rng: &mut StdRng| {
-        let fed = partition_dataset(&ds.data, 40, Partition::NonIid { l_prime }, rng);
-        let mut c = FedScConfig::new(10, CentralBackend::Ssc);
-        c.cluster_count = fed_sc::ClusterCountPolicy::Fixed(l_prime);
-        let out = FedSc::new(c).run(&fed).unwrap();
-        clustering_accuracy(&fed.global_truth(), &out.predictions)
-    };
-    let acc2 = acc_for(2, &mut rng);
-    let acc5 = acc_for(5, &mut rng);
+    //
+    // Two robustness choices versus a single cherry-picked draw:
+    // * `samples_per_cluster = 2` — with one sample per local cluster the
+    //   L' = 2 partition uploads only 80 samples for 10 global clusters,
+    //   so central SSC is sample-starved and the comparison measures
+    //   central sample count, not heterogeneity. Two samples per cluster
+    //   isolate the effect the theorem is about.
+    // * Accuracy is averaged over several seeds, so the assertion does not
+    //   hinge on one lucky partition draw (the generator stream is an
+    //   implementation detail).
+    let seeds = [0u64, 1, 2, 3, 4, 5];
+    let mut mean2 = 0.0;
+    let mut mean5 = 0.0;
+    for &seed in &seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SyntheticConfig::paper(10, 120);
+        let ds = generate(&cfg, &mut rng);
+        let acc_for = |l_prime: usize, rng: &mut StdRng| {
+            let fed = partition_dataset(&ds.data, 40, Partition::NonIid { l_prime }, rng);
+            let mut c = FedScConfig::new(10, CentralBackend::Ssc);
+            c.cluster_count = fed_sc::ClusterCountPolicy::Fixed(l_prime);
+            c.samples_per_cluster = 2;
+            let out = FedSc::new(c).run(&fed).unwrap();
+            clustering_accuracy(&fed.global_truth(), &out.predictions)
+        };
+        mean2 += acc_for(2, &mut rng);
+        mean5 += acc_for(5, &mut rng);
+    }
+    mean2 /= seeds.len() as f64;
+    mean5 /= seeds.len() as f64;
     assert!(
-        acc2 + 1e-9 >= acc5 - 5.0,
-        "heterogeneity should help: L'=2 gives {acc2}, L'=5 gives {acc5}"
+        mean2 + 1e-9 >= mean5 - 2.0,
+        "heterogeneity should help: L'=2 gives {mean2}, L'=5 gives {mean5}"
     );
-    assert!(acc2 > 90.0, "L'=2 accuracy {acc2}");
+    assert!(mean2 > 90.0, "L'=2 accuracy {mean2}");
 }
 
 #[test]
@@ -110,7 +135,9 @@ fn samples_inherit_semi_random_model() {
     let ds = generate(&cfg, &mut rng);
     let fed = partition_dataset(&ds.data, 20, Partition::NonIid { l_prime: 2 }, &mut rng);
     let truth = fed.global_truth();
-    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc)).run(&fed).unwrap();
+    let out = FedSc::new(FedScConfig::new(4, CentralBackend::Ssc))
+        .run(&fed)
+        .unwrap();
     // Majority ground-truth label per sample.
     let mut votes = vec![std::collections::HashMap::new(); out.samples.cols()];
     for (g, &s) in out.point_sample.iter().enumerate() {
@@ -120,7 +147,9 @@ fn samples_inherit_semi_random_model() {
     }
     let mut checked = 0;
     for (s, vote) in votes.iter().enumerate() {
-        let Some((&l, _)) = vote.iter().max_by_key(|&(_, &c)| c) else { continue };
+        let Some((&l, _)) = vote.iter().max_by_key(|&(_, &c)| c) else {
+            continue;
+        };
         // Pure local clusters only (mixed ones exist when local SSC erred).
         let total: usize = vote.values().sum();
         if *vote.get(&l).unwrap() < total {
@@ -130,8 +159,11 @@ fn samples_inherit_semi_random_model() {
         let basis = &ds.model.bases[l];
         let coeff = basis.tr_matvec(theta).unwrap();
         let proj = basis.matvec(&coeff).unwrap();
-        let err: f64 =
-            proj.iter().zip(theta).map(|(p, t)| (p - t).abs()).fold(0.0, f64::max);
+        let err: f64 = proj
+            .iter()
+            .zip(theta)
+            .map(|(p, t)| (p - t).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-8, "sample {s} off its subspace by {err}");
         checked += 1;
     }

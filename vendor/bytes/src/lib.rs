@@ -1,0 +1,279 @@
+//! Offline, zero-dependency shim for the subset of the `bytes` crate the
+//! wire protocol uses: cheaply-cloneable immutable [`Bytes`], growable
+//! [`BytesMut`], and the little-endian accessors from the [`Buf`] /
+//! [`BufMut`] traits.
+//!
+//! `Bytes` is an `Arc<[u8]>` plus a cursor, so clones share the allocation
+//! and `get_*` consume from the front without copying — the same
+//! cost model message decoding relies on upstream.
+
+use std::sync::Arc;
+
+enum Repr {
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Self {
+        match self {
+            Repr::Shared(a) => Repr::Shared(a.clone()),
+            Repr::Static(s) => Repr::Static(s),
+        }
+    }
+}
+
+/// Immutable, cheaply cloneable byte buffer with a read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    start: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from_static(&[])
+    }
+
+    /// A buffer borrowing `'static` data without allocating.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(data),
+            start: 0,
+        }
+    }
+
+    /// Unread bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        let all: &[u8] = match &self.repr {
+            Repr::Shared(a) => a,
+            Repr::Static(s) => s,
+        };
+        &all[self.start..]
+    }
+
+    /// Number of unread bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A new handle covering `range` of the unread bytes; shares the
+    /// allocation where possible.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        match &self.repr {
+            Repr::Static(_) | Repr::Shared(_) if range.end == self.len() => {
+                let mut out = self.clone();
+                out.start += range.start;
+                out
+            }
+            _ => Bytes::from(self.as_slice()[range].to_vec()),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            repr: Repr::Shared(v.into()),
+            start: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read-side accessors (little-endian subset).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Drops `n` bytes from the front; panics if fewer remain.
+    fn advance(&mut self, n: usize);
+
+    /// Copies out the next `dst.len()` bytes; panics if fewer remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Next `u32`, little-endian.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Next `u64`, little-endian.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Next `f64`, little-endian.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.start += n;
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        assert!(n <= self.len(), "read past end of Bytes");
+        dst.copy_from_slice(&self.as_slice()[..n]);
+        self.start += n;
+    }
+}
+
+/// Growable byte buffer for message encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Write-side accessors (little-endian subset).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`, little-endian.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn round_trip_mixed_scalars() {
+        let mut w = BytesMut::with_capacity(20);
+        w.put_u64_le(0x0123_4567_89ab_cdef);
+        w.put_u32_le(0xdead_beef);
+        w.put_f64_le(-1.5);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 20);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn clones_share_and_cursor_is_per_handle() {
+        let mut w = BytesMut::new();
+        w.put_u32_le(1);
+        w.put_u32_le(2);
+        let mut a = w.freeze();
+        let mut b = a.clone();
+        assert_eq!(a.get_u32_le(), 1);
+        assert_eq!(b.get_u32_le(), 1);
+        assert_eq!(a.get_u32_le(), 2);
+        assert_eq!(b.get_u32_le(), 2);
+    }
+
+    #[test]
+    fn static_and_vec_sources() {
+        let s = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        let v = Bytes::from(vec![4, 5]);
+        assert_eq!(v.as_slice(), &[4, 5]);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from_static(&[0, 1]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline, zero-dependency shim for the subset of `criterion` the bench
+//! crate uses: [`Criterion`], `benchmark_group` / `sample_size` /
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing is a plain median-of-samples wall-clock measurement printed to
+//! stdout — enough to compare kernels relatively on one machine, with none
+//! of upstream's statistical machinery or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark unless overridden.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a standalone benchmark named `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Final statistics pass (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs `f` as `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median of the sample runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up run.
+        black_box(routine());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(routine());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.median = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        median: None,
+    };
+    f(&mut b);
+    match b.median {
+        Some(t) => println!("bench {name:<48} median {t:>12.3?} ({samples} samples)"),
+        None => println!("bench {name:<48} (no iter() call)"),
+    }
+}
+
+/// Declares a benchmark group function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        // Warm-up + DEFAULT_SAMPLES timed runs.
+        assert_eq!(ran, 1 + DEFAULT_SAMPLES as u32);
+    }
+
+    #[test]
+    fn group_sample_size_is_respected() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("inner", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 4);
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline, zero-dependency shim for the subset of `crossbeam` this
+//! workspace uses: [`thread::scope`] with crossbeam's closure signature
+//! (`spawn(|scope| ...)`) and panic-capturing `Result`, plus
+//! multi-producer **multi-consumer** [`channel`]s (`unbounded`, `bounded`,
+//! `recv_timeout`) built on `Mutex` + `Condvar`.
+//!
+//! The channel is MPMC because the wire-protocol simulator clones
+//! `Receiver`s across device threads; `std::sync::mpsc` receivers are not
+//! cloneable and `std::sync::mpmc` is still unstable on this toolchain.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape over `std::thread::scope`.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    /// Error payload of a panicked scope: the panic value of the first
+    /// panicking thread (crossbeam semantics — `std::thread::scope` alone
+    /// would replace it with a generic "a scoped thread panicked").
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Handle passed to scope closures; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        first_panic: Arc<Mutex<Option<PanicPayload>>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope itself so
+        /// workers can spawn further workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let slot = Arc::clone(&self.first_panic);
+            inner.spawn(move || {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    f(&Scope {
+                        inner,
+                        first_panic: Arc::clone(&slot),
+                    })
+                })) {
+                    Ok(t) => t,
+                    Err(payload) => {
+                        // Keep the *first* panicking thread's payload so the
+                        // scope can hand it back verbatim, then re-panic so
+                        // `std::thread::scope` still sees the failure.
+                        let mut guard =
+                            slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                        if guard.is_none() {
+                            *guard = Some(payload);
+                            drop(guard);
+                            resume_unwind(Box::new("scoped thread panicked"));
+                        }
+                        drop(guard);
+                        resume_unwind(payload)
+                    }
+                }
+            })
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins all spawned threads before
+    /// returning. Returns `Err` with the first panic payload if any thread
+    /// (or `f` itself) panicked, like crossbeam's `scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let first_panic = Arc::new(Mutex::new(None));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    first_panic: Arc::clone(&first_panic),
+                })
+            })
+        }));
+        match result {
+            Ok(v) => Ok(v),
+            Err(outer) => {
+                let recorded = first_panic
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take();
+                Err(recorded.unwrap_or(outer))
+            }
+        }
+    }
+}
+
+pub mod channel {
+    //! MPMC channels over `Mutex` + `Condvar`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Signalled when a message arrives or all senders disconnect.
+        readable: Condvar,
+        /// Signalled when capacity frees up or all receivers disconnect.
+        writable: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A channel holding at most `cap` queued messages; senders block while
+    /// full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        // A worker panicking while holding this short critical section is
+        // already a scope-level failure; propagate by taking the data.
+        match shared.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.shared);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.shared);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queues `msg`, blocking while a bounded channel is full. Fails iff
+        /// every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.shared);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.capacity {
+                    Some(cap) if st.items.len() >= cap => {
+                        st = match self.shared.writable.wait(st) {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                    }
+                    _ => break,
+                }
+            }
+            st.items.push_back(msg);
+            drop(st);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails iff the queue is drained
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.shared);
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.shared.readable.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Like [`recv`](Receiver::recv) with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.shared);
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = match self.shared.readable.wait_timeout(st, deadline - now) {
+                    Ok(pair) => pair,
+                    Err(p) => p.into_inner(),
+                };
+                st = guard;
+            }
+        }
+
+        /// Blocking iterator that ends when all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn scope_joins_and_returns_value() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().map(|v| v * 2).unwrap_or(0)
+        });
+        assert_eq!(r.ok(), Some(42));
+    }
+
+    #[test]
+    fn scope_reports_worker_panic_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap_or(0))
+                .join()
+                .unwrap_or(0)
+        });
+        assert_eq!(r.ok(), Some(7));
+    }
+
+    #[test]
+    fn unbounded_fifo_order() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..10 {
+            tx.send(i).expect("receiver alive");
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cloned_receivers_partition_messages() {
+        let (tx, rx1) = unbounded::<u32>();
+        let rx2 = rx1.clone();
+        tx.send(1).expect("alive");
+        tx.send(2).expect("alive");
+        drop(tx);
+        let a = rx1.recv().expect("first message");
+        let b = rx2.recv().expect("second message");
+        let mut both = [a, b];
+        both.sort_unstable();
+        assert_eq!(both, [1, 2]);
+        assert!(rx1.recv().is_err());
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).expect("alive");
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(9));
+    }
+
+    #[test]
+    fn bounded_channel_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(0).expect("capacity 1");
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| tx.send(1).expect("receiver drains"));
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1));
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn scope_err_carries_first_panic_payload() {
+        // Crossbeam semantics: the Err payload is the panic value of the
+        // first panicking thread, not std's generic replacement message.
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("original payload"));
+        });
+        let payload = r.expect_err("a thread panicked");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"original payload"));
+    }
+
+    #[test]
+    fn cross_thread_fan_in() {
+        let (tx, rx) = unbounded::<usize>();
+        let r = super::thread::scope(|s| {
+            for z in 0..8 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(z).expect("receiver alive"));
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            got
+        });
+        assert_eq!(r.ok(), Some((0..8).collect::<Vec<_>>()));
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline, zero-dependency shim for the subset of `proptest` this
+//! workspace's property tests use.
+//!
+//! The container has no crates.io access, so the workspace vendors a small
+//! property-testing engine with the same surface syntax: the [`proptest!`]
+//! macro (including `#![proptest_config(...)]`), `prop_assert!` /
+//! `prop_assert_eq!`, the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **No shrinking.** A failing case reports its inputs via the assertion
+//!   message; it is not minimized.
+//! * **Deterministic generation.** Cases are drawn from a generator seeded
+//!   by the test's name, so every run (locally and in CI) explores the
+//!   identical sequence — which doubles as the reproducibility discipline
+//!   `cargo xtask check` enforces elsewhere in the workspace.
+//! * `*.proptest-regressions` files are ignored.
+
+/// Deterministic generator used to drive strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator seeded from arbitrary bytes (test names).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f` and samples
+        /// the produced strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<T>>,
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.range_u64(self.start as u64, self.end as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8);
+
+    impl Strategy for std::ops::Range<i32> {
+        type Value = i32;
+        fn generate(&self, rng: &mut TestRng) -> i32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = (self.end as i64 - self.start as i64) as u64;
+            self.start.wrapping_add((rng.next_u64() % span) as i32)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Length specification for [`vec`]: an exact `usize` or a
+    /// `Range<usize>`.
+    pub trait IntoLen {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for std::ops::Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            rng.range_u64(self.start as u64, self.end as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length comes from `len`.
+    pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a property-test condition, reporting the case number on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream block syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(x in 0usize..10, (a, b) in (0f64..1.0, 0f64..1.0)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@block ($cfg) $($rest)*);
+    };
+    (@block ($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@block ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let u = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_specs() {
+        let mut rng = crate::TestRng::from_name("lens");
+        let exact = collection::vec(0usize..5, 7usize).generate(&mut rng);
+        assert_eq!(exact.len(), 7);
+        for _ in 0..100 {
+            let ranged = collection::vec(0usize..5, 2usize..6).generate(&mut rng);
+            assert!((2..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("same");
+        let mut b = crate::TestRng::from_name("same");
+        let sa = collection::vec(-1.0f64..1.0, 16usize).generate(&mut a);
+        let sb = collection::vec(-1.0f64..1.0, 16usize).generate(&mut b);
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(v in collection::vec(0usize..10, 0..8), (x, y) in (0.0f64..1.0, 1usize..4)) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(y.min(3), y);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(n in 1usize..5) {
+            prop_assert!((1..5).contains(&n));
+        }
+    }
+}
