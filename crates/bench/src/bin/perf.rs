@@ -1,0 +1,221 @@
+//! PR perf-tracking harness: times the Fed-SC hot-path kernels at fixed
+//! seeds and writes a machine-readable JSON snapshot next to the workspace
+//! root, so successive PRs can be compared number-to-number.
+//!
+//! Kernels covered (threads in {1, max(default_threads, 2)} each):
+//! - `gram` — the blocked `X^T X` product behind every SSC run.
+//! - `matmul` — the blocked general product.
+//! - `ssc_affinity` — the per-point Lasso sweep (Phase 1's hot path).
+//! - `fedsc_e2e` — a full seeded Fed-SC run over a partitioned dataset.
+//!
+//! Output: `BENCH_PR2.json` (array of `{kernel, size, threads, median_ns,
+//! speedup}` rows; `speedup` is `median_1 / median_t`, 1.0 on the
+//! single-thread rows). `--smoke` runs a seconds-scale grid and writes
+//! `BENCH_SMOKE.json` instead — that is what CI validates.
+//!
+//! When the host actually has cores to spare (`default_threads() >= 4`),
+//! the full run asserts the multi-threaded medians are never slower than
+//! 1.15x single-threaded — a regression tripwire, not a benchmark claim.
+
+use fedsc::{CentralBackend, FedSc, FedScConfig};
+use fedsc_data::synthetic::{generate, SyntheticConfig};
+use fedsc_federated::partition::{partition_dataset, Partition};
+use fedsc_linalg::par::default_threads;
+use fedsc_linalg::Matrix;
+use fedsc_subspace::{Ssc, SubspaceClusterer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One JSON row.
+struct Entry {
+    kernel: &'static str,
+    size: String,
+    threads: usize,
+    median_ns: u128,
+    speedup: f64,
+}
+
+impl Entry {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"kernel\": \"{}\", \"size\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"speedup\": {:.4}}}",
+            self.kernel, self.size, self.threads, self.median_ns, self.speedup
+        )
+    }
+}
+
+/// Median wall time of `reps` runs, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Deterministic filler (same family as the kernel property tests) —
+/// benchmark inputs must not depend on an rng stream that could drift.
+fn filled(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for j in 0..cols {
+        for i in 0..rows {
+            m[(i, j)] = ((i * 31 + j * 7 + 3) % 17) as f64 * 0.25 - 2.0;
+        }
+    }
+    m
+}
+
+/// Times one kernel at threads = 1 and `tmax`, producing both rows.
+fn bench_pair(
+    kernel: &'static str,
+    size: String,
+    reps: usize,
+    tmax: usize,
+    mut run: impl FnMut(usize),
+) -> Vec<Entry> {
+    let t1 = median_ns(reps, || run(1));
+    let tn = median_ns(reps, || run(tmax));
+    eprintln!("{kernel:>14} {size:>24}  1t {t1:>12} ns   {tmax}t {tn:>12} ns");
+    vec![
+        Entry {
+            kernel,
+            size: size.clone(),
+            threads: 1,
+            median_ns: t1,
+            speedup: 1.0,
+        },
+        Entry {
+            kernel,
+            size,
+            threads: tmax,
+            median_ns: tn,
+            speedup: t1 as f64 / tn.max(1) as f64,
+        },
+    ]
+}
+
+/// Walks up from the bench crate's manifest dir to the `[workspace]` root.
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from(".");
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Always produce a genuinely multi-threaded row, even on a single-core
+    // host (where it measures overhead, not speedup — still worth tracking).
+    let tmax = default_threads().max(2);
+    let reps = if smoke { 3 } else { 5 };
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Dense kernels.
+    let (gd, gn) = if smoke { (60, 90) } else { (128, 1024) };
+    let x = filled(gd, gn);
+    entries.extend(bench_pair("gram", format!("{gd}x{gn}"), reps, tmax, |t| {
+        std::hint::black_box(x.gram_threaded(t));
+    }));
+    let (mm, mk, mn) = if smoke { (70, 60, 80) } else { (384, 256, 512) };
+    let a = filled(mm, mk);
+    let b = filled(mk, mn);
+    entries.extend(bench_pair(
+        "matmul",
+        format!("{mm}x{mk}x{mn}"),
+        reps,
+        tmax,
+        |t| {
+            std::hint::black_box(a.matmul_threaded(&b, t).expect("shapes agree"));
+        },
+    ));
+
+    // SSC affinity: the per-point Lasso sweep over a seeded subspace
+    // instance.
+    let (sd, spts) = if smoke { (20, 30) } else { (40, 120) };
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = fedsc_subspace::SubspaceModel::random(&mut rng, sd, 3, 3);
+    let ds = model.sample_dataset(&mut rng, &[spts, spts, spts], 0.01);
+    entries.extend(bench_pair(
+        "ssc_affinity",
+        format!("d={sd},n={}", 3 * spts),
+        reps,
+        tmax,
+        |t| {
+            let mut ssc = Ssc::default();
+            ssc.lasso.threads = t;
+            std::hint::black_box(ssc.affinity(&ds.data).expect("affinity"));
+        },
+    ));
+
+    // End-to-end seeded Fed-SC over a non-IID partition.
+    let (el, edim, edev, eper): (usize, usize, usize, usize) = if smoke {
+        (3, 20, 8, 6)
+    } else {
+        (4, 40, 24, 12)
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let owners = (edev * 2).div_ceil(el).max(1);
+    let syn = SyntheticConfig {
+        ambient_dim: edim,
+        subspace_dim: 3,
+        num_subspaces: el,
+        points_per_subspace: eper * owners,
+        noise_std: 0.0,
+    };
+    let data = generate(&syn, &mut rng);
+    let fed = partition_dataset(&data.data, edev, Partition::NonIid { l_prime: 2 }, &mut rng);
+    entries.extend(bench_pair(
+        "fedsc_e2e",
+        format!("Z={edev},N={}", el * eper * owners),
+        reps,
+        tmax,
+        |t| {
+            let mut cfg = FedScConfig::new(el, CentralBackend::Ssc);
+            cfg.threads = t;
+            cfg.kernel_threads = t;
+            cfg.seed = 7;
+            std::hint::black_box(FedSc::new(cfg).run(&fed).expect("fed-sc run"));
+        },
+    ));
+
+    // Regression tripwire: with real cores available, threading must never
+    // cost more than 15% over serial on the full-size grid. Single-core CI
+    // hosts (and the seconds-scale smoke grid) skip it — there the
+    // multi-thread rows measure pool overhead by design.
+    if !smoke && default_threads() >= 4 {
+        for e in entries.iter().filter(|e| e.threads > 1) {
+            assert!(
+                e.speedup >= 1.0 / 1.15,
+                "{} ({}) slowed down under {} threads: speedup {:.3}",
+                e.kernel,
+                e.size,
+                e.threads,
+                e.speedup
+            );
+        }
+    }
+
+    let rows: Vec<String> = entries.iter().map(Entry::to_json).collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let file = if smoke {
+        "BENCH_SMOKE.json"
+    } else {
+        "BENCH_PR2.json"
+    };
+    let path = workspace_root().join(file);
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!("wrote {}", path.display());
+}

@@ -95,8 +95,16 @@ pub struct FedScConfig {
     /// privatized with the Gaussian mechanism before transmission (the
     /// paper's Remark 2 / future-work extension).
     pub dp: Option<DpConfig>,
-    /// Worker threads for the device phase.
+    /// Worker threads for the device fan-out (one device per work item).
     pub threads: usize,
+    /// Worker threads *inside* one device's numerical kernels: the Gram
+    /// product, the per-point Lasso solves, and the per-partition truncated
+    /// SVDs. Defaults to 1 so the device fan-out owns the cores; raise it
+    /// (and lower `threads`) for few-device / large-N workloads. Results
+    /// are bitwise independent of this knob. See DESIGN.md §9 for the
+    /// ownership rule — total workers never exceed
+    /// `threads * kernel_threads`.
+    pub kernel_threads: usize,
     /// Base seed; device `z` derives `seed + z`.
     pub seed: u64,
 }
@@ -124,6 +132,7 @@ impl FedScConfig {
             channel: ChannelConfig::default(),
             dp: None,
             threads: fedsc_federated::parallel::default_threads(),
+            kernel_threads: 1,
             seed: 0xfed5c,
         }
     }

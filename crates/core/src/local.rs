@@ -16,7 +16,7 @@ use fedsc_graph::laplacian::{
 };
 use fedsc_linalg::random::sample_on_subspace;
 use fedsc_linalg::svd::truncated_svd;
-use fedsc_linalg::{Matrix, Result};
+use fedsc_linalg::{par, Matrix, Result};
 use fedsc_subspace::{Ssc, SubspaceClusterer as _, Tsc};
 use rand::Rng;
 
@@ -56,16 +56,26 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
     }
 
     // Steps 1-2: local affinity graph (SSC per the paper; TSC as ablation).
+    // `kernel_threads` governs intra-device numerical parallelism (Gram,
+    // per-point Lasso, neighbor search); the device fan-out owns
+    // `cfg.threads` one level up.
+    let kernel_threads = cfg.kernel_threads.max(1);
     let graph = match cfg.local {
         LocalBackend::Ssc => {
+            let mut lasso = cfg.lasso.clone();
+            lasso.threads = kernel_threads;
             let ssc = Ssc {
                 alpha: cfg.ssc_alpha,
-                lasso: cfg.lasso.clone(),
+                lasso,
                 normalize: true,
             };
             ssc.affinity(data)?
         }
-        LocalBackend::Tsc { q } => Tsc::new(q).affinity(data)?,
+        LocalBackend::Tsc { q } => {
+            let mut tsc = Tsc::new(q);
+            tsc.threads = kernel_threads;
+            tsc.affinity(data)?
+        }
     };
 
     // Step 3: estimate r^(z).
@@ -90,18 +100,28 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
     for (i, &t) in local_labels.iter().enumerate() {
         members[t].push(i);
     }
-    let mut sample_cols: Vec<Vec<f64>> = Vec::new();
-    let mut sample_cluster = Vec::new();
-    let mut basis_dims = Vec::new();
-    for (t, idx) in members.iter().enumerate() {
+    // Basis estimation (truncated SVD per partition) is deterministic and
+    // rng-free, so the partitions fan out over the kernel pool; sampling
+    // stays sequential in partition order below so the rng stream — and
+    // therefore every seeded run — is byte-identical to the serial path.
+    let bases: Vec<Option<Result<Matrix>>> = par::par_map(r, kernel_threads, |t| {
+        let idx = &members[t];
         if idx.is_empty() {
             // Spectral k-means can leave a cluster empty when r was
             // over-estimated; skip it (no sample, no basis).
+            return None;
+        }
+        Some(estimate_basis(&data.select_columns(idx), cfg.basis_dim))
+    });
+    let mut sample_cols: Vec<Vec<f64>> = Vec::new();
+    let mut sample_cluster = Vec::new();
+    let mut basis_dims = Vec::new();
+    for (t, basis) in bases.into_iter().enumerate() {
+        let Some(basis) = basis else {
             basis_dims.push(0);
             continue;
-        }
-        let cluster = data.select_columns(idx);
-        let basis = estimate_basis(&cluster, cfg.basis_dim)?;
+        };
+        let basis = basis?;
         basis_dims.push(basis.cols());
         for _ in 0..cfg.samples_per_cluster.max(1) {
             sample_cols.push(sample_on_subspace(rng, &basis));

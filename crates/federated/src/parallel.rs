@@ -1,14 +1,17 @@
 //! Parallel per-device execution.
 //!
 //! Device-local clustering dominates every federated run and devices are
-//! independent, so the simulator fans the per-device work out over a scoped
-//! thread pool (crossbeam scope + a shared atomic work queue). Results come
-//! back in device order. The same helper reports the *parallel* wall time
-//! the paper's scalability analysis quotes (`max_z T^(z)` instead of
-//! `sum_z T^(z)`).
+//! independent, so the simulator fans the per-device work out over the
+//! shared work-stealing pool in [`fedsc_linalg::par`] (scoped threads + an
+//! atomic work queue + write-once result slots, so result collection never
+//! serializes workers behind a lock). Results come back in device order.
+//! The same helper reports the *parallel* wall time the paper's scalability
+//! analysis quotes (`max_z T^(z)` instead of `sum_z T^(z)`).
+//!
+//! Ownership rule (DESIGN.md §9): this device-level fan-out owns
+//! `FedScConfig::threads`; the numerical kernels inside a device own
+//! `FedScConfig::kernel_threads`; nothing nests beyond that product.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Maps `f` over `0..count` in parallel, returning results in index order
@@ -16,51 +19,14 @@ use std::time::{Duration, Instant};
 ///
 /// `f` must be deterministic per index if reproducibility is required —
 /// callers derive per-device RNGs from a base seed, never share one.
+/// Worker panics resurface on the calling thread with their original
+/// payload.
 pub fn par_map_timed<T, F>(count: usize, threads: usize, f: F) -> Vec<(T, Duration)>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads.max(1).min(count.max(1));
-    let mut out: Vec<Option<(T, Duration)>> = (0..count).map(|_| None).collect();
-    if count == 0 {
-        return Vec::new();
-    }
-    if threads == 1 {
-        return (0..count)
-            .map(|i| {
-                let t0 = Instant::now();
-                let r = f(i);
-                (r, t0.elapsed())
-            })
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots = Mutex::new(&mut out);
-    let scope_result = crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let t0 = Instant::now();
-                let r = f(i);
-                let dt = t0.elapsed();
-                slots.lock()[i] = Some((r, dt));
-            });
-        }
-    });
-    if let Err(payload) = scope_result {
-        // A worker panicked while running `f`: surface the original panic on
-        // the caller's thread instead of aborting with a secondary message.
-        std::panic::resume_unwind(payload);
-    }
-    // INVARIANT: the scope returned Ok, so every worker finished its loop and
-    // every index in 0..count was claimed exactly once and stored.
-    out.into_iter()
-        .map(|s| s.expect("every index processed"))
-        .collect()
+    fedsc_linalg::par::par_map_timed(count, threads, f)
 }
 
 /// Times one closure, returning its result and wall time. Together with

@@ -12,7 +12,7 @@
 //! store keeps the spectral path simple; the sparse `CsrMatrix` remains
 //! available upstream for code storage.
 
-use fedsc_linalg::Matrix;
+use fedsc_linalg::{par, Matrix};
 
 /// A non-negative symmetric affinity matrix with zero diagonal.
 #[derive(Debug, Clone)]
@@ -67,27 +67,42 @@ impl AffinityGraph {
     /// construction with `similarity = |cos|` of spherical distance.
     pub fn from_knn_similarity<F>(n: usize, q: usize, similarity: F) -> Self
     where
-        F: Fn(usize, usize) -> f64,
+        F: Fn(usize, usize) -> f64 + Sync,
     {
-        let mut w = Matrix::zeros(n, n);
+        Self::from_knn_similarity_threaded(n, q, 1, similarity)
+    }
+
+    /// [`Self::from_knn_similarity`] with the per-node neighbor searches
+    /// (the `O(n^2)` similarity scans) fanned out over `threads` workers.
+    /// Each node's top-`q` list is computed independently; the max-symmetric
+    /// merge runs sequentially in node order, so the graph is bitwise
+    /// identical for every thread count.
+    pub fn from_knn_similarity_threaded<F>(
+        n: usize,
+        q: usize,
+        threads: usize,
+        similarity: F,
+    ) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
         let q = q.min(n.saturating_sub(1));
-        let mut sims: Vec<(f64, usize)> = Vec::with_capacity(n.saturating_sub(1));
-        for i in 0..n {
-            sims.clear();
-            for j in 0..n {
-                if j != i {
-                    sims.push((similarity(i, j), j));
-                }
-            }
+        let top: Vec<Vec<(f64, usize)>> = par::par_map(n, threads, |i| {
+            let mut sims: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (similarity(i, j), j))
+                .collect();
             // Partial selection of the q largest similarities.
             sims.sort_by(|a, b| b.0.total_cmp(&a.0));
-            for &(s, j) in sims.iter().take(q) {
-                if s > 0.0 {
-                    let cur = w[(i, j)];
-                    if s > cur {
-                        w[(i, j)] = s;
-                        w[(j, i)] = s;
-                    }
+            sims.truncate(q);
+            sims
+        });
+        let mut w = Matrix::zeros(n, n);
+        for (i, sims) in top.iter().enumerate() {
+            for &(s, j) in sims {
+                if s > 0.0 && s > w[(i, j)] {
+                    w[(i, j)] = s;
+                    w[(j, i)] = s;
                 }
             }
         }

@@ -9,8 +9,11 @@
 //! theory's affinity measure — so this crate implements them from scratch:
 //!
 //! * [`matrix::Matrix`] — column-major dense matrix (data sets are columns
-//!   of points).
+//!   of points) with cache-blocked, optionally threaded product kernels.
 //! * [`vector`] — slice-level kernels (dot, norms, axpy, soft-thresholding).
+//! * [`par`] — the shared work-stealing pool every parallel loop in the
+//!   workspace (kernels, per-column solver fan-outs, device fan-out) runs
+//!   on.
 //! * [`qr`] — Householder QR, least squares, rank-revealing orthonormal
 //!   bases.
 //! * [`eigh`] — symmetric eigendecomposition (tred2/tql2), ascending order.
@@ -34,6 +37,7 @@ pub mod eigh;
 pub mod error;
 pub mod lanczos;
 pub mod matrix;
+pub mod par;
 pub mod qr;
 pub mod random;
 pub mod solve;

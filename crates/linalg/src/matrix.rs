@@ -11,6 +11,32 @@ use crate::error::{LinalgError, Result};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Output-column block width for `matmul` (one block of contiguous output
+/// columns is one unit of parallel work).
+const BLOCK_J: usize = 64;
+/// Inner-dimension panel width for `matmul`: a panel of `self` columns is
+/// streamed once per output block.
+const BLOCK_K: usize = 128;
+/// Column-tile width for the pairwise-dot kernels (`syrk`, `tr_matmul`).
+const BLOCK_TILE: usize = 32;
+/// Row-panel height for the pairwise-dot kernels: a `BLOCK_TILE x
+/// BLOCK_ROWS` tile of each operand (~64 KiB the pair) stays cache-resident
+/// across a whole tile of dot products.
+const BLOCK_ROWS: usize = 256;
+/// Flop count below which the kernels stay single-threaded: spawning a
+/// scoped pool costs more than it saves on small products.
+const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Worker count a kernel should actually use for a product of `flops`
+/// multiply-adds.
+fn effective_threads(threads: usize, flops: usize) -> usize {
+    if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        threads.max(1)
+    }
+}
+
 /// A dense, column-major, `f64` matrix.
 ///
 /// ```
@@ -206,29 +232,46 @@ impl Matrix {
 
     /// Matrix-matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_threaded(rhs, 1)
+    }
+
+    /// Cache-blocked matrix-matrix product `self * rhs`, fanned out over at
+    /// most `threads` workers for large instances.
+    ///
+    /// jik order with k-panel × j-block tiling: a panel of `self` columns is
+    /// reused across a block of output columns while it is still hot, and
+    /// the inner axpy is the 4-wide unrolled [`crate::vector::axpy`]. Every
+    /// output element accumulates over `k` in ascending order regardless of
+    /// blocking or thread count, so the result is bit-identical to the naive
+    /// kernel and to `threads = 1`.
+    pub fn matmul_threaded(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 expected: (self.cols, 0),
                 got: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // jik order: stream over rhs columns, accumulate into contiguous
-        // output columns with an axpy over contiguous self columns.
-        for j in 0..rhs.cols {
-            let rcol = rhs.col(j);
-            let (head, _) = self.data.split_at(self.rows * self.cols);
-            let ocol = &mut out.data[j * self.rows..(j + 1) * self.rows];
-            for (k, &rv) in rcol.iter().enumerate() {
-                if rv == 0.0 {
-                    continue;
-                }
-                let scol = &head[k * self.rows..(k + 1) * self.rows];
-                for (o, &s) in ocol.iter_mut().zip(scol) {
-                    *o += rv * s;
+        let (m, k_dim, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 || k_dim == 0 {
+            return Ok(out);
+        }
+        let threads = effective_threads(threads, m * k_dim * n);
+        crate::par::par_chunks_mut(&mut out.data, m * BLOCK_J, threads, |jb, chunk| {
+            let j0 = jb * BLOCK_J;
+            for k0 in (0..k_dim).step_by(BLOCK_K) {
+                let k1 = (k0 + BLOCK_K).min(k_dim);
+                for (jo, ocol) in chunk.chunks_mut(m).enumerate() {
+                    let rcol = rhs.col(j0 + jo);
+                    for (k, &rv) in rcol[k0..k1].iter().enumerate() {
+                        if rv == 0.0 {
+                            continue;
+                        }
+                        crate::vector::axpy(rv, self.col(k0 + k), ocol);
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -270,16 +313,59 @@ impl Matrix {
     }
 
     /// Gram matrix `self^T * self` (symmetric, computed on the upper triangle
-    /// and mirrored).
+    /// and mirrored). Delegates to the blocked [`Matrix::syrk`].
     pub fn gram(&self) -> Matrix {
-        let n = self.cols;
+        self.gram_threaded(1)
+    }
+
+    /// [`Matrix::gram`] fanned out over at most `threads` workers.
+    pub fn gram_threaded(&self, threads: usize) -> Matrix {
+        self.syrk_threaded(threads)
+    }
+
+    /// Symmetric rank-k update `self^T * self` (syrk): the Gram matrix
+    /// computed as a sum of row-panel outer contributions
+    /// `G += A_p^T A_p` instead of one long dot product per column pair.
+    pub fn syrk(&self) -> Matrix {
+        self.syrk_threaded(1)
+    }
+
+    /// Cache-blocked [`Matrix::syrk`] on at most `threads` workers.
+    ///
+    /// Only the upper triangle is computed (tiles `ib <= jb` of column
+    /// pairs, accumulated row panel by row panel so both column segments
+    /// stay in cache across the whole tile), then mirrored. Each entry's
+    /// panel accumulation runs in ascending row order independent of the
+    /// thread count, so results are bit-identical across `threads`.
+    pub fn syrk_threaded(&self, threads: usize) -> Matrix {
+        let (d, n) = (self.rows, self.cols);
         let mut g = Matrix::zeros(n, n);
-        for i in 0..n {
-            let ci = self.col(i);
-            for j in i..n {
-                let v = crate::vector::dot(ci, self.col(j));
-                g[(i, j)] = v;
-                g[(j, i)] = v;
+        if n == 0 {
+            return g;
+        }
+        let threads = effective_threads(threads, d * n * n / 2);
+        crate::par::par_chunks_mut(&mut g.data, n * BLOCK_TILE, threads, |jb, chunk| {
+            let j0 = jb * BLOCK_TILE;
+            let j_count = chunk.len() / n.max(1);
+            let j_max = j0 + j_count; // exclusive
+            for i0 in (0..j_max).step_by(BLOCK_TILE) {
+                for k0 in (0..d.max(1)).step_by(BLOCK_ROWS) {
+                    let k1 = (k0 + BLOCK_ROWS).min(d);
+                    for (jo, gcol) in chunk.chunks_mut(n).enumerate() {
+                        let j = j0 + jo;
+                        let aj = &self.col(j)[k0..k1];
+                        let i_end = (i0 + BLOCK_TILE).min(j + 1);
+                        for i in i0..i_end {
+                            gcol[i] += crate::vector::dot(&self.col(i)[k0..k1], aj);
+                        }
+                    }
+                }
+            }
+        });
+        // Mirror the upper triangle down (cheap O(n^2) pass).
+        for j in 0..n {
+            for i in 0..j {
+                g.data[i * n + j] = g.data[j * n + i];
             }
         }
         g
@@ -360,19 +446,44 @@ impl Matrix {
 
     /// `self^T * rhs`.
     pub fn tr_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.tr_matmul_threaded(rhs, 1)
+    }
+
+    /// Cache-blocked `self^T * rhs` on at most `threads` workers.
+    ///
+    /// Same tiling as [`Matrix::syrk_threaded`] without the triangular
+    /// structure: `out(i, j) = <self[:, i], rhs[:, j]>` accumulated over row
+    /// panels so a tile of `self` columns is reused across a block of `rhs`
+    /// columns. Bit-identical across thread counts (each entry is computed
+    /// by one worker with a fixed panel order).
+    pub fn tr_matmul_threaded(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 expected: (self.rows, 0),
                 got: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for j in 0..rhs.cols {
-            let rcol = rhs.col(j);
-            for i in 0..self.cols {
-                out[(i, j)] = crate::vector::dot(self.col(i), rcol);
-            }
+        let (d, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return Ok(out);
         }
+        let threads = effective_threads(threads, d * m * n);
+        crate::par::par_chunks_mut(&mut out.data, m * BLOCK_TILE, threads, |jb, chunk| {
+            let j0 = jb * BLOCK_TILE;
+            for i0 in (0..m).step_by(BLOCK_TILE) {
+                let i1 = (i0 + BLOCK_TILE).min(m);
+                for k0 in (0..d.max(1)).step_by(BLOCK_ROWS) {
+                    let k1 = (k0 + BLOCK_ROWS).min(d);
+                    for (jo, ocol) in chunk.chunks_mut(m).enumerate() {
+                        let rcol = &rhs.col(j0 + jo)[k0..k1];
+                        for i in i0..i1 {
+                            ocol[i] += crate::vector::dot(&self.col(i)[k0..k1], rcol);
+                        }
+                    }
+                }
+            }
+        });
         Ok(out)
     }
 }

@@ -1,0 +1,312 @@
+//! Shared work-stealing parallelism for the numerical kernels.
+//!
+//! Every parallel loop in the workspace — the blocked matrix kernels here in
+//! `linalg`, the per-column Lasso fan-out in `sparse`/`subspace`, the
+//! per-partition SVDs in `core`, and the per-device fan-out in `federated` —
+//! funnels through this module, so there is exactly one place that spawns
+//! threads and one ownership rule to reason about (see DESIGN.md §9:
+//! the device fan-out owns `threads`, kernels own `kernel_threads`, and
+//! neither nests inside the other's workers beyond that product).
+//!
+//! Two primitives:
+//!
+//! * [`par_map`] / [`par_map_timed`] — map `f` over `0..count` with an
+//!   atomic work-stealing queue. Results come back **in index order**, and
+//!   each index is computed by exactly one worker with thread-count-
+//!   independent arithmetic, so seeded callers stay bit-reproducible.
+//! * [`par_chunks_mut`] — split a flat buffer into contiguous chunks (the
+//!   columns of a column-major matrix) and process disjoint chunk ranges on
+//!   separate workers; in-place, allocation-free result collection.
+//!
+//! Worker panics are caught, the **first** payload is preserved, and it is
+//! re-raised on the calling thread after every worker has parked — the same
+//! contract `crossbeam::thread::scope` gives, without the dependency (this
+//! crate sits below `fedsc-federated` in the graph, which is what lets
+//! `sparse`/`subspace`/`core` use the pool without a dependency cycle).
+//!
+//! This file is a sanctioned `Instant::now` site (`cargo xtask check`):
+//! [`par_map_timed`] is one of the few places library code may observe the
+//! clock.
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default worker count: available parallelism, floor 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Write-once result slots indexed by the work queue.
+///
+/// The atomic queue in [`par_map`] hands each index in `0..count` to exactly
+/// one worker, so every `UnsafeCell` is written by at most one thread, and
+/// none is read until the scope has joined all workers.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: disjoint-by-construction writes (one claimed index per slot) and
+// no reads before the owning scope joins every worker.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(count: usize) -> Self {
+        Self((0..count).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Stores `value` at `i`. Caller must hold the unique claim on `i`.
+    #[allow(unsafe_code)]
+    fn put(&self, i: usize, value: T) {
+        // SAFETY: `i` was claimed exactly once from the atomic queue, so no
+        // other thread writes this cell, and readers wait for the join.
+        unsafe { *self.0[i].get() = Some(value) };
+    }
+}
+
+/// Spawns `threads` scoped workers running `body`, joins them all, and
+/// re-raises the first worker panic (original payload) on the caller.
+/// `stop` is set as soon as any worker panics so the others can bail early.
+fn run_workers<F>(threads: usize, stop: &AtomicBool, body: F)
+where
+    F: Fn() + Sync,
+{
+    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(&body)) {
+                    stop.store(true, Ordering::SeqCst);
+                    let mut guard = first_panic
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    if guard.is_none() {
+                        *guard = Some(payload);
+                    }
+                }
+            });
+        }
+    });
+    let payload = first_panic
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Maps `f` over `0..count` on `threads` workers (atomic work stealing),
+/// returning results in index order.
+///
+/// Each index is computed exactly once with the same arithmetic regardless
+/// of `threads`, so results are bit-identical across thread counts; callers
+/// needing reproducible randomness derive per-index RNGs from a base seed.
+pub fn par_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    if count == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots = Slots::new(count);
+    run_workers(threads, &stop, || loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= count {
+            break;
+        }
+        slots.put(i, f(i));
+    });
+    // INVARIANT: run_workers returned without re-raising a panic, so every
+    // index in 0..count was claimed exactly once and its slot written.
+    slots
+        .0
+        .into_iter()
+        .map(|c| c.into_inner().expect("every index processed"))
+        .collect()
+}
+
+/// [`par_map`] that also reports each item's wall time — the sanctioned way
+/// for library code to observe the clock (with
+/// `fedsc_federated::parallel::time_phase`).
+pub fn par_map_timed<T, F>(count: usize, threads: usize, f: F) -> Vec<(T, Duration)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map(count, threads, |i| {
+        let t0 = Instant::now();
+        let r = f(i);
+        (r, t0.elapsed())
+    })
+}
+
+/// Splits `data` into contiguous `chunk_len`-sized chunks (`chunks_mut`
+/// semantics: the last chunk may be shorter) and calls `f(chunk_index,
+/// chunk)` for each, distributing contiguous chunk *ranges* across
+/// `threads` workers.
+///
+/// This is the in-place fan-out for the blocked matrix kernels: a chunk is a
+/// column panel of a column-major output, every panel is written by exactly
+/// one worker, and the per-panel arithmetic never depends on the thread
+/// count — so threaded kernels produce bit-identical buffers to `threads =
+/// 1`. Static (not stealing) distribution: panel costs are uniform in those
+/// kernels, and static ranges need no synchronization at all.
+pub fn par_chunks_mut<F>(data: &mut [f64], chunk_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if data.is_empty() || chunk_len == 0 {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = threads.max(1).min(n_chunks);
+    if threads == 1 {
+        for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(c, chunk);
+        }
+        return;
+    }
+    // Balanced contiguous chunk ranges: the first `rem` workers take one
+    // extra chunk.
+    let base = n_chunks / threads;
+    let rem = n_chunks % threads;
+    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start_chunk = 0usize;
+        for w in 0..threads {
+            let take_chunks = base + usize::from(w < rem);
+            let take_len = (take_chunks * chunk_len).min(rest.len());
+            let (span, tail) = rest.split_at_mut(take_len);
+            rest = tail;
+            let first_panic = &first_panic;
+            let f = &f;
+            scope.spawn(move || {
+                let run = AssertUnwindSafe(|| {
+                    for (off, chunk) in span.chunks_mut(chunk_len).enumerate() {
+                        f(start_chunk + off, chunk);
+                    }
+                });
+                if let Err(payload) = catch_unwind(run) {
+                    let mut guard = first_panic
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    if guard.is_none() {
+                        *guard = Some(payload);
+                    }
+                }
+            });
+            start_chunk += take_chunks;
+        }
+    });
+    let payload = first_panic
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_results_in_index_order() {
+        for threads in [1, 2, 8] {
+            let r = par_map(33, threads, |i| i * 7 + 1);
+            assert_eq!(r, (0..33).map(|i| i * 7 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_oversubscribed() {
+        assert!(par_map(0, 8, |i| i).is_empty());
+        assert_eq!(par_map(2, 64, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn par_map_panic_preserves_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(16, 4, |i| {
+                if i == 9 {
+                    panic!("slot 9 exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "slot 9 exploded");
+    }
+
+    #[test]
+    fn par_map_timed_reports_durations() {
+        let r = par_map_timed(4, 2, |i| {
+            std::thread::sleep(Duration::from_millis(2));
+            i
+        });
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|(_, d)| *d >= Duration::from_millis(2)));
+        assert_eq!(
+            r.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![0.0f64; 23];
+            par_chunks_mut(&mut data, 5, threads, |c, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += (c + 1) as f64;
+                }
+            });
+            let expected: Vec<f64> = (0..23).map(|i| (i / 5 + 1) as f64).collect();
+            assert_eq!(data, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_and_degenerate() {
+        let mut empty: Vec<f64> = Vec::new();
+        par_chunks_mut(&mut empty, 4, 4, |_, _| panic!("must not run"));
+        let mut data = vec![1.0f64; 3];
+        par_chunks_mut(&mut data, 0, 4, |_, _| panic!("must not run"));
+        assert_eq!(data, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_panic_preserves_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut data = vec![0.0f64; 64];
+            par_chunks_mut(&mut data, 4, 4, |c, _| {
+                if c == 7 {
+                    panic!("chunk 7 exploded");
+                }
+            });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "chunk 7 exploded");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -41,6 +41,13 @@ pub struct LassoOptions {
     pub working_set: usize,
     /// Maximum working-set growth rounds.
     pub max_rounds: usize,
+    /// Worker threads for *batches* of independent solves (one per point in
+    /// SSC's self-expression sweep). A single `solve` call is always
+    /// sequential; batch drivers such as `Ssc::coefficients` fan the
+    /// per-point problems out over `fedsc_linalg::par` with this many
+    /// workers. `1` (the default) keeps everything on the caller's thread.
+    /// Results are index-ordered and bitwise independent of this knob.
+    pub threads: usize,
 }
 
 impl Default for LassoOptions {
@@ -51,6 +58,7 @@ impl Default for LassoOptions {
             support_tol: 1e-8,
             working_set: 48,
             max_rounds: 20,
+            threads: 1,
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::algo::{normalize_data, SubspaceClusterer};
 use fedsc_graph::AffinityGraph;
-use fedsc_linalg::{vector, Matrix, Result};
+use fedsc_linalg::{par, vector, Matrix, Result};
 
 /// NSN configuration.
 #[derive(Debug, Clone)]
@@ -22,6 +22,10 @@ pub struct Nsn {
     pub max_subspace_dim: usize,
     /// Normalize columns first.
     pub normalize: bool,
+    /// Worker threads for the per-point greedy neighbor searches. Each
+    /// point's search carries its own basis workspace, so the graph is
+    /// bitwise identical for every value.
+    pub threads: usize,
 }
 
 impl Nsn {
@@ -32,6 +36,7 @@ impl Nsn {
             num_neighbors,
             max_subspace_dim,
             normalize: true,
+            threads: 1,
         }
     }
 }
@@ -55,18 +60,19 @@ impl SubspaceClusterer for Nsn {
         };
         let n = x.cols();
         let dim = x.rows();
-        let mut w = Matrix::zeros(n, n);
         let k = self.num_neighbors.min(n.saturating_sub(1));
-        // Orthonormal basis vectors of the greedy subspace, reused per point.
-        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(self.max_subspace_dim);
-        // Squared projection norms onto the current span, updated
-        // incrementally as basis vectors are appended.
-        let mut proj_sq = vec![0.0f64; n];
-        for i in 0..n {
-            basis.clear();
-            proj_sq.fill(0.0);
+        // Per-point greedy searches are independent, so they fan out over
+        // the worker pool; each worker carries its own basis/projection
+        // workspace and reports the point's picks for sequential assembly.
+        let picks: Vec<Vec<usize>> = par::par_map(n, self.threads.max(1), |i| {
+            // Orthonormal basis vectors of the greedy subspace.
+            let mut basis: Vec<Vec<f64>> = Vec::with_capacity(self.max_subspace_dim);
+            // Squared projection norms onto the current span, updated
+            // incrementally as basis vectors are appended.
+            let mut proj_sq = vec![0.0f64; n];
             let mut selected = vec![false; n];
             selected[i] = true;
+            let mut chosen = Vec::with_capacity(k);
             // Seed the basis with the point itself.
             push_orthonormalized(&mut basis, x.col(i), dim, &x, &mut proj_sq);
             for _ in 0..k {
@@ -83,10 +89,17 @@ impl SubspaceClusterer for Nsn {
                     break;
                 }
                 selected[best] = true;
-                w[(i, best)] = 1.0;
+                chosen.push(best);
                 if basis.len() < self.max_subspace_dim {
                     push_orthonormalized(&mut basis, x.col(best), dim, &x, &mut proj_sq);
                 }
+            }
+            chosen
+        });
+        let mut w = Matrix::zeros(n, n);
+        for (i, chosen) in picks.iter().enumerate() {
+            for &j in chosen {
+                w[(i, j)] = 1.0;
             }
         }
         Ok(AffinityGraph::from_symmetric(&w))

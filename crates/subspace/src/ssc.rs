@@ -7,7 +7,7 @@
 
 use crate::algo::{normalize_data, SubspaceClusterer};
 use fedsc_graph::AffinityGraph;
-use fedsc_linalg::{Matrix, Result};
+use fedsc_linalg::{par, Matrix, Result};
 use fedsc_sparse::lasso::{ssc_lambda, LassoOptions, LassoSolver};
 
 /// SSC configuration.
@@ -46,6 +46,12 @@ impl Default for Ssc {
 impl Ssc {
     /// Computes the full self-expression coefficient matrix `C`
     /// (column `i` is the sparse code of point `i`; diagonal is zero).
+    ///
+    /// The `N` per-point Lasso problems are independent, so they fan out
+    /// over `self.lasso.threads` workers (the Phase-1 hot path of the
+    /// paper's complexity analysis). Each point's solve is untouched by the
+    /// fan-out, so the coefficients are bitwise identical for every thread
+    /// count.
     pub fn coefficients(&self, data: &Matrix) -> Result<Matrix> {
         let x = if self.normalize {
             normalize_data(data)
@@ -53,14 +59,17 @@ impl Ssc {
             data.clone()
         };
         let n = x.cols();
-        let gram = x.gram();
+        let threads = self.lasso.threads.max(1);
+        let gram = x.gram_threaded(threads);
         let solver = LassoSolver::new(&gram, self.lasso.clone());
-        let mut c = Matrix::zeros(n, n);
-        for i in 0..n {
+        let codes = par::par_map(n, threads, |i| {
             let b = gram.col(i);
             let lambda = ssc_lambda(b, i, self.alpha);
-            let code = solver.solve(b, lambda, i)?;
-            for (j, v) in code.iter() {
+            solver.solve(b, lambda, i)
+        });
+        let mut c = Matrix::zeros(n, n);
+        for (i, code) in codes.into_iter().enumerate() {
+            for (j, v) in code?.iter() {
                 c[(j, i)] = v;
             }
         }
@@ -125,6 +134,26 @@ mod tests {
         let labels = Ssc::default().cluster(&ds.data, 3, &mut rng).unwrap();
         let acc = clustering_accuracy(&ds.labels, &labels);
         assert!(acc > 95.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn affinity_is_bitwise_invariant_to_thread_count() {
+        // The per-point Lasso fan-out must not change a single bit of the
+        // coefficients — same solves, same index-ordered assembly.
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = SubspaceModel::random(&mut rng, 25, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[18, 18], 0.01);
+        let serial = Ssc::default().affinity(&ds.data).unwrap();
+        for threads in [2, 4] {
+            let mut ssc = Ssc::default();
+            ssc.lasso.threads = threads;
+            let par = ssc.affinity(&ds.data).unwrap();
+            assert_eq!(
+                par.matrix().as_slice(),
+                serial.matrix().as_slice(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

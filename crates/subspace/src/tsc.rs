@@ -17,12 +17,19 @@ pub struct Tsc {
     pub q: usize,
     /// Normalize columns before computing spherical distances.
     pub normalize: bool,
+    /// Worker threads for the Gram product and the per-point neighbor
+    /// searches. The affinity graph is bitwise identical for every value.
+    pub threads: usize,
 }
 
 impl Tsc {
     /// TSC with the given neighbor count.
     pub fn new(q: usize) -> Self {
-        Self { q, normalize: true }
+        Self {
+            q,
+            normalize: true,
+            threads: 1,
+        }
     }
 
     /// The paper's parameter rules: `q = max(3, ceil(Z / L))` for the
@@ -39,10 +46,7 @@ impl Tsc {
 
 impl Default for Tsc {
     fn default() -> Self {
-        Self {
-            q: 3,
-            normalize: true,
-        }
+        Self::new(3)
     }
 }
 
@@ -60,11 +64,16 @@ impl SubspaceClusterer for Tsc {
         let n = x.cols();
         // Precompute |cos| similarities once; the kNN constructor consults
         // them O(n^2 log n) times otherwise.
-        let gram = x.gram();
-        Ok(AffinityGraph::from_knn_similarity(n, self.q, |i, j| {
-            let c = gram[(i, j)].abs().min(1.0);
-            (-2.0 * c.acos()).exp()
-        }))
+        let gram = x.gram_threaded(self.threads.max(1));
+        Ok(AffinityGraph::from_knn_similarity_threaded(
+            n,
+            self.q,
+            self.threads.max(1),
+            |i, j| {
+                let c = gram[(i, j)].abs().min(1.0);
+                (-2.0 * c.acos()).exp()
+            },
+        ))
     }
 }
 

@@ -157,6 +157,7 @@ const TIMING_TOKENS: &[&str] = &["Instant::now"];
 
 /// Files allowed to call `Instant::now` under the strict profile.
 const SANCTIONED_TIMING_FILES: &[&str] = &[
+    "crates/linalg/src/par.rs",
     "crates/federated/src/parallel.rs",
     "crates/core/src/scheme.rs",
 ];
@@ -275,8 +276,8 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
                         rule: "timing",
                         message: format!(
                             "`{token}` outside the sanctioned timing helpers \
-                             (federated::parallel, core::scheme); route timing through \
-                             `par_map_timed`/`time_phase`"
+                             (linalg::par, federated::parallel, core::scheme); route timing \
+                             through `par_map_timed`/`time_phase`"
                         ),
                     });
                 }

@@ -184,6 +184,27 @@ fn kfed_loses_to_fed_sc_on_subspace_data() {
 }
 
 #[test]
+fn seeded_run_is_byte_identical_across_thread_counts() {
+    // The determinism contract of the whole parallel stack: device fan-out,
+    // per-point Lasso fan-out, blocked kernels, and per-partition SVDs all
+    // produce index-ordered, arithmetic-identical results, so a seeded run
+    // must not change a single byte when the thread knobs change.
+    let (fed, _) = instance(4, 3, 30, 2, 16, 8, 42);
+    let run_with = |threads: usize, kernel_threads: usize| {
+        let mut cfg = FedScConfig::new(4, CentralBackend::Ssc);
+        cfg.threads = threads;
+        cfg.kernel_threads = kernel_threads;
+        cfg.seed = 7;
+        FedSc::new(cfg).run(&fed).unwrap()
+    };
+    let serial = run_with(1, 1);
+    let parallel = run_with(4, 4);
+    assert_eq!(serial.predictions, parallel.predictions);
+    assert_eq!(serial.sample_assignment, parallel.sample_assignment);
+    assert_eq!(serial.samples.as_slice(), parallel.samples.as_slice());
+}
+
+#[test]
 fn empty_and_tiny_devices_are_tolerated() {
     // More devices than points in some clusters: several devices end up
     // tiny; the pipeline must still produce a full labeling.
