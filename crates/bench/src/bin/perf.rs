@@ -27,20 +27,22 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// One JSON row.
+/// One JSON row. `extra` carries scenario-specific fields (already
+/// JSON-formatted, e.g. `, "uplink_bytes": 5664`) appended to the row.
 struct Entry {
     kernel: &'static str,
     size: String,
     threads: usize,
     median_ns: u128,
     speedup: f64,
+    extra: String,
 }
 
 impl Entry {
     fn to_json(&self) -> String {
         format!(
-            "  {{\"kernel\": \"{}\", \"size\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"speedup\": {:.4}}}",
-            self.kernel, self.size, self.threads, self.median_ns, self.speedup
+            "  {{\"kernel\": \"{}\", \"size\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"speedup\": {:.4}{}}}",
+            self.kernel, self.size, self.threads, self.median_ns, self.speedup, self.extra
         )
     }
 }
@@ -88,6 +90,7 @@ fn bench_pair(
             threads: 1,
             median_ns: t1,
             speedup: 1.0,
+            extra: String::new(),
         },
         Entry {
             kernel,
@@ -95,6 +98,7 @@ fn bench_pair(
             threads: tmax,
             median_ns: tn,
             speedup: t1 as f64 / tn.max(1) as f64,
+            extra: String::new(),
         },
     ]
 }
@@ -190,6 +194,59 @@ fn main() {
             std::hint::black_box(FedSc::new(cfg).run(&fed).expect("fed-sc run"));
         },
     ));
+
+    // Wire rounds over real transports: wall-clock plus the uplink /
+    // downlink byte totals as seen by the server. The in-memory reference
+    // link counts payload bytes only; TCP accounting is wire-true —
+    // framing headers and handshake frames included.
+    let wdev = if smoke { 6 } else { 12 };
+    let (wfed, wcfg) = fedsc::demo::demo_fixture(7, wdev, 3);
+    let policy = fedsc::RoundPolicy::default();
+    let wire_points: usize = wfed.devices.iter().map(|d| d.data.cols()).sum();
+    for (kernel, run) in [
+        (
+            "wire_mem",
+            Box::new(|| {
+                fedsc::run_round(&wfed, &wcfg, &fedsc_transport::InMemoryTransport, &policy)
+                    .expect("wire_mem round")
+            }) as Box<dyn Fn() -> fedsc::WireRunOutput>,
+        ),
+        (
+            "wire_tcp",
+            Box::new(|| {
+                fedsc::run_round(
+                    &wfed,
+                    &wcfg,
+                    &fedsc_transport::TcpTransport::loopback(),
+                    &policy,
+                )
+                .expect("wire_tcp round")
+            }),
+        ),
+    ] {
+        let mut last: Option<fedsc::WireRunOutput> = None;
+        let t = median_ns(reps, || {
+            last = Some(std::hint::black_box(run()));
+        });
+        let out = last.expect("at least one rep ran");
+        eprintln!(
+            "{kernel:>14} {:>24}  {wdev}dev {t:>12} ns   up {} B  down {} B",
+            format!("Z={wdev},N={wire_points}"),
+            out.uplink_bytes,
+            out.downlink_bytes
+        );
+        entries.push(Entry {
+            kernel,
+            size: format!("Z={wdev},N={wire_points}"),
+            threads: wdev,
+            median_ns: t,
+            speedup: 1.0,
+            extra: format!(
+                ", \"uplink_bytes\": {}, \"downlink_bytes\": {}",
+                out.uplink_bytes, out.downlink_bytes
+            ),
+        });
+    }
 
     // Regression tripwire: with real cores available, threading must never
     // cost more than 15% over serial on the full-size grid. Single-core CI

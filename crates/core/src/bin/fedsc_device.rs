@@ -1,0 +1,102 @@
+//! Device endpoint for a real-process Fed-SC round over TCP.
+//!
+//! Regenerates the shared fixture from `--seed` (see `fedsc::demo`), takes
+//! shard `--device z`, runs Algorithm 2 locally, uploads the samples to
+//! the `fedsc-server` at `--addr`, awaits its assignments, and prints the
+//! relabelled shard:
+//!
+//! ```text
+//! device 4 predictions 0,0,2,1,0,2
+//! ```
+//!
+//! Exits nonzero if the server excludes this device (no downlink ever
+//! arrives) or the link fails beyond the retry budget.
+
+use fedsc::demo::demo_fixture;
+use fedsc::{device_round, RoundPolicy};
+use fedsc_transport::{TcpDevice, TcpOptions};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+struct Args {
+    addr: SocketAddr,
+    device: usize,
+    devices: usize,
+    clusters: usize,
+    seed: u64,
+}
+
+const USAGE: &str = "usage: fedsc-device --addr HOST:PORT --device Z \
+[--devices 12] [--clusters 3] [--seed 1]";
+
+fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return match it.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{name} requires a value\n{USAGE}")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name)? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}\n{USAGE}")),
+        None => Ok(default),
+    }
+}
+
+fn required<T: std::str::FromStr>(args: &[String], name: &str) -> Result<T, String> {
+    flag_value(args, name)?
+        .ok_or(format!("{name} is required\n{USAGE}"))?
+        .parse()
+        .map_err(|_| format!("invalid value for {name}\n{USAGE}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    Ok(Args {
+        addr: required(args, "--addr")?,
+        device: required(args, "--device")?,
+        devices: parsed(args, "--devices", 12)?,
+        clusters: parsed(args, "--clusters", 3)?,
+        seed: parsed(args, "--seed", 1)?,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if args.device >= args.devices {
+        return Err(format!(
+            "--device {} out of range for --devices {}",
+            args.device, args.devices
+        ));
+    }
+    let (fed, cfg) = demo_fixture(args.seed, args.devices, args.clusters);
+    let mut link = TcpDevice::new(args.addr, args.device, TcpOptions::default());
+    let predictions = device_round(
+        &fed.devices[args.device].data,
+        args.device,
+        &cfg,
+        &mut link,
+        &RoundPolicy::default(),
+    )
+    .map_err(|e| format!("{e}"))?;
+    let list: Vec<String> = predictions.iter().map(usize::to_string).collect();
+    println!("device {} predictions {}", args.device, list.join(","));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|a| run(&a)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fedsc-device: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Central-server endpoint for a real-process Fed-SC round over TCP.
+//!
+//! Binds a listener, prints `listening <addr>` (flushed, so a parent
+//! process piping stdout can scrape the ephemeral port), collects uplinks
+//! from `--devices` clients under the straggler policy, runs the central
+//! clustering, answers each included device, and prints a summary:
+//!
+//! ```text
+//! listening 127.0.0.1:40123
+//! excluded 3
+//! uplink_bytes 5664 downlink_bytes 1248
+//! ```
+//!
+//! `excluded -` means no device missed the deadline. The dataset/config
+//! fixture is regenerated from `--seed` (see `fedsc::demo`), so the server
+//! and its `fedsc-device` peers agree on every parameter without sharing
+//! state.
+
+use fedsc::demo::demo_fixture;
+use fedsc::{server_round, RoundPolicy};
+use fedsc_transport::{ServerTransport, TcpOptions, TcpServer};
+use std::io::Write;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    addr: SocketAddr,
+    devices: usize,
+    clusters: usize,
+    seed: u64,
+    quorum: Option<usize>,
+    deadline_ms: u64,
+}
+
+const USAGE: &str = "usage: fedsc-server [--addr 127.0.0.1:0] [--devices 12] \
+[--clusters 3] [--seed 1] [--quorum N] [--deadline-ms 300000]";
+
+fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return match it.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{name} requires a value\n{USAGE}")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name)? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}\n{USAGE}")),
+        None => Ok(default),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    Ok(Args {
+        addr: parsed(args, "--addr", SocketAddr::from(([127, 0, 0, 1], 0)))?,
+        devices: parsed(args, "--devices", 12)?,
+        clusters: parsed(args, "--clusters", 3)?,
+        seed: parsed(args, "--seed", 1)?,
+        quorum: flag_value(args, "--quorum")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid value for --quorum: {v}\n{USAGE}"))
+            })
+            .transpose()?,
+        deadline_ms: parsed(args, "--deadline-ms", 300_000)?,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if args.devices == 0 {
+        return Err("--devices must be positive".into());
+    }
+    // Only the config matters server-side; regenerating the full fixture
+    // guarantees it cannot drift from what the device processes use.
+    let (_fed, cfg) = demo_fixture(args.seed, args.devices, args.clusters);
+    let policy = RoundPolicy {
+        quorum: args.quorum,
+        deadline: Duration::from_millis(args.deadline_ms),
+        ..RoundPolicy::default()
+    };
+    let mut server = TcpServer::bind(args.addr, TcpOptions::default())
+        .map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening {}", server.local_addr());
+    // Stdout is block-buffered when piped; the parent is waiting on this
+    // line to learn the port.
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout flush failed: {e}"))?;
+
+    let excluded =
+        server_round(&mut server, args.devices, &cfg, &policy).map_err(|e| format!("{e}"))?;
+    let stats = server.stats();
+    drop(server); // closes links so excluded devices stop waiting
+    if excluded.is_empty() {
+        println!("excluded -");
+    } else {
+        let list: Vec<String> = excluded.iter().map(usize::to_string).collect();
+        println!("excluded {}", list.join(","));
+    }
+    println!(
+        "uplink_bytes {} downlink_bytes {}",
+        stats.bytes_received, stats.bytes_sent
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|a| run(&a)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fedsc-server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

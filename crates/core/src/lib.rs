@@ -45,6 +45,7 @@
 pub mod assign;
 pub mod central;
 pub mod config;
+pub mod demo;
 pub mod local;
 pub mod scheme;
 pub mod wire;
@@ -52,4 +53,4 @@ pub mod wire;
 pub use assign::ClusterAssigner;
 pub use config::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig, LocalBackend};
 pub use scheme::{FedSc, FedScOutput};
-pub use wire::{run_over_wire, WireRunOutput};
+pub use wire::{device_round, run_over_wire, run_round, server_round, RoundPolicy, WireRunOutput};

@@ -1,16 +1,25 @@
 //! Wire-level execution of the Fed-SC round: devices and the server run as
-//! separate threads exchanging **encoded byte messages** over channels —
-//! the deployment shape of Algorithm 1, as opposed to the in-process
-//! orchestration of [`crate::scheme::FedSc`].
+//! separate threads (or processes — see the `fedsc-server`/`fedsc-device`
+//! binaries) exchanging **encoded byte messages** over a pluggable
+//! [`Transport`] — the deployment shape of Algorithm 1, as opposed to the
+//! in-process orchestration of [`crate::scheme::FedSc`].
 //!
-//! Every device thread runs Algorithm 2 on its shard, serializes its
-//! samples into an [`UplinkMessage`] payload, and sends the bytes to the
-//! server thread; the server decodes and pools the payloads, runs the
-//! central clustering, and answers each device with an encoded
-//! [`DownlinkMessage`] of assignments; devices decode and perform the local
-//! update. With a lossless channel the result is **bit-identical** to
-//! `FedSc::run` under the same seeds (tested), so the in-process scheme and
-//! the wire protocol cannot drift apart.
+//! Every device runs Algorithm 2 on its shard, serializes its samples into
+//! an [`UplinkMessage`] payload, and sends the bytes to the server; the
+//! server decodes and pools the payloads, runs the central clustering, and
+//! answers each included device with an encoded [`DownlinkMessage`] of
+//! assignments; devices decode and perform the local update. With a
+//! lossless link the result is **bit-identical** to `FedSc::run` under the
+//! same seeds (tested), so the in-process scheme and the wire protocol
+//! cannot drift apart.
+//!
+//! The round is one-shot, which makes straggler handling simple: the
+//! server collects uplinks until all devices report or the
+//! [`RoundPolicy::deadline`] expires, proceeds if the
+//! [`RoundPolicy::quorum`] is met, and reports the devices it excluded in
+//! [`WireRunOutput::excluded`] (their points fall back to cluster 0).
+//! Transient link failures — dropped or corrupted-and-rejected messages —
+//! are absorbed by a bounded retry budget on every send.
 //!
 //! [`UplinkMessage`]: fedsc_federated::channel::UplinkMessage
 //! [`DownlinkMessage`]: fedsc_federated::channel::DownlinkMessage
@@ -18,178 +27,317 @@
 use crate::central::central_cluster;
 use crate::config::FedScConfig;
 use crate::local::local_cluster_and_sample;
-use bytes::Bytes;
 use fedsc_federated::channel::{DownlinkMessage, UplinkMessage};
 use fedsc_federated::partition::FederatedDataset;
 use fedsc_linalg::{LinalgError, Matrix, Result};
+use fedsc_transport::{
+    with_retry, Deadline, DeviceTransport, InMemoryTransport, LinkStats, ServerTransport,
+    Transport, TransportError,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
+
+/// Server-side straggler and reliability policy for one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPolicy {
+    /// Minimum devices whose uplinks must arrive for the round to proceed;
+    /// `None` requires all of them (any missing device fails the round).
+    pub quorum: Option<usize>,
+    /// How long the server collects uplinks before giving up on stragglers.
+    pub deadline: Duration,
+    /// Extra attempts granted to every send after a transient link error.
+    pub max_retries: u32,
+    /// Initial backoff between retry attempts (doubles per retry).
+    pub retry_backoff: Duration,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> Self {
+        RoundPolicy {
+            quorum: None,
+            deadline: Duration::from_secs(300),
+            max_retries: 5,
+            retry_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RoundPolicy {
+    /// How long a device waits for its downlink: the server's collection
+    /// deadline plus slack for the central clustering itself. Normally the
+    /// transport unblocks excluded devices much sooner (the server closes
+    /// the links when the round ends); this is the backstop.
+    pub fn downlink_wait(&self) -> Duration {
+        self.deadline.saturating_add(Duration::from_secs(60))
+    }
+
+    fn required(&self, z_count: usize) -> usize {
+        self.quorum.unwrap_or(z_count).min(z_count).max(1)
+    }
+}
 
 /// Result of a wire-level run.
 #[derive(Debug, Clone)]
 pub struct WireRunOutput {
-    /// Predicted global cluster per point, in global-point order.
+    /// Predicted global cluster per point, in global-point order. Points
+    /// on excluded devices fall back to cluster 0.
     pub predictions: Vec<usize>,
-    /// Total bytes that crossed the uplink (encoded payload sizes).
+    /// Total bytes that crossed the uplink as observed by the server — the
+    /// lossless in-memory link counts payload bytes, framed links (TCP,
+    /// fault-injecting) count framing and handshake overhead too.
     pub uplink_bytes: usize,
-    /// Total bytes that crossed the downlink.
+    /// Total bytes that crossed the downlink (same accounting basis).
     pub downlink_bytes: usize,
+    /// Devices whose uplink never arrived before the deadline; empty on a
+    /// clean run.
+    pub excluded: Vec<usize>,
 }
 
-/// Runs the Fed-SC round with per-device threads and encoded messages.
-///
-/// The channel is lossless (byte-faithful); noise/quantization modelling
-/// lives in [`crate::scheme::FedSc`]. Errors from any thread are propagated.
-pub fn run_over_wire(fed: &FederatedDataset, cfg: &FedScConfig) -> Result<WireRunOutput> {
-    let z_count = fed.devices.len();
-    let (uplink_tx, uplink_rx) = crossbeam::channel::unbounded::<(usize, Bytes)>();
-    let mut downlink_txs = Vec::with_capacity(z_count);
-    let mut downlink_rxs = Vec::with_capacity(z_count);
-    for _ in 0..z_count {
-        let (tx, rx) = crossbeam::channel::bounded::<Bytes>(1);
-        downlink_txs.push(tx);
-        downlink_rxs.push(rx);
-    }
-
-    // Per-device results come back through a second channel so the scope
-    // can end cleanly even if the server fails.
-    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, Result<Vec<usize>>)>();
-
-    let mut server_result: Option<Result<(usize, usize)>> = None;
-    let scope_result = crossbeam::thread::scope(|scope| {
-        // Device threads: phase 1, send uplink, await downlink, phase 3.
-        for (z, downlink_rx) in downlink_rxs.iter().enumerate() {
-            let uplink_tx = uplink_tx.clone();
-            let downlink_rx = downlink_rx.clone();
-            let result_tx = result_tx.clone();
-            let device = &fed.devices[z];
-            scope.spawn(move |_| {
-                let work = || -> Result<Vec<usize>> {
-                    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
-                    let out = local_cluster_and_sample(&device.data, cfg, &mut rng)?;
-                    let msg = UplinkMessage {
-                        dim: out.samples.rows(),
-                        samples: out.samples.clone(),
-                    };
-                    uplink_tx
-                        .send((z, msg.encode()))
-                        .map_err(|_| LinalgError::InvalidArgument("server hung up"))?;
-                    let reply = downlink_rx
-                        .recv()
-                        .map_err(|_| LinalgError::InvalidArgument("no downlink reply"))?;
-                    let down = DownlinkMessage::decode(reply)
-                        .ok_or(LinalgError::InvalidArgument("malformed downlink"))?;
-                    if down.assignments.len() != out.sample_cluster.len() {
-                        return Err(LinalgError::InvalidArgument(
-                            "downlink assignment count mismatch",
-                        ));
-                    }
-                    // Phase 3: relabel local clusters by their (first)
-                    // sample's assignment, mirroring FedSc::run.
-                    let mut cluster_to_global = vec![0usize; out.num_local_clusters.max(1)];
-                    let mut votes =
-                        vec![vec![0usize; cfg.num_clusters.max(1)]; out.num_local_clusters.max(1)];
-                    for (s, &t) in out.sample_cluster.iter().enumerate() {
-                        votes[t][down.assignments[s] as usize] += 1;
-                    }
-                    for (t, vote) in votes.iter().enumerate() {
-                        if let Some((best, _)) = vote
-                            .iter()
-                            .enumerate()
-                            .max_by_key(|&(_, &c)| c)
-                            .filter(|&(_, &c)| c > 0)
-                        {
-                            cluster_to_global[t] = best;
-                        }
-                    }
-                    Ok(out
-                        .local_labels
-                        .iter()
-                        .map(|&t| cluster_to_global[t])
-                        .collect())
-                };
-                let _ = result_tx.send((z, work()));
-            });
+/// Maps a link failure into the workspace error type, preserving the
+/// failure class in the message.
+fn wire_err(e: TransportError) -> LinalgError {
+    LinalgError::InvalidArgument(match e {
+        TransportError::Closed(_) => "transport closed before the round completed",
+        TransportError::Timeout(_) => "transport deadline expired",
+        TransportError::VersionMismatch { .. } => "peer speaks a different protocol version",
+        TransportError::Dropped
+        | TransportError::ChecksumMismatch { .. }
+        | TransportError::Truncated { .. }
+        | TransportError::BadMagic => "message lost despite the retry budget",
+        TransportError::Malformed(_) | TransportError::Oversize { .. } => {
+            "malformed transport frame"
         }
-        drop(uplink_tx);
-        drop(result_tx);
+        TransportError::Io { .. } => "socket failure",
+    })
+}
 
-        // Server: collect all uplinks, cluster, answer each device.
-        let server = || -> Result<(usize, usize)> {
-            let mut payloads: Vec<Option<UplinkMessage>> = (0..z_count).map(|_| None).collect();
-            let mut uplink_bytes = 0usize;
-            for _ in 0..z_count {
-                // recv_timeout rather than recv: if a device dies before
-                // sending, the still-blocked healthy devices keep their
-                // sender clones alive, so a plain recv would deadlock
-                // instead of erroring.
-                let (z, bytes) = uplink_rx
-                    .recv_timeout(std::time::Duration::from_secs(300))
-                    .map_err(|_| LinalgError::InvalidArgument("a device hung up"))?;
-                uplink_bytes += bytes.len();
+/// Runs one device's side of the round over `link`: Algorithm 2 on `data`,
+/// uplink, await assignments, local relabel. Returns the device-local
+/// predictions (one global cluster id per local point).
+///
+/// Deterministic given `(cfg.seed, z)` — the transport carries opaque
+/// bytes and cannot perturb the clustering.
+pub fn device_round<D: DeviceTransport>(
+    data: &Matrix,
+    z: usize,
+    cfg: &FedScConfig,
+    link: &mut D,
+    policy: &RoundPolicy,
+) -> Result<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
+    let out = local_cluster_and_sample(data, cfg, &mut rng)?;
+    let msg = UplinkMessage {
+        dim: out.samples.rows(),
+        samples: out.samples.clone(),
+    };
+    let payload = msg.encode();
+    with_retry(policy.max_retries, policy.retry_backoff, || {
+        link.send_uplink(&payload)
+    })
+    .map_err(wire_err)?;
+    let reply = link
+        .recv_downlink(policy.downlink_wait())
+        .map_err(wire_err)?;
+    let down =
+        DownlinkMessage::decode(reply).ok_or(LinalgError::InvalidArgument("malformed downlink"))?;
+    if down.assignments.len() != out.sample_cluster.len() {
+        return Err(LinalgError::InvalidArgument(
+            "downlink assignment count mismatch",
+        ));
+    }
+    // Phase 3: relabel local clusters by their samples' majority global
+    // assignment, mirroring FedSc::run.
+    let mut cluster_to_global = vec![0usize; out.num_local_clusters.max(1)];
+    let mut votes = vec![vec![0usize; cfg.num_clusters.max(1)]; out.num_local_clusters.max(1)];
+    for (s, &t) in out.sample_cluster.iter().enumerate() {
+        votes[t][down.assignments[s] as usize] += 1;
+    }
+    for (t, vote) in votes.iter().enumerate() {
+        if let Some((best, _)) = vote
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .filter(|&(_, &c)| c > 0)
+        {
+            cluster_to_global[t] = best;
+        }
+    }
+    Ok(out
+        .local_labels
+        .iter()
+        .map(|&t| cluster_to_global[t])
+        .collect())
+}
+
+/// Runs the server's side of the round over `link`: collect uplinks until
+/// every device reports or the policy deadline expires, pool in ascending
+/// device order, cluster centrally, answer each included device. Returns
+/// the devices excluded as stragglers (empty on a clean run).
+///
+/// Fails if fewer than [`RoundPolicy::quorum`] devices report in time.
+pub fn server_round<S: ServerTransport>(
+    link: &mut S,
+    z_count: usize,
+    cfg: &FedScConfig,
+    policy: &RoundPolicy,
+) -> Result<Vec<usize>> {
+    let mut payloads: Vec<Option<UplinkMessage>> = (0..z_count).map(|_| None).collect();
+    let deadline = Deadline::after(policy.deadline);
+    let mut received = 0usize;
+    while received < z_count {
+        let remaining = deadline.remaining();
+        if remaining.is_zero() {
+            break;
+        }
+        match link.recv_uplink(remaining) {
+            Ok((z, bytes)) => {
+                // Stray device ids and duplicate deliveries (a retrying
+                // link may deliver the same upload twice) are ignored.
+                if z >= z_count || payloads[z].is_some() {
+                    continue;
+                }
                 let msg = UplinkMessage::decode(bytes)
                     .ok_or(LinalgError::InvalidArgument("malformed uplink"))?;
                 payloads[z] = Some(msg);
+                received += 1;
             }
-            let mut mats = Vec::with_capacity(z_count);
-            let mut counts = Vec::with_capacity(z_count);
-            for p in payloads.into_iter() {
-                let m = p
-                    .ok_or(LinalgError::InvalidArgument("a device never reported"))?
-                    .samples;
-                counts.push(m.cols());
-                mats.push(m);
-            }
-            let refs: Vec<&Matrix> = mats.iter().collect();
-            let pooled = Matrix::hcat(&refs)?;
-            let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
-            let central = central_cluster(
-                &pooled,
-                cfg.num_clusters,
-                z_count,
-                cfg.central,
-                &mut server_rng,
-            )?;
-            let mut downlink_bytes = 0usize;
-            let mut offset = 0usize;
-            for (z, &r) in counts.iter().enumerate() {
-                let assignments: Vec<u32> = central.assignments[offset..offset + r]
-                    .iter()
-                    .map(|&a| a as u32)
-                    .collect();
-                offset += r;
-                let reply = DownlinkMessage { assignments }.encode();
-                downlink_bytes += reply.len();
-                downlink_txs[z]
-                    .send(reply)
-                    .map_err(|_| LinalgError::InvalidArgument("device hung up"))?;
-            }
-            Ok((uplink_bytes, downlink_bytes))
-        };
-        server_result = Some(server());
+            Err(TransportError::Timeout(_)) => break,
+            Err(e) => return Err(wire_err(e)),
+        }
+    }
+
+    let excluded: Vec<usize> = payloads
+        .iter()
+        .enumerate()
+        .filter_map(|(z, p)| p.is_none().then_some(z))
+        .collect();
+    if received < policy.required(z_count) {
+        return Err(LinalgError::InvalidArgument(
+            "quorum not met before the round deadline",
+        ));
+    }
+
+    // Pool included devices' samples in ascending device order — the same
+    // order FedSc::run pools in, which keeps clean runs bit-identical.
+    let mut included = Vec::with_capacity(received);
+    let mut mats = Vec::with_capacity(received);
+    let mut counts = Vec::with_capacity(received);
+    for (z, p) in payloads.into_iter().enumerate() {
+        if let Some(msg) = p {
+            included.push(z);
+            counts.push(msg.samples.cols());
+            mats.push(msg.samples);
+        }
+    }
+    let refs: Vec<&Matrix> = mats.iter().collect();
+    let pooled = Matrix::hcat(&refs)?;
+    let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
+    let central = central_cluster(
+        &pooled,
+        cfg.num_clusters,
+        included.len(),
+        cfg.central,
+        &mut server_rng,
+    )?;
+
+    let mut offset = 0usize;
+    for (&z, &r) in included.iter().zip(counts.iter()) {
+        let assignments: Vec<u32> = central.assignments[offset..offset + r]
+            .iter()
+            .map(|&a| a as u32)
+            .collect();
+        offset += r;
+        let reply = DownlinkMessage { assignments }.encode();
+        with_retry(policy.max_retries, policy.retry_backoff, || {
+            link.send_downlink(z, &reply)
+        })
+        .map_err(wire_err)?;
+    }
+    Ok(excluded)
+}
+
+/// Runs the Fed-SC round over `transport` with per-device threads and
+/// encoded messages, under the given straggler `policy`.
+///
+/// Noise/quantization modelling lives in [`crate::scheme::FedSc`]; here the
+/// link itself may be unreliable (see `fedsc_transport::fault`) and the
+/// policy decides how much unreliability the round absorbs. Errors from
+/// any included device or the server are propagated; excluded stragglers
+/// are reported, not fatal.
+pub fn run_round<T: Transport>(
+    fed: &FederatedDataset,
+    cfg: &FedScConfig,
+    transport: &T,
+    policy: &RoundPolicy,
+) -> Result<WireRunOutput> {
+    let z_count = fed.devices.len();
+    let (mut server_link, device_links) = transport.open(z_count).map_err(wire_err)?;
+
+    // Per-device results come back through a channel so the scope can end
+    // cleanly even if the server fails.
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, Result<Vec<usize>>)>();
+    let mut server_out: Option<Result<(Vec<usize>, LinkStats)>> = None;
+    let scope_result = crossbeam::thread::scope(|scope| {
+        for (z, mut link) in device_links.into_iter().enumerate() {
+            let result_tx = result_tx.clone();
+            let device = &fed.devices[z];
+            scope.spawn(move |_| {
+                let _ = result_tx.send((z, device_round(&device.data, z, cfg, &mut link, policy)));
+            });
+        }
+        drop(result_tx);
+
+        let served = server_round(&mut server_link, z_count, cfg, policy)
+            .map(|excluded| (excluded, server_link.stats()));
+        // Dropping the server endpoint closes every link: excluded devices
+        // still blocked in recv_downlink observe closure instead of
+        // waiting out their timeout.
+        drop(server_link);
+        server_out = Some(served);
     });
     if let Err(payload) = scope_result {
-        // A device or server thread panicked: re-raise the original panic on
-        // the caller's thread.
+        // A device or server thread panicked: re-raise the original panic
+        // on the caller's thread.
         std::panic::resume_unwind(payload);
     }
 
-    let (uplink_bytes, downlink_bytes) =
-        server_result.ok_or(LinalgError::InvalidArgument("server thread never ran"))??;
+    let (excluded, stats) =
+        server_out.ok_or(LinalgError::InvalidArgument("server never ran"))??;
     let mut per_device: Vec<Option<Vec<usize>>> = (0..z_count).map(|_| None).collect();
     for (z, res) in result_rx.iter() {
-        per_device[z] = Some(res?);
+        match res {
+            Ok(v) => per_device[z] = Some(v),
+            // An excluded straggler fails its round by construction (the
+            // server never answers it); that is the policy working, not an
+            // error. Any other device failure is real.
+            Err(e) if !excluded.contains(&z) => return Err(e),
+            Err(_) => {}
+        }
     }
     let mut gathered: Vec<Vec<usize>> = Vec::with_capacity(z_count);
-    for p in per_device {
-        gathered.push(p.ok_or(LinalgError::InvalidArgument("a device sent no result"))?);
+    for (z, p) in per_device.into_iter().enumerate() {
+        match p {
+            Some(v) => gathered.push(v),
+            None if excluded.contains(&z) => {
+                // Fallback for points the round never clustered.
+                gathered.push(vec![0usize; fed.devices[z].data.cols()]);
+            }
+            None => return Err(LinalgError::InvalidArgument("a device sent no result")),
+        }
     }
-    let per_device = gathered;
     Ok(WireRunOutput {
-        predictions: fed.scatter_predictions(&per_device),
-        uplink_bytes,
-        downlink_bytes,
+        predictions: fed.scatter_predictions(&gathered),
+        uplink_bytes: stats.bytes_received,
+        downlink_bytes: stats.bytes_sent,
+        excluded,
     })
+}
+
+/// Runs the round over the lossless in-memory transport with the default
+/// policy — the historical entry point; bit-identical to `FedSc::run`.
+pub fn run_over_wire(fed: &FederatedDataset, cfg: &FedScConfig) -> Result<WireRunOutput> {
+    run_round(fed, cfg, &InMemoryTransport, &RoundPolicy::default())
 }
 
 #[cfg(test)]
@@ -199,6 +347,7 @@ mod tests {
     use crate::scheme::FedSc;
     use fedsc_federated::partition::{partition_dataset, Partition};
     use fedsc_subspace::SubspaceModel;
+    use fedsc_transport::{FaultConfig, FaultyInMemoryTransport, TcpTransport};
 
     fn fixture(seed: u64) -> (FederatedDataset, FedScConfig) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -217,6 +366,7 @@ mod tests {
         // Same seeds, lossless channel: the two execution shapes must agree
         // bit for bit.
         assert_eq!(wire.predictions, in_process.predictions);
+        assert!(wire.excluded.is_empty());
     }
 
     #[test]
@@ -237,5 +387,116 @@ mod tests {
         let wire = run_over_wire(&fed, &cfg).unwrap();
         let acc = fedsc_clustering::clustering_accuracy(&fed.global_truth(), &wire.predictions);
         assert!(acc > 90.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn faulty_link_below_retry_budget_still_matches_exactly() {
+        let (fed, cfg) = fixture(1);
+        let clean = run_over_wire(&fed, &cfg).unwrap();
+        let transport = FaultyInMemoryTransport::new(FaultConfig {
+            seed: 99,
+            drop: 0.2,
+            bit_flip: 0.1,
+            truncate: 0.1,
+            duplicate: 0.1,
+            ..FaultConfig::default()
+        });
+        let policy = RoundPolicy {
+            // drop+truncate+flip ≈ 0.4 per attempt; 25 retries make a
+            // device-level failure astronomically unlikely.
+            max_retries: 25,
+            retry_backoff: Duration::ZERO,
+            ..RoundPolicy::default()
+        };
+        let faulty = run_round(&fed, &cfg, &transport, &policy).unwrap();
+        // Retries and duplicates are invisible to the clustering: the
+        // payload bytes that survive are the payload bytes that were sent.
+        assert_eq!(faulty.predictions, clean.predictions);
+        assert!(faulty.excluded.is_empty());
+        // Framed accounting on the faulty link is at least the payload
+        // accounting of the clean one (32-byte header per frame, plus
+        // duplicates).
+        assert!(faulty.uplink_bytes > clean.uplink_bytes);
+    }
+
+    #[test]
+    fn tcp_round_matches_in_memory_round_exactly() {
+        let (fed, cfg) = fixture(4);
+        let clean = run_over_wire(&fed, &cfg).unwrap();
+        let tcp = run_round(
+            &fed,
+            &cfg,
+            &TcpTransport::loopback(),
+            &RoundPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(tcp.predictions, clean.predictions);
+        assert!(tcp.excluded.is_empty());
+        // TCP accounting includes handshakes and framing: strictly more
+        // bytes than the payload-only in-memory accounting.
+        assert!(tcp.uplink_bytes > clean.uplink_bytes);
+        assert!(tcp.downlink_bytes > clean.downlink_bytes);
+    }
+
+    #[test]
+    fn quorum_round_excludes_straggler_and_reports_it() {
+        let (fed, cfg) = fixture(5);
+        let z_count = fed.devices.len();
+        // Device 3 is a total straggler: a fault plan that drops every one
+        // of its uplink attempts. Per-link seeding means we can't target
+        // one device directly, so emulate by running the round generically
+        // with a transport whose open() drops one endpoint — simplest here:
+        // run server/device halves manually.
+        let transport = InMemoryTransport;
+        let (mut server_link, mut device_links) = transport.open(z_count).unwrap();
+        let policy = RoundPolicy {
+            quorum: Some(z_count - 1),
+            deadline: Duration::from_millis(800),
+            ..RoundPolicy::default()
+        };
+        let dead = 3usize;
+        let mut results: Vec<Option<Vec<usize>>> = (0..z_count).map(|_| None).collect();
+        let mut excluded = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (z, mut link) in device_links.drain(..).enumerate() {
+                if z == dead {
+                    continue; // killed before it ever speaks
+                }
+                let device = &fed.devices[z];
+                let (cfg, policy) = (&cfg, &policy);
+                handles.push((
+                    z,
+                    scope.spawn(move |_| device_round(&device.data, z, cfg, &mut link, policy)),
+                ));
+            }
+            excluded = server_round(&mut server_link, z_count, &cfg, &policy).unwrap();
+            drop(server_link);
+            for (z, h) in handles {
+                results[z] = Some(h.join().unwrap().unwrap());
+            }
+        })
+        .unwrap();
+        assert_eq!(excluded, vec![dead]);
+        // Every healthy device got a full labelling of its shard.
+        for (z, r) in results.iter().enumerate() {
+            if z != dead {
+                let r = r.as_ref().unwrap();
+                assert_eq!(r.len(), fed.devices[z].data.cols());
+            }
+        }
+    }
+
+    #[test]
+    fn missing_quorum_fails_the_round() {
+        let (fed, cfg) = fixture(6);
+        let z_count = fed.devices.len();
+        let (mut server_link, _device_links) = InMemoryTransport.open(z_count).unwrap();
+        let policy = RoundPolicy {
+            quorum: Some(z_count), // all required, none will come
+            deadline: Duration::from_millis(50),
+            ..RoundPolicy::default()
+        };
+        assert!(server_round(&mut server_link, z_count, &cfg, &policy).is_err());
     }
 }

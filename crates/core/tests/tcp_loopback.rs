@@ -1,0 +1,153 @@
+//! End-to-end loopback rounds with **real processes**: one `fedsc-server`
+//! and Z `fedsc-device` children talking TCP on 127.0.0.1.
+//!
+//! Clean run: the reassembled predictions must be bit-identical to the
+//! in-process `FedSc::run` on the same seeded fixture — the strongest
+//! statement that the wire protocol, the frame codec, and the binaries
+//! add nothing and lose nothing.
+//!
+//! Straggler run: one device is never started; the server must make
+//! quorum, report the missing device as excluded, and still answer the
+//! healthy ones.
+
+use fedsc::demo::demo_fixture;
+use fedsc::FedSc;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const SERVER_BIN: &str = env!("CARGO_BIN_EXE_fedsc-server");
+const DEVICE_BIN: &str = env!("CARGO_BIN_EXE_fedsc-device");
+
+/// Spawns the server and scrapes the `listening <addr>` line.
+fn spawn_server(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(SERVER_BIN)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn fedsc-server");
+    let stdout = child.stdout.as_mut().expect("server stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+fn spawn_device(addr: &str, z: usize, devices: usize, seed: u64) -> Child {
+    Command::new(DEVICE_BIN)
+        .args([
+            "--addr",
+            addr,
+            "--device",
+            &z.to_string(),
+            "--devices",
+            &devices.to_string(),
+            "--seed",
+            &seed.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn fedsc-device")
+}
+
+/// Waits for a device child and parses its `device <z> predictions <csv>`.
+fn device_predictions(child: Child) -> Vec<usize> {
+    let out = child.wait_with_output().expect("device exits");
+    assert!(
+        out.status.success(),
+        "device failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("device "))
+        .unwrap_or_else(|| panic!("no predictions line in {stdout:?}"));
+    let csv = line.rsplit(' ').next().expect("csv field");
+    csv.split(',')
+        .map(|t| t.parse().expect("prediction id"))
+        .collect()
+}
+
+#[test]
+fn real_process_round_is_bit_identical_to_in_process_run() {
+    let (seed, devices) = (7u64, 4usize);
+    let (server, addr) = spawn_server(&["--devices", "4", "--seed", "7"]);
+    let children: Vec<Child> = (0..devices)
+        .map(|z| spawn_device(&addr, z, devices, seed))
+        .collect();
+    let per_device: Vec<Vec<usize>> = children.into_iter().map(device_predictions).collect();
+
+    let out = server.wait_with_output().expect("server exits");
+    assert!(
+        out.status.success(),
+        "server failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        summary.contains("excluded -"),
+        "clean run excluded devices: {summary}"
+    );
+    // Framing makes the wire strictly heavier than the payloads; both
+    // totals must be reported and nonzero.
+    assert!(summary.contains("uplink_bytes "), "{summary}");
+
+    // Bit-identity: reassemble the global labelling from the four separate
+    // OS processes and compare with the single-process reference.
+    let (fed, cfg) = demo_fixture(seed, devices, 3);
+    let reference = FedSc::new(cfg).run(&fed).expect("reference run");
+    assert_eq!(
+        fed.scatter_predictions(&per_device),
+        reference.predictions,
+        "wire round drifted from FedSc::run"
+    );
+}
+
+#[test]
+fn killed_device_is_excluded_under_quorum() {
+    let (seed, devices, dead) = (9u64, 4usize, 2usize);
+    let (server, addr) = spawn_server(&[
+        "--devices",
+        "4",
+        "--seed",
+        "9",
+        "--quorum",
+        "3",
+        "--deadline-ms",
+        "4000",
+    ]);
+    // Device `dead` is never started — the straggler the policy must absorb.
+    let children: Vec<(usize, Child)> = (0..devices)
+        .filter(|&z| z != dead)
+        .map(|z| (z, spawn_device(&addr, z, devices, seed)))
+        .collect();
+
+    let out = server.wait_with_output().expect("server exits");
+    assert!(
+        out.status.success(),
+        "quorum round failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        summary
+            .lines()
+            .any(|l| l.trim() == format!("excluded {dead}")),
+        "server did not report the killed device: {summary}"
+    );
+
+    // Healthy devices complete with a full labelling of their shards.
+    let (fed, _cfg) = demo_fixture(seed, devices, 3);
+    for (z, child) in children {
+        let preds = device_predictions(child);
+        assert_eq!(preds.len(), fed.devices[z].data.cols(), "device {z}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Transport error taxonomy.
+//!
+//! Every failure mode of a device↔server link is a variant here, and each
+//! one is classified as *transient* (worth a bounded retry: the message was
+//! lost or mangled in flight) or *terminal* (retrying cannot help: the peer
+//! speaks a different protocol version, or the link is gone for good).
+
+use std::fmt;
+
+/// Errors produced by transports, frames, and link endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer (or every peer) disconnected; no more messages can flow.
+    Closed(&'static str),
+    /// No message arrived within the allotted time.
+    Timeout(&'static str),
+    /// The frame does not start with the protocol magic.
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// The version this endpoint implements.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// The frame checksum does not match its contents.
+    ChecksumMismatch {
+        /// CRC32 recorded in the frame header.
+        expected: u32,
+        /// CRC32 recomputed over the received bytes.
+        got: u32,
+    },
+    /// The frame ended before its declared length.
+    Truncated {
+        /// Bytes the header promised.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The frame header is structurally invalid (unknown kind, nonzero
+    /// reserved flags, ...).
+    Malformed(&'static str),
+    /// The declared payload exceeds the protocol bound.
+    Oversize {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The (simulated) link lost the message in flight.
+    Dropped,
+    /// An OS-level socket operation failed.
+    Io {
+        /// The operation that failed (`"connect"`, `"read frame"`, ...).
+        op: &'static str,
+        /// The underlying I/O error kind.
+        kind: std::io::ErrorKind,
+    },
+}
+
+impl TransportError {
+    /// Whether a bounded retry has a chance of succeeding: lost or mangled
+    /// messages are transient, protocol or permanent-link failures are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TransportError::Dropped
+            | TransportError::ChecksumMismatch { .. }
+            | TransportError::Truncated { .. }
+            | TransportError::BadMagic => true,
+            TransportError::Io { kind, .. } => matches!(
+                kind,
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::NotConnected
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::UnexpectedEof
+            ),
+            TransportError::Closed(_)
+            | TransportError::Timeout(_)
+            | TransportError::VersionMismatch { .. }
+            | TransportError::Malformed(_)
+            | TransportError::Oversize { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed(ctx) => write!(f, "link closed: {ctx}"),
+            TransportError::Timeout(ctx) => write!(f, "timed out: {ctx}"),
+            TransportError::BadMagic => write!(f, "frame does not start with the protocol magic"),
+            TransportError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            TransportError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, computed {got:#010x}"
+                )
+            }
+            TransportError::Truncated { needed, got } => {
+                write!(f, "frame truncated: needed {needed} bytes, got {got}")
+            }
+            TransportError::Malformed(ctx) => write!(f, "malformed frame: {ctx}"),
+            TransportError::Oversize { len } => {
+                write!(
+                    f,
+                    "declared payload of {len} bytes exceeds the protocol bound"
+                )
+            }
+            TransportError::Dropped => write!(f, "message dropped in flight"),
+            TransportError::Io { op, kind } => write!(f, "socket {op} failed: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TransportError>;
+
+/// Maps an OS I/O error to [`TransportError`], folding read/write timeouts
+/// (`WouldBlock` on Unix, `TimedOut` on Windows) into [`TransportError::Timeout`].
+pub fn io_error(op: &'static str, e: &std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            TransportError::Timeout(op)
+        }
+        kind => TransportError::Io { op, kind },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(TransportError::Dropped.is_transient());
+        assert!(TransportError::ChecksumMismatch {
+            expected: 1,
+            got: 2
+        }
+        .is_transient());
+        assert!(TransportError::Truncated { needed: 8, got: 3 }.is_transient());
+        assert!(TransportError::Io {
+            op: "connect",
+            kind: std::io::ErrorKind::ConnectionRefused
+        }
+        .is_transient());
+        assert!(!TransportError::VersionMismatch { ours: 1, theirs: 2 }.is_transient());
+        assert!(!TransportError::Closed("gone").is_transient());
+        assert!(!TransportError::Timeout("recv").is_transient());
+    }
+
+    #[test]
+    fn io_error_folds_timeouts() {
+        let e = std::io::Error::new(std::io::ErrorKind::WouldBlock, "t");
+        assert_eq!(
+            io_error("read frame", &e),
+            TransportError::Timeout("read frame")
+        );
+        let e = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "r");
+        assert_eq!(
+            io_error("read frame", &e),
+            TransportError::Io {
+                op: "read frame",
+                kind: std::io::ErrorKind::ConnectionReset
+            }
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!(
+            "{}",
+            TransportError::ChecksumMismatch {
+                expected: 0xdead_beef,
+                got: 1
+            }
+        );
+        assert!(s.contains("0xdeadbeef"), "{s}");
+    }
+}

@@ -1,0 +1,569 @@
+//! Seeded, deterministic fault injection over in-process links.
+//!
+//! Wraps the in-memory channel wiring with a per-link fault plan: every
+//! directed link (device `z` uplink; server→`z` downlink) owns its own
+//! seeded RNG and attempt counter, and is driven by exactly one thread, so
+//! the sequence of fault decisions — and therefore the transcript of what
+//! the link did — is byte-identical across runs and thread counts.
+//!
+//! Messages travel as encoded [`Frame`]s. Per send attempt the link may,
+//! at the configured rates and in this fixed order:
+//!
+//! 1. **delay** — sleep up to `max_delay` before transmitting (wall-clock
+//!    only; interacts with the round's straggler deadline, never with the
+//!    transcript),
+//! 2. **drop** — lose the message; the sender sees
+//!    [`TransportError::Dropped`],
+//! 3. **truncate** — cut the frame short,
+//! 4. **bit-flip** — flip one random bit anywhere in the frame,
+//! 5. **duplicate** — deliver the frame twice,
+//! 6. **reorder** — hold the frame back and release it behind the *next*
+//!    transmission on the link (held frames flush when the endpoint
+//!    drops, so nothing is silently lost).
+//!
+//! Truncation and bit flips are always caught by the frame CRC (the
+//! checksum covers header and payload; see [`crate::frame`]), so a
+//! detected-corrupt attempt is surfaced to the *sender* as an immediate
+//! `Err` — the zero-latency model of a receiver rejecting the frame and
+//! NACKing. That keeps retransmission where it lives in the real
+//! protocol: in the sender's bounded retry budget
+//! ([`crate::with_retry`]).
+
+use crate::error::{Result, TransportError};
+use crate::frame::{Frame, FrameKind};
+use crate::timing::Deadline;
+use crate::{DeviceTransport, LinkStats, ServerTransport, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Per-message fault rates (each in `[0, 1]`) plus the link seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Base seed; each directed link derives an independent stream.
+    pub seed: u64,
+    /// Probability a message is lost in flight.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message is held back and released behind the next one.
+    pub reorder: f64,
+    /// Probability one random bit of the frame is flipped.
+    pub bit_flip: f64,
+    /// Probability the frame is cut short.
+    pub truncate: f64,
+    /// Probability the message is delayed before transmission.
+    pub delay: f64,
+    /// Upper bound on the injected delay.
+    pub max_delay: Duration,
+}
+
+impl Default for FaultConfig {
+    /// A clean link: all rates zero.
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            bit_flip: 0.0,
+            truncate: 0.0,
+            delay: 0.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared, per-link event log. Keyed by `(direction, device)` with
+/// direction 0 = uplink, 1 = downlink; each link's events are appended by
+/// the single thread driving it, so per-link order is deterministic and
+/// the serialized transcript sorts links by key.
+type Transcript = Arc<Mutex<BTreeMap<(u8, usize), Vec<String>>>>;
+
+const DIR_UP: u8 = 0;
+const DIR_DOWN: u8 = 1;
+
+/// Factory for fault-injecting in-process links.
+#[derive(Debug, Clone)]
+pub struct FaultyInMemoryTransport {
+    /// The fault plan applied to every link.
+    pub fault: FaultConfig,
+    transcript: Transcript,
+}
+
+impl FaultyInMemoryTransport {
+    /// A transport applying `fault` to every message.
+    pub fn new(fault: FaultConfig) -> Self {
+        FaultyInMemoryTransport {
+            fault,
+            transcript: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Serializes the fault transcript: one line per send attempt, grouped
+    /// by link, links sorted `up[0], up[1], …, down[0], …`. Byte-identical
+    /// across runs with the same seed and fault plan.
+    pub fn transcript(&self) -> String {
+        let map = lock_transcript(&self.transcript);
+        let mut out = String::new();
+        for dir in [DIR_UP, DIR_DOWN] {
+            for ((d, z), lines) in map.iter().filter(|((d, _), _)| *d == dir) {
+                let name = if *d == DIR_UP { "up" } else { "down" };
+                for line in lines {
+                    out.push_str(&format!("{name}[{z}] {line}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn lock_transcript(
+    t: &Transcript,
+) -> std::sync::MutexGuard<'_, BTreeMap<(u8, usize), Vec<String>>> {
+    // A panicking link holder is already a round-level failure; the log
+    // itself is always in a consistent state between pushes.
+    match t.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One directed link's fault state.
+struct FaultLink {
+    dir: u8,
+    device: usize,
+    cfg: FaultConfig,
+    rng: StdRng,
+    attempt: u64,
+    /// Frames held back by a reorder fault, released behind the next
+    /// transmission (or on endpoint drop).
+    stash: Vec<Bytes>,
+    log: Transcript,
+}
+
+impl FaultLink {
+    fn new(cfg: FaultConfig, dir: u8, device: usize, log: Transcript) -> Self {
+        // Independent stream per directed link: splitmix-style mixing of
+        // (seed, direction, device) so neighbouring links decorrelate.
+        let salt = (device as u64)
+            .wrapping_mul(0xD1B5_4A32_D192_ED03)
+            .wrapping_add((dir as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultLink {
+            dir,
+            device,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed ^ salt),
+            attempt: 0,
+            stash: Vec::new(),
+            log,
+        }
+    }
+
+    fn record(&self, line: String) {
+        lock_transcript(&self.log)
+            .entry((self.dir, self.device))
+            .or_default()
+            .push(line);
+    }
+
+    /// Applies the fault plan to one send attempt of `frame`. Returns the
+    /// wire bytes to deliver now (burst plus any released held frames), or
+    /// the transient error the sender observes.
+    fn transmit(&mut self, frame: &Frame) -> Result<Vec<Bytes>> {
+        self.attempt += 1;
+        let a = self.attempt;
+        let cfg = self.cfg;
+        // Fixed draw order: the decision stream depends only on (seed,
+        // link, attempt index), never on outcomes or timing.
+        let delayed = cfg.delay > 0.0 && self.rng.random_bool(cfg.delay);
+        let dropped = cfg.drop > 0.0 && self.rng.random_bool(cfg.drop);
+        let truncated = cfg.truncate > 0.0 && self.rng.random_bool(cfg.truncate);
+        let flipped = cfg.bit_flip > 0.0 && self.rng.random_bool(cfg.bit_flip);
+        let duplicated = cfg.duplicate > 0.0 && self.rng.random_bool(cfg.duplicate);
+        let reordered = cfg.reorder > 0.0 && self.rng.random_bool(cfg.reorder);
+
+        if delayed && !cfg.max_delay.is_zero() {
+            let ms = cfg.max_delay.as_millis().min(u64::MAX as u128) as u64;
+            let pause = self.rng.random_range(0..ms + 1);
+            std::thread::sleep(Duration::from_millis(pause));
+        }
+        if dropped {
+            self.record(format!("#{a} drop"));
+            return Err(TransportError::Dropped);
+        }
+
+        let clean = frame.encode();
+        if truncated {
+            let cut = self.rng.random_range(0..clean.len());
+            // A strict prefix always fails to decode (length mismatch at
+            // best, missing header at worst) — the receiver would reject
+            // it, which the sender observes as a NACK.
+            let err = Frame::decode(&clean.as_slice()[..cut]).err().unwrap_or(
+                TransportError::Truncated {
+                    needed: clean.len(),
+                    got: cut,
+                },
+            );
+            self.record(format!("#{a} truncate cut={cut} reject"));
+            return Err(err);
+        }
+        let wire = if flipped {
+            let bit = self.rng.random_range(0..clean.len() * 8);
+            let mut dirty = clean.to_vec();
+            dirty[bit / 8] ^= 1 << (bit % 8);
+            match Frame::decode(&dirty) {
+                Err(err) => {
+                    self.record(format!("#{a} bitflip bit={bit} reject"));
+                    return Err(err);
+                }
+                // Unreachable with the full-frame CRC, but if the codec
+                // ever weakens, deliver the corruption rather than hide it.
+                Ok(_) => {
+                    self.record(format!("#{a} bitflip bit={bit} UNDETECTED"));
+                    Bytes::from(dirty)
+                }
+            }
+        } else {
+            clean
+        };
+
+        let mut deliver = vec![wire.clone()];
+        if duplicated {
+            deliver.push(wire);
+        }
+        if reordered && self.stash.is_empty() {
+            self.record(format!("#{a} hold n={}", deliver.len()));
+            self.stash = deliver;
+            return Ok(Vec::new());
+        }
+        let released = self.stash.len();
+        deliver.append(&mut self.stash);
+        let bytes: usize = deliver.iter().map(Bytes::len).sum();
+        let crc = crate::frame::crc32(deliver[0].as_slice());
+        self.record(format!(
+            "#{a} deliver n={} bytes={bytes} crc={crc:08x}{}{}",
+            deliver.len(),
+            if duplicated { " dup" } else { "" },
+            if released > 0 {
+                format!(" release={released}")
+            } else {
+                String::new()
+            },
+        ));
+        Ok(deliver)
+    }
+
+    /// Takes any frames still held by a reorder fault (flushed when the
+    /// endpoint drops so a held message is late, never lost).
+    fn take_stash(&mut self) -> Vec<Bytes> {
+        std::mem::take(&mut self.stash)
+    }
+}
+
+/// Server endpoint over faulty in-process links.
+pub struct FaultyServer {
+    uplink_rx: Receiver<(usize, Bytes)>,
+    downlinks: Vec<(Sender<(usize, Bytes)>, FaultLink)>,
+    stats: LinkStats,
+}
+
+/// Device endpoint over faulty in-process links.
+pub struct FaultyDevice {
+    device: usize,
+    uplink_tx: Sender<(usize, Bytes)>,
+    link: FaultLink,
+    downlink_rx: Receiver<(usize, Bytes)>,
+    stats: LinkStats,
+}
+
+impl Transport for FaultyInMemoryTransport {
+    type Server = FaultyServer;
+    type Device = FaultyDevice;
+
+    fn open(&self, devices: usize) -> Result<(FaultyServer, Vec<FaultyDevice>)> {
+        let (uplink_tx, uplink_rx) = unbounded::<(usize, Bytes)>();
+        let mut downlinks = Vec::with_capacity(devices);
+        let mut endpoints = Vec::with_capacity(devices);
+        for z in 0..devices {
+            let (tx, rx) = unbounded::<(usize, Bytes)>();
+            downlinks.push((
+                tx,
+                FaultLink::new(self.fault, DIR_DOWN, z, Arc::clone(&self.transcript)),
+            ));
+            endpoints.push(FaultyDevice {
+                device: z,
+                uplink_tx: uplink_tx.clone(),
+                link: FaultLink::new(self.fault, DIR_UP, z, Arc::clone(&self.transcript)),
+                downlink_rx: rx,
+                stats: LinkStats::default(),
+            });
+        }
+        Ok((
+            FaultyServer {
+                uplink_rx,
+                downlinks,
+                stats: LinkStats::default(),
+            },
+            endpoints,
+        ))
+    }
+}
+
+impl DeviceTransport for FaultyDevice {
+    fn send_uplink(&mut self, payload: &Bytes) -> Result<()> {
+        let frame = Frame {
+            kind: FrameKind::Uplink,
+            device: self.device as u64,
+            seq: self.link.attempt + 1,
+            payload: payload.clone(),
+        };
+        let burst = self.link.transmit(&frame)?;
+        for (copies_delivered, wire) in burst.into_iter().enumerate() {
+            let len = wire.len();
+            if self.uplink_tx.send((self.device, wire)).is_err() {
+                if copies_delivered > 0 {
+                    break; // the peer already has a copy; duplicates are best-effort
+                }
+                return Err(TransportError::Closed("server endpoint dropped"));
+            }
+            self.stats.bytes_sent += len;
+        }
+        self.stats.messages_sent += 1;
+        Ok(())
+    }
+
+    fn recv_downlink(&mut self, timeout: Duration) -> Result<Bytes> {
+        let deadline = Deadline::after(timeout);
+        loop {
+            let (_, wire) = self
+                .downlink_rx
+                .recv_timeout(deadline.remaining())
+                .map_err(|e| match e {
+                    RecvTimeoutError::Timeout => TransportError::Timeout("downlink recv"),
+                    RecvTimeoutError::Disconnected => {
+                        TransportError::Closed("server finished without answering this device")
+                    }
+                })?;
+            self.stats.bytes_received += wire.len();
+            // Duplicates and (vanishingly unlikely) undetected corruption:
+            // take the first frame that decodes and is addressed to us.
+            match Frame::decode(wire.as_slice()) {
+                Ok(f) if f.kind == FrameKind::Downlink && f.device == self.device as u64 => {
+                    self.stats.messages_received += 1;
+                    return Ok(f.payload);
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+impl Drop for FaultyDevice {
+    fn drop(&mut self) {
+        for wire in self.link.take_stash() {
+            let _ = self.uplink_tx.send((self.device, wire));
+        }
+    }
+}
+
+impl ServerTransport for FaultyServer {
+    fn recv_uplink(&mut self, timeout: Duration) -> Result<(usize, Bytes)> {
+        let deadline = Deadline::after(timeout);
+        loop {
+            let (z, wire) =
+                self.uplink_rx
+                    .recv_timeout(deadline.remaining())
+                    .map_err(|e| match e {
+                        RecvTimeoutError::Timeout => TransportError::Timeout("uplink recv"),
+                        RecvTimeoutError::Disconnected => {
+                            TransportError::Closed("every device endpoint dropped")
+                        }
+                    })?;
+            self.stats.bytes_received += wire.len();
+            match Frame::decode(wire.as_slice()) {
+                Ok(f) if f.kind == FrameKind::Uplink && f.device == z as u64 => {
+                    self.stats.messages_received += 1;
+                    return Ok((z, f.payload));
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    fn send_downlink(&mut self, device: usize, payload: &Bytes) -> Result<()> {
+        let (tx, link) = self
+            .downlinks
+            .get_mut(device)
+            .ok_or(TransportError::Closed("unknown device id"))?;
+        let frame = Frame {
+            kind: FrameKind::Downlink,
+            device: device as u64,
+            seq: link.attempt + 1,
+            payload: payload.clone(),
+        };
+        let burst = link.transmit(&frame)?;
+        for (copies_delivered, wire) in burst.into_iter().enumerate() {
+            let len = wire.len();
+            if tx.send((device, wire)).is_err() {
+                if copies_delivered > 0 {
+                    break; // the peer already has a copy; duplicates are best-effort
+                }
+                return Err(TransportError::Closed("device endpoint dropped"));
+            }
+            self.stats.bytes_sent += len;
+        }
+        self.stats.messages_sent += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+impl Drop for FaultyServer {
+    fn drop(&mut self) {
+        for (tx, link) in self.downlinks.iter_mut() {
+            for wire in link.take_stash() {
+                let _ = tx.send((0, wire));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_retry;
+
+    fn payload(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn clean_plan_is_lossless() {
+        let t = FaultyInMemoryTransport::new(FaultConfig::default());
+        let (mut srv, mut devs) = t.open(2).expect("open");
+        devs[0].send_uplink(&payload(40, 1)).expect("send");
+        devs[1].send_uplink(&payload(40, 2)).expect("send");
+        for _ in 0..2 {
+            let (z, p) = srv.recv_uplink(Duration::from_secs(1)).expect("recv");
+            assert_eq!(p.as_slice()[0], z as u8 + 1);
+        }
+        srv.send_downlink(0, &payload(8, 9)).expect("down");
+        let got = devs[0]
+            .recv_downlink(Duration::from_secs(1))
+            .expect("reply");
+        assert_eq!(got, payload(8, 9));
+        // Framed accounting: payload + 32-byte header per frame.
+        assert_eq!(srv.stats().bytes_received, 2 * (40 + 32));
+        assert_eq!(srv.stats().bytes_sent, 8 + 32);
+    }
+
+    #[test]
+    fn dropped_messages_surface_and_retry_recovers() {
+        let cfg = FaultConfig {
+            seed: 7,
+            drop: 0.5,
+            ..FaultConfig::default()
+        };
+        let t = FaultyInMemoryTransport::new(cfg);
+        let (mut srv, mut devs) = t.open(1).expect("open");
+        // With drop = 0.5 and 16 retries, failure probability is 2^-17.
+        with_retry(16, Duration::ZERO, || devs[0].send_uplink(&payload(24, 3)))
+            .expect("retry budget covers the drops");
+        let (z, p) = srv.recv_uplink(Duration::from_secs(1)).expect("arrives");
+        assert_eq!((z, p), (0, payload(24, 3)));
+        let log = t.transcript();
+        assert!(log.contains("deliver"), "{log}");
+    }
+
+    #[test]
+    fn corruption_is_always_detected() {
+        let cfg = FaultConfig {
+            seed: 3,
+            bit_flip: 1.0,
+            ..FaultConfig::default()
+        };
+        let t = FaultyInMemoryTransport::new(cfg);
+        let (_srv, mut devs) = t.open(1).expect("open");
+        for _ in 0..50 {
+            let e = devs[0].send_uplink(&payload(100, 5)).expect_err("flip");
+            assert!(e.is_transient(), "{e}");
+        }
+        assert!(!t.transcript().contains("UNDETECTED"));
+    }
+
+    #[test]
+    fn truncation_is_always_detected() {
+        let cfg = FaultConfig {
+            seed: 4,
+            truncate: 1.0,
+            ..FaultConfig::default()
+        };
+        let t = FaultyInMemoryTransport::new(cfg);
+        let (_srv, mut devs) = t.open(1).expect("open");
+        for _ in 0..50 {
+            assert!(devs[0].send_uplink(&payload(64, 6)).is_err());
+        }
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_and_receiver_survives() {
+        let cfg = FaultConfig {
+            seed: 5,
+            duplicate: 1.0,
+            ..FaultConfig::default()
+        };
+        let t = FaultyInMemoryTransport::new(cfg);
+        let (mut srv, mut devs) = t.open(1).expect("open");
+        devs[0].send_uplink(&payload(16, 7)).expect("send");
+        let first = srv.recv_uplink(Duration::from_secs(1)).expect("one");
+        let second = srv.recv_uplink(Duration::from_secs(1)).expect("two");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reorder_holds_then_releases_behind_next_send() {
+        let cfg = FaultConfig {
+            seed: 6,
+            reorder: 1.0,
+            ..FaultConfig::default()
+        };
+        let t = FaultyInMemoryTransport::new(cfg);
+        let (mut srv, mut devs) = t.open(1).expect("open");
+        devs[0].send_uplink(&payload(8, 1)).expect("held");
+        // Nothing on the wire yet: the frame is stashed.
+        assert!(srv.recv_uplink(Duration::from_millis(20)).is_err());
+        devs[0].send_uplink(&payload(8, 2)).expect("releases");
+        let (_, a) = srv.recv_uplink(Duration::from_secs(1)).expect("first");
+        let (_, b) = srv.recv_uplink(Duration::from_secs(1)).expect("second");
+        // The second message overtook the first.
+        assert_eq!(a, payload(8, 2));
+        assert_eq!(b, payload(8, 1));
+    }
+
+    #[test]
+    fn held_frames_flush_on_endpoint_drop() {
+        let cfg = FaultConfig {
+            seed: 8,
+            reorder: 1.0,
+            ..FaultConfig::default()
+        };
+        let t = FaultyInMemoryTransport::new(cfg);
+        let (mut srv, mut devs) = t.open(1).expect("open");
+        devs[0].send_uplink(&payload(8, 4)).expect("held");
+        drop(devs);
+        let (_, p) = srv.recv_uplink(Duration::from_secs(1)).expect("flushed");
+        assert_eq!(p, payload(8, 4));
+    }
+}

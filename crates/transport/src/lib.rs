@@ -1,0 +1,104 @@
+//! # fedsc-transport — pluggable device↔server links for the Fed-SC round
+//!
+//! The Fed-SC protocol is one-shot: each device uploads one encoded
+//! message, the server answers each included device once. This crate
+//! abstracts *how those bytes travel* behind three traits so the round in
+//! `fedsc::wire` runs unchanged over any link:
+//!
+//! * [`Transport`] — a factory producing one paired [`ServerTransport`]
+//!   plus one [`DeviceTransport`] per device.
+//! * [`DeviceTransport`] — the device side: send the uplink payload,
+//!   await the downlink reply.
+//! * [`ServerTransport`] — the server side: collect uplinks (with a
+//!   timeout, so a straggler policy can give up), answer per device.
+//!
+//! Three implementations ship here:
+//!
+//! * [`mem::InMemoryTransport`] — lossless in-process channels, byte-
+//!   faithful and accounting payload bytes only; the reference link the
+//!   bit-identical tests run over.
+//! * [`fault::FaultyInMemoryTransport`] — the same channels wrapped in
+//!   seeded, deterministic fault injection (drop / delay / duplicate /
+//!   reorder / truncate / bit-flip per message), with a byte-reproducible
+//!   transcript of what the link did.
+//! * [`tcp::TcpTransport`] — real TCP over `std::net`: length-prefixed
+//!   [`frame`]s with a magic header, version handshake, CRC-32 checksum,
+//!   per-operation socket timeouts, and bounded exponential-backoff retry.
+//!
+//! Payloads are opaque `Bytes` — the message schema (and the round logic,
+//! including the quorum/straggler policy) lives above, in `fedsc::wire`.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fault;
+pub mod frame;
+pub mod mem;
+pub mod tcp;
+pub mod timing;
+
+pub use error::{Result, TransportError};
+pub use fault::{FaultConfig, FaultyInMemoryTransport};
+pub use frame::{Frame, FrameKind};
+pub use mem::InMemoryTransport;
+pub use tcp::{TcpDevice, TcpOptions, TcpServer, TcpTransport};
+pub use timing::{with_retry, Deadline};
+
+use bytes::Bytes;
+use std::time::Duration;
+
+/// Byte/message accounting for one endpoint, as observed on the wire —
+/// framed transports count framing and handshake bytes, the lossless
+/// in-memory link counts payload bytes only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Bytes this endpoint put on the wire.
+    pub bytes_sent: usize,
+    /// Bytes this endpoint took off the wire.
+    pub bytes_received: usize,
+    /// Messages sent (handshake frames excluded).
+    pub messages_sent: u64,
+    /// Messages received (handshake frames excluded).
+    pub messages_received: u64,
+}
+
+/// The device side of a link: one uplink out, one downlink back.
+pub trait DeviceTransport: Send {
+    /// Transmits one uplink payload to the server. A transient `Err`
+    /// (dropped, corrupted-and-rejected, connection refused…) may be
+    /// retried by the caller; [`with_retry`] implements the policy.
+    fn send_uplink(&mut self, payload: &Bytes) -> Result<()>;
+
+    /// Awaits the server's downlink payload for at most `timeout`.
+    fn recv_downlink(&mut self, timeout: Duration) -> Result<Bytes>;
+
+    /// Wire accounting so far.
+    fn stats(&self) -> LinkStats;
+}
+
+/// The server side of a link fan-in: uplinks arrive tagged with the device
+/// id, downlinks are addressed per device.
+pub trait ServerTransport: Send {
+    /// Awaits the next valid uplink payload for at most `timeout`,
+    /// returning the sending device's id. Duplicate deliveries of the same
+    /// device's upload may surface more than once; callers dedup by id.
+    fn recv_uplink(&mut self, timeout: Duration) -> Result<(usize, Bytes)>;
+
+    /// Transmits one downlink payload to `device`.
+    fn send_downlink(&mut self, device: usize, payload: &Bytes) -> Result<()>;
+
+    /// Wire accounting so far.
+    fn stats(&self) -> LinkStats;
+}
+
+/// A factory wiring one server endpoint to `devices` device endpoints.
+pub trait Transport {
+    /// Server-side endpoint type.
+    type Server: ServerTransport;
+    /// Device-side endpoint type.
+    type Device: DeviceTransport;
+
+    /// Opens the link fan-in: one server endpoint, `devices` device
+    /// endpoints (index `z` in the returned vector talks as device `z`).
+    fn open(&self, devices: usize) -> Result<(Self::Server, Vec<Self::Device>)>;
+}

@@ -1,0 +1,184 @@
+//! Lossless in-process transport: the reference link.
+//!
+//! Replicates the original `fedsc::wire` channel wiring — unbounded MPMC
+//! channels carrying raw payload bytes, no framing — so runs over this
+//! transport are bit-identical to the historical in-process scheme, and
+//! byte accounting remains payload-only (the quantity the paper's
+//! Section IV-E communication costs are stated in).
+
+use crate::error::{Result, TransportError};
+use crate::{DeviceTransport, LinkStats, ServerTransport, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Factory for lossless in-process links.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InMemoryTransport;
+
+/// Server endpoint over in-process channels.
+pub struct MemServer {
+    uplink_rx: Receiver<(usize, Bytes)>,
+    downlink_txs: Vec<Sender<Bytes>>,
+    stats: LinkStats,
+}
+
+/// Device endpoint over in-process channels.
+pub struct MemDevice {
+    device: usize,
+    uplink_tx: Sender<(usize, Bytes)>,
+    downlink_rx: Receiver<Bytes>,
+    stats: LinkStats,
+}
+
+impl Transport for InMemoryTransport {
+    type Server = MemServer;
+    type Device = MemDevice;
+
+    fn open(&self, devices: usize) -> Result<(MemServer, Vec<MemDevice>)> {
+        let (uplink_tx, uplink_rx) = unbounded::<(usize, Bytes)>();
+        let mut downlink_txs = Vec::with_capacity(devices);
+        let mut endpoints = Vec::with_capacity(devices);
+        for z in 0..devices {
+            let (tx, rx) = unbounded::<Bytes>();
+            downlink_txs.push(tx);
+            endpoints.push(MemDevice {
+                device: z,
+                uplink_tx: uplink_tx.clone(),
+                downlink_rx: rx,
+                stats: LinkStats::default(),
+            });
+        }
+        Ok((
+            MemServer {
+                uplink_rx,
+                downlink_txs,
+                stats: LinkStats::default(),
+            },
+            endpoints,
+        ))
+    }
+}
+
+impl DeviceTransport for MemDevice {
+    fn send_uplink(&mut self, payload: &Bytes) -> Result<()> {
+        self.uplink_tx
+            .send((self.device, payload.clone()))
+            .map_err(|_| TransportError::Closed("server endpoint dropped"))?;
+        self.stats.bytes_sent += payload.len();
+        self.stats.messages_sent += 1;
+        Ok(())
+    }
+
+    fn recv_downlink(&mut self, timeout: Duration) -> Result<Bytes> {
+        let payload = self
+            .downlink_rx
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout("downlink recv"),
+                RecvTimeoutError::Disconnected => {
+                    TransportError::Closed("server finished without answering this device")
+                }
+            })?;
+        self.stats.bytes_received += payload.len();
+        self.stats.messages_received += 1;
+        Ok(payload)
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+impl ServerTransport for MemServer {
+    fn recv_uplink(&mut self, timeout: Duration) -> Result<(usize, Bytes)> {
+        let (z, payload) = self.uplink_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout("uplink recv"),
+            RecvTimeoutError::Disconnected => {
+                TransportError::Closed("every device endpoint dropped")
+            }
+        })?;
+        self.stats.bytes_received += payload.len();
+        self.stats.messages_received += 1;
+        Ok((z, payload))
+    }
+
+    fn send_downlink(&mut self, device: usize, payload: &Bytes) -> Result<()> {
+        let tx = self
+            .downlink_txs
+            .get(device)
+            .ok_or(TransportError::Closed("unknown device id"))?;
+        tx.send(payload.clone())
+            .map_err(|_| TransportError::Closed("device endpoint dropped"))?;
+        self.stats.bytes_sent += payload.len();
+        self.stats.messages_sent += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_payloads_and_accounting() {
+        let (mut srv, mut devs) = InMemoryTransport.open(3).expect("open");
+        for d in devs.iter_mut() {
+            d.send_uplink(&Bytes::from(vec![d.device as u8; 10]))
+                .expect("send");
+        }
+        let mut seen = [false; 3];
+        for _ in 0..3 {
+            let (z, payload) = srv
+                .recv_uplink(Duration::from_secs(1))
+                .expect("uplink arrives");
+            assert_eq!(payload.as_slice(), &[z as u8; 10]);
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(srv.stats().bytes_received, 30);
+        assert_eq!(srv.stats().messages_received, 3);
+
+        srv.send_downlink(1, &Bytes::from(vec![9, 9]))
+            .expect("down");
+        let got = devs[1]
+            .recv_downlink(Duration::from_secs(1))
+            .expect("reply");
+        assert_eq!(got.as_slice(), &[9, 9]);
+        assert_eq!(srv.stats().bytes_sent, 2);
+        assert_eq!(devs[1].stats().bytes_received, 2);
+    }
+
+    #[test]
+    fn uplink_recv_times_out() {
+        let (mut srv, _devs) = InMemoryTransport.open(2).expect("open");
+        assert_eq!(
+            srv.recv_uplink(Duration::from_millis(10)),
+            Err(TransportError::Timeout("uplink recv"))
+        );
+    }
+
+    #[test]
+    fn dropping_server_unblocks_devices() {
+        let (srv, mut devs) = InMemoryTransport.open(1).expect("open");
+        drop(srv);
+        assert!(matches!(
+            devs[0].recv_downlink(Duration::from_secs(5)),
+            Err(TransportError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn dropping_all_devices_closes_uplink() {
+        let (mut srv, devs) = InMemoryTransport.open(2).expect("open");
+        drop(devs);
+        assert!(matches!(
+            srv.recv_uplink(Duration::from_secs(5)),
+            Err(TransportError::Closed(_))
+        ));
+    }
+}

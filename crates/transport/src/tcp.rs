@@ -1,0 +1,491 @@
+//! Real TCP links over `std::net`.
+//!
+//! Topology: the server binds one listener; every device opens its own
+//! connection, handshakes (`Hello` → `HelloAck`, which pins the protocol
+//! version on both ends), then sends its single uplink frame. The server
+//! keeps the accepted socket around to answer with the downlink frame.
+//!
+//! Reliability posture:
+//!
+//! * **Every blocking socket read and write is armed with a timeout**
+//!   (`set_read_timeout` / `set_write_timeout`); nothing can hang a round
+//!   forever. `cargo xtask check` enforces this for any file touching
+//!   `TcpStream`.
+//! * A device's `send_uplink` is **atomic per attempt**: it dials a fresh
+//!   connection, handshakes, and uploads. Any failure tears the attempt
+//!   down and surfaces a (usually transient) error, so the caller's
+//!   [`with_retry`](crate::with_retry) budget re-runs the whole exchange —
+//!   there is no half-handshaken state to resume.
+//! * Byte accounting is *wire-true*: framing headers and handshake frames
+//!   count, matching what a packet capture would show.
+//!
+//! The accept loop runs on its own thread (non-blocking listener polled
+//! against a shutdown flag), and each accepted connection is handshaken on
+//! a short-lived handler thread so one slow client cannot starve the
+//! others. Completed uplinks funnel into a channel the server endpoint
+//! drains from `recv_uplink`.
+
+use crate::error::{io_error, Result, TransportError};
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use crate::timing::{with_retry, Deadline};
+use crate::{DeviceTransport, LinkStats, ServerTransport, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Socket-level knobs shared by both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpOptions {
+    /// Read/write timeout armed on every socket operation.
+    pub io_timeout: Duration,
+    /// Budget for one `connect` attempt.
+    pub connect_timeout: Duration,
+    /// Extra connect attempts before a device gives up dialing.
+    pub connect_retries: u32,
+    /// Initial backoff between connect attempts (doubles per retry).
+    pub connect_backoff: Duration,
+    /// How often the acceptor polls the non-blocking listener.
+    pub accept_poll: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            io_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+            connect_retries: 10,
+            connect_backoff: Duration::from_millis(20),
+            accept_poll: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Factory for loopback/LAN TCP links.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpTransport {
+    /// Address the server binds (port 0 picks a free port).
+    pub addr: SocketAddr,
+    /// Socket knobs applied to every endpoint.
+    pub opts: TcpOptions,
+}
+
+impl TcpTransport {
+    /// A transport binding an ephemeral loopback port.
+    pub fn loopback() -> Self {
+        TcpTransport {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            opts: TcpOptions::default(),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    type Server = TcpServer;
+    type Device = TcpDevice;
+
+    fn open(&self, devices: usize) -> Result<(TcpServer, Vec<TcpDevice>)> {
+        let server = TcpServer::bind(self.addr, self.opts)?;
+        let addr = server.local_addr();
+        let endpoints = (0..devices)
+            .map(|z| TcpDevice::new(addr, z, self.opts))
+            .collect();
+        Ok((server, endpoints))
+    }
+}
+
+/// A completed uplink exchange handed from a handler thread to the server
+/// endpoint: the payload plus the live socket for the downlink answer.
+struct Inbound {
+    device: usize,
+    payload: Bytes,
+    stream: TcpStream,
+    bytes_in: usize,
+    bytes_out: usize,
+}
+
+/// Server endpoint: listener + acceptor thread + per-connection handlers.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    inbound_rx: Receiver<Inbound>,
+    // Held so `recv_uplink` observes Timeout (retryable by policy) rather
+    // than Disconnected once all handler threads exit.
+    _inbound_tx: Sender<Inbound>,
+    conns: BTreeMap<usize, TcpStream>,
+    stats: LinkStats,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` and starts accepting device connections.
+    pub fn bind(addr: SocketAddr, opts: TcpOptions) -> Result<TcpServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_error("bind", &e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| io_error("local_addr", &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_error("set_nonblocking", &e))?;
+        let (inbound_tx, inbound_rx) = unbounded::<Inbound>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let tx = inbound_tx.clone();
+            let stop = Arc::clone(&shutdown);
+            let pool = Arc::clone(&handlers);
+            std::thread::spawn(move || accept_loop(listener, tx, stop, pool, opts))
+        };
+        Ok(TcpServer {
+            local_addr,
+            inbound_rx,
+            _inbound_tx: inbound_tx,
+            conns: BTreeMap::new(),
+            stats: LinkStats::default(),
+            shutdown,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The address devices should dial (resolved even when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Inbound>,
+    stop: Arc<AtomicBool>,
+    pool: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    opts: TcpOptions,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let handle = std::thread::spawn(move || {
+                    // A connection that fails to handshake or upload is
+                    // simply dropped; the device side sees the error and
+                    // retries with a fresh connection.
+                    let _ = serve_connection(stream, &tx, opts);
+                });
+                push_handle(&pool, handle);
+            }
+            // Non-blocking listener with nothing pending (or a transient
+            // accept hiccup): back off briefly and poll again.
+            Err(_) => std::thread::sleep(opts.accept_poll),
+        }
+    }
+}
+
+fn push_handle(pool: &Arc<Mutex<Vec<JoinHandle<()>>>>, handle: JoinHandle<()>) {
+    match pool.lock() {
+        Ok(mut g) => g.push(handle),
+        Err(poisoned) => poisoned.into_inner().push(handle),
+    }
+}
+
+/// Runs the server side of one connection: `Hello` → `HelloAck`, then one
+/// `Uplink` frame, then hands the live socket to the endpoint for the
+/// downlink answer.
+fn serve_connection(mut stream: TcpStream, tx: &Sender<Inbound>, opts: TcpOptions) -> Result<()> {
+    stream
+        .set_read_timeout(Some(opts.io_timeout))
+        .map_err(|e| io_error("arm read timeout", &e))?;
+    stream
+        .set_write_timeout(Some(opts.io_timeout))
+        .map_err(|e| io_error("arm write timeout", &e))?;
+    let (hello, n_hello) = read_frame(&mut stream)?;
+    if hello.kind != FrameKind::Hello {
+        return Err(TransportError::Malformed("expected hello frame"));
+    }
+    let device = usize::try_from(hello.device)
+        .map_err(|_| TransportError::Malformed("device id out of range"))?;
+    let n_ack = write_frame(
+        &mut stream,
+        &Frame::control(FrameKind::HelloAck, hello.device),
+    )?;
+    let (up, n_up) = read_frame(&mut stream)?;
+    if up.kind != FrameKind::Uplink || up.device != hello.device {
+        return Err(TransportError::Malformed("expected uplink frame"));
+    }
+    let _ = tx.send(Inbound {
+        device,
+        payload: up.payload,
+        stream,
+        bytes_in: n_hello + n_up,
+        bytes_out: n_ack,
+    });
+    Ok(())
+}
+
+impl ServerTransport for TcpServer {
+    fn recv_uplink(&mut self, timeout: Duration) -> Result<(usize, Bytes)> {
+        let inbound = self.inbound_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout("uplink recv"),
+            RecvTimeoutError::Disconnected => TransportError::Closed("acceptor gone"),
+        })?;
+        self.stats.bytes_received += inbound.bytes_in;
+        self.stats.bytes_sent += inbound.bytes_out;
+        self.stats.messages_received += 1;
+        // A device retrying its round reconnects; the latest socket wins.
+        self.conns.insert(inbound.device, inbound.stream);
+        Ok((inbound.device, inbound.payload))
+    }
+
+    fn send_downlink(&mut self, device: usize, payload: &Bytes) -> Result<()> {
+        let stream = self
+            .conns
+            .get_mut(&device)
+            .ok_or(TransportError::Closed("device never completed an uplink"))?;
+        let frame = Frame {
+            kind: FrameKind::Downlink,
+            device: device as u64,
+            seq: self.stats.messages_sent + 1,
+            payload: payload.clone(),
+        };
+        let n = write_frame(stream, &frame)?;
+        self.stats.bytes_sent += n;
+        self.stats.messages_sent += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles = match self.handlers.lock() {
+            Ok(mut g) => std::mem::take(&mut *g),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        // `conns` drops here, closing every accepted socket — devices still
+        // blocked in `recv_downlink` (e.g. excluded stragglers) observe EOF
+        // instead of hanging.
+    }
+}
+
+/// Device endpoint: dials the server lazily inside `send_uplink`.
+pub struct TcpDevice {
+    device: usize,
+    addr: SocketAddr,
+    opts: TcpOptions,
+    stream: Option<TcpStream>,
+    stats: LinkStats,
+}
+
+impl TcpDevice {
+    /// An endpoint that will speak as device `device` to `addr`.
+    pub fn new(addr: SocketAddr, device: usize, opts: TcpOptions) -> Self {
+        TcpDevice {
+            device,
+            addr,
+            opts,
+            stream: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    fn connect(&self) -> Result<TcpStream> {
+        with_retry(self.opts.connect_retries, self.opts.connect_backoff, || {
+            TcpStream::connect_timeout(&self.addr, self.opts.connect_timeout)
+                .map_err(|e| io_error("connect", &e))
+        })
+    }
+}
+
+impl DeviceTransport for TcpDevice {
+    fn send_uplink(&mut self, payload: &Bytes) -> Result<()> {
+        // One attempt = one fresh connection + handshake + upload. Tear
+        // down any previous half-finished attempt first.
+        self.stream = None;
+        let mut stream = self.connect()?;
+        let _ = stream.set_nodelay(true); // latency hint; correctness never depends on it
+        stream
+            .set_read_timeout(Some(self.opts.io_timeout))
+            .map_err(|e| io_error("arm read timeout", &e))?;
+        stream
+            .set_write_timeout(Some(self.opts.io_timeout))
+            .map_err(|e| io_error("arm write timeout", &e))?;
+        let id = self.device as u64;
+        let mut sent = write_frame(&mut stream, &Frame::control(FrameKind::Hello, id))?;
+        let (ack, n_ack) = read_frame(&mut stream)?;
+        if ack.kind != FrameKind::HelloAck || ack.device != id {
+            return Err(TransportError::Malformed("bad handshake ack"));
+        }
+        sent += write_frame(
+            &mut stream,
+            &Frame {
+                kind: FrameKind::Uplink,
+                device: id,
+                seq: self.stats.messages_sent + 1,
+                payload: payload.clone(),
+            },
+        )?;
+        self.stats.bytes_sent += sent;
+        self.stats.bytes_received += n_ack;
+        self.stats.messages_sent += 1;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn recv_downlink(&mut self, timeout: Duration) -> Result<Bytes> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or(TransportError::Closed("uplink was never delivered"))?;
+        let deadline = Deadline::after(timeout);
+        loop {
+            let remaining = deadline.remaining();
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout("downlink recv"));
+            }
+            // Re-arm per iteration so the overall wait honours `timeout`
+            // even when it exceeds the per-operation socket budget.
+            stream
+                .set_read_timeout(Some(remaining.min(self.opts.io_timeout)))
+                .map_err(|e| io_error("arm read timeout", &e))?;
+            match read_frame(stream) {
+                Ok((f, n)) => {
+                    self.stats.bytes_received += n;
+                    if f.kind == FrameKind::Downlink && f.device == self.device as u64 {
+                        self.stats.messages_received += 1;
+                        return Ok(f.payload);
+                    }
+                    // Stray frame (e.g. duplicate ack): keep waiting.
+                }
+                Err(TransportError::Timeout(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::HEADER_LEN;
+
+    fn fast_opts() -> TcpOptions {
+        TcpOptions {
+            io_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(500),
+            connect_retries: 3,
+            connect_backoff: Duration::from_millis(5),
+            accept_poll: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn loopback_round_trip_with_wire_true_accounting() {
+        let t = TcpTransport {
+            opts: fast_opts(),
+            ..TcpTransport::loopback()
+        };
+        let (mut srv, mut devs) = t.open(3).expect("open");
+        for d in devs.iter_mut() {
+            let fill = d.device as u8;
+            d.send_uplink(&Bytes::from(vec![fill; 50])).expect("uplink");
+        }
+        let mut seen = [false; 3];
+        for _ in 0..3 {
+            let (z, p) = srv.recv_uplink(Duration::from_secs(5)).expect("recv");
+            assert_eq!(p.as_slice(), &[z as u8; 50]);
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for z in 0..3 {
+            srv.send_downlink(z, &Bytes::from(vec![z as u8; 8]))
+                .expect("downlink");
+        }
+        for d in devs.iter_mut() {
+            let got = d.recv_downlink(Duration::from_secs(5)).expect("reply");
+            assert_eq!(got.as_slice(), &[d.device as u8; 8]);
+            // Wire-true accounting: hello + uplink out, ack + downlink in.
+            assert_eq!(d.stats().bytes_sent, 2 * HEADER_LEN + 50);
+            assert_eq!(d.stats().bytes_received, 2 * HEADER_LEN + 8);
+        }
+        assert_eq!(srv.stats().bytes_received, 3 * (2 * HEADER_LEN + 50));
+        assert_eq!(srv.stats().bytes_sent, 3 * (2 * HEADER_LEN + 8));
+    }
+
+    #[test]
+    fn recv_uplink_times_out_without_clients() {
+        let t = TcpTransport {
+            opts: fast_opts(),
+            ..TcpTransport::loopback()
+        };
+        let (mut srv, _devs) = t.open(1).expect("open");
+        assert_eq!(
+            srv.recv_uplink(Duration::from_millis(30)).err(),
+            Some(TransportError::Timeout("uplink recv"))
+        );
+    }
+
+    #[test]
+    fn connect_to_dead_port_exhausts_retries() {
+        // Bind then immediately drop a listener to get a port that refuses.
+        let dead = TcpListener::bind("127.0.0.1:0")
+            .and_then(|l| l.local_addr())
+            .expect("probe port");
+        let mut dev = TcpDevice::new(dead, 0, fast_opts());
+        let err = dev
+            .send_uplink(&Bytes::from(vec![1; 4]))
+            .expect_err("nobody listening");
+        assert!(err.is_transient(), "{err}");
+    }
+
+    #[test]
+    fn dropping_server_unblocks_waiting_device() {
+        let t = TcpTransport {
+            opts: fast_opts(),
+            ..TcpTransport::loopback()
+        };
+        let (mut srv, mut devs) = t.open(1).expect("open");
+        devs[0]
+            .send_uplink(&Bytes::from(vec![5; 10]))
+            .expect("uplink");
+        let _ = srv.recv_uplink(Duration::from_secs(5)).expect("recv");
+        drop(srv); // closes the accepted socket without answering
+        let err = devs[0]
+            .recv_downlink(Duration::from_secs(5))
+            .expect_err("server gone");
+        assert!(
+            matches!(err, TransportError::Io { .. } | TransportError::Closed(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn recv_downlink_before_uplink_is_an_error() {
+        let t = TcpTransport {
+            opts: fast_opts(),
+            ..TcpTransport::loopback()
+        };
+        let (_srv, mut devs) = t.open(1).expect("open");
+        assert!(matches!(
+            devs[0].recv_downlink(Duration::from_millis(10)),
+            Err(TransportError::Closed(_))
+        ));
+    }
+}

@@ -13,12 +13,18 @@
 //!    `OsRng` / `SystemTime`-seeded generators, and no `HashMap` /
 //!    `HashSet` (nondeterministic iteration order) in the numerical
 //!    crates. All randomness flows from caller-provided seeds.
-//! 3. **Sanctioned timing** — `Instant::now` only inside the two timing
-//!    helpers (`federated/src/parallel.rs`, `core/src/scheme.rs`);
-//!    the bench crate runs a relaxed profile where timing is allowed.
+//! 3. **Sanctioned timing** — `Instant::now` only inside the sanctioned
+//!    timing modules (`linalg/src/par.rs`, `federated/src/parallel.rs`,
+//!    `core/src/scheme.rs`, `transport/src/timing.rs`); the bench crate
+//!    runs a relaxed profile where timing is allowed.
 //! 4. **Unignorable results** — solver/decomposition result structs are
 //!    declared `#[must_use]`, and public solver entry points return
 //!    `Result` or are `#[must_use]`.
+//! 5. **Socket hygiene** — raw socket types (`TcpStream` / `TcpListener` /
+//!    `UdpSocket`) only inside `crates/transport/src`, and any transport
+//!    file that touches them must arm both `set_read_timeout(Some(..))`
+//!    and `set_write_timeout(Some(..))` so no blocking socket call can
+//!    hang a round forever.
 //!
 //! Exit status is non-zero iff any diagnostic fired; every diagnostic is a
 //! `file:line: [rule] message` the terminal can jump to.
@@ -39,6 +45,7 @@ const STRICT_ROOTS: &[&str] = &[
     "crates/federated/src",
     "crates/data/src",
     "crates/core/src",
+    "crates/transport/src",
     "crates/xtask/src",
     "src",
 ];

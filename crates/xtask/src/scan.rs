@@ -160,7 +160,15 @@ const SANCTIONED_TIMING_FILES: &[&str] = &[
     "crates/linalg/src/par.rs",
     "crates/federated/src/parallel.rs",
     "crates/core/src/scheme.rs",
+    "crates/transport/src/timing.rs",
 ];
+
+/// Raw socket types (rule 5): only the transport crate may touch them, and
+/// any transport file that does must arm both socket timeouts.
+const SOCKET_TOKENS: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
+
+/// The one directory where raw sockets are legal.
+const SOCKET_SANCTUARY: &str = "crates/transport/src";
 
 /// Solver/decomposition result structs that must be declared `#[must_use]`
 /// (rule 4a): ignoring one silently drops a factorization.
@@ -195,6 +203,8 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
     let stripped_lines: Vec<&str> = stripped.lines().collect();
     let test_mask = test_region_mask(&stripped_lines);
     let timing_sanctioned = SANCTIONED_TIMING_FILES.contains(&label);
+    let socket_sanctioned = label.starts_with(SOCKET_SANCTUARY);
+    let mut socket_token_seen = false;
 
     /// A panic token is justified when an `// INVARIANT:` comment sits on the
     /// same statement: walk upward through comment lines and
@@ -276,11 +286,32 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
                         rule: "timing",
                         message: format!(
                             "`{token}` outside the sanctioned timing helpers \
-                             (linalg::par, federated::parallel, core::scheme); route timing \
-                             through `par_map_timed`/`time_phase`"
+                             (linalg::par, federated::parallel, core::scheme, \
+                             transport::timing); route timing through \
+                             `par_map_timed`/`time_phase`/`Deadline`"
                         ),
                     });
                 }
+            }
+        }
+
+        // Rule 5: raw sockets only inside the transport crate.
+        for &token in SOCKET_TOKENS {
+            if !code.contains(token) {
+                continue;
+            }
+            if socket_sanctioned {
+                socket_token_seen = true;
+            } else {
+                out.diagnostics.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "socket",
+                    message: format!(
+                        "`{token}` outside `{SOCKET_SANCTUARY}`; route networking through the \
+                         `fedsc_transport` traits"
+                    ),
+                });
             }
         }
 
@@ -324,6 +355,30 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
         }
 
         pending_must_use = code.contains("#[must_use");
+    }
+
+    // Rule 5 (file level): a transport file that owns raw sockets must arm
+    // finite read and write timeouts, or a dead peer hangs the round.
+    if socket_token_seen {
+        let non_test_code = || {
+            stripped_lines
+                .iter()
+                .zip(&test_mask)
+                .filter(|&(_, &in_test)| !in_test)
+                .map(|(&l, _)| l)
+        };
+        for needle in ["set_read_timeout(Some(", "set_write_timeout(Some("] {
+            if !non_test_code().any(|l| l.contains(needle)) {
+                out.diagnostics.push(Diagnostic::file_level(
+                    label.to_string(),
+                    "socket",
+                    &format!(
+                        "file uses raw sockets but never calls `{needle}..))`; every blocking \
+                         socket call must carry a finite timeout"
+                    ),
+                ));
+            }
+        }
     }
 
     // Reconcile this file's INVARIANT sites with its allowlist budget.
@@ -774,6 +829,65 @@ mod tests {
         assert!(strict("crates/clustering/src/kmeans.rs", ok_type)
             .diagnostics
             .is_empty());
+    }
+
+    #[test]
+    fn raw_sockets_outside_transport_are_flagged() {
+        for token in ["TcpStream", "TcpListener", "UdpSocket"] {
+            let src = format!("fn f() {{ let _ = std::net::{token}; }}\n");
+            let out = strict("crates/core/src/x.rs", &src);
+            assert!(
+                out.diagnostics.iter().any(|d| d.rule == "socket"),
+                "{token} not flagged: {:?}",
+                out.diagnostics
+            );
+        }
+        // The relaxed (bench) profile gets no socket exemption either.
+        let src = "fn f() { let _ = std::net::TcpStream; }\n";
+        let out = scan_source(
+            "crates/bench/src/x.rs",
+            src,
+            Profile::Relaxed,
+            &Allowlist::default(),
+        );
+        assert!(out.diagnostics.iter().any(|d| d.rule == "socket"));
+    }
+
+    #[test]
+    fn transport_sockets_require_both_timeouts() {
+        let armed = "fn f(s: &std::net::TcpStream) -> std::io::Result<()> {\n    s.set_read_timeout(Some(d))?;\n    s.set_write_timeout(Some(d))?;\n    Ok(())\n}\n";
+        let out = strict("crates/transport/src/tcp.rs", armed);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+
+        let half_armed = "fn f(s: &std::net::TcpStream) -> std::io::Result<()> {\n    s.set_read_timeout(Some(d))?;\n    Ok(())\n}\n";
+        let out = strict("crates/transport/src/tcp.rs", half_armed);
+        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].rule, "socket");
+        assert_eq!(out.diagnostics[0].line, 0);
+        assert!(out.diagnostics[0].message.contains("set_write_timeout"));
+
+        // Arming the timeouts only inside #[cfg(test)] does not count.
+        let test_armed = "fn f(s: &std::net::TcpStream) {}\n\n#[cfg(test)]\nmod tests {\n    fn t(s: &std::net::TcpStream) {\n        s.set_read_timeout(Some(d)).ok();\n        s.set_write_timeout(Some(d)).ok();\n    }\n}\n";
+        let out = strict("crates/transport/src/tcp.rs", test_armed);
+        assert_eq!(
+            out.diagnostics
+                .iter()
+                .filter(|d| d.rule == "socket")
+                .count(),
+            2,
+            "{:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn transport_timing_module_is_sanctioned() {
+        let src = "fn f() { let t = Instant::now(); let _ = t; }\n";
+        let out = strict("crates/transport/src/timing.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        let out = strict("crates/transport/src/tcp.rs", src);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "timing");
     }
 
     #[test]
