@@ -8,10 +8,15 @@
 //! - `ssc_affinity` — the per-point Lasso sweep (Phase 1's hot path).
 //! - `fedsc_e2e` — a full seeded Fed-SC run over a partitioned dataset.
 //!
-//! Output: `BENCH_PR2.json` (array of `{kernel, size, threads, median_ns,
-//! speedup}` rows; `speedup` is `median_1 / median_t`, 1.0 on the
-//! single-thread rows). `--smoke` runs a seconds-scale grid and writes
-//! `BENCH_SMOKE.json` instead — that is what CI validates.
+//! Output: `BENCH_PR5.json`, an object `{"rows": [...], "metrics": {...}}` —
+//! `rows` holds `{kernel, size, threads, median_ns, speedup}` entries
+//! (`speedup` is `median_1 / median_t`, 1.0 on the single-thread rows);
+//! `metrics` is the flat `fedsc_obs` metrics snapshot accumulated over the
+//! whole run (pool/wire/transport counters). `--smoke` runs a
+//! seconds-scale grid and writes `BENCH_SMOKE.json` instead — that is what
+//! CI validates. `--trace-out <path>` additionally records structured
+//! spans and exports them as Chrome `trace_event` JSON (Perfetto-loadable;
+//! CI validates it with `cargo xtask validate-trace`).
 //!
 //! When the host actually has cores to spare (`default_threads() >= 4`),
 //! the full run asserts the multi-threaded medians are never slower than
@@ -22,10 +27,10 @@ use fedsc_data::synthetic::{generate, SyntheticConfig};
 use fedsc_federated::partition::{partition_dataset, Partition};
 use fedsc_linalg::par::default_threads;
 use fedsc_linalg::Matrix;
+use fedsc_obs::Stopwatch;
 use fedsc_subspace::{Ssc, SubspaceClusterer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// One JSON row. `extra` carries scenario-specific fields (already
 /// JSON-formatted, e.g. `, "uplink_bytes": 5664`) appended to the row.
@@ -51,9 +56,9 @@ impl Entry {
 fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
     let mut times: Vec<u128> = (0..reps.max(1))
         .map(|_| {
-            let t0 = Instant::now();
+            let sw = Stopwatch::start();
             f();
-            t0.elapsed().as_nanos()
+            sw.elapsed().as_nanos()
         })
         .collect();
     times.sort_unstable();
@@ -119,8 +124,23 @@ fn workspace_root() -> std::path::PathBuf {
     }
 }
 
+/// Returns the value following `flag` on the command line, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace_out = flag_value("--trace-out");
+    if trace_out.is_some() {
+        // 64k span slots: plenty for the smoke grid; the drained ring
+        // reports how many were overwritten if a full run overflows it.
+        fedsc_obs::trace::install_ring(1 << 16);
+    }
     // Always produce a genuinely multi-threaded row, even on a single-core
     // host (where it measures overhead, not speedup — still worth tracking).
     let tmax = default_threads().max(2);
@@ -266,13 +286,25 @@ fn main() {
     }
 
     let rows: Vec<String> = entries.iter().map(Entry::to_json).collect();
-    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let metrics = fedsc_obs::export::metrics_json(&fedsc_obs::metrics::snapshot());
+    let json = format!(
+        "{{\"rows\": [\n{}\n], \"metrics\": {}}}\n",
+        rows.join(",\n"),
+        metrics
+    );
     let file = if smoke {
         "BENCH_SMOKE.json"
     } else {
-        "BENCH_PR2.json"
+        "BENCH_PR5.json"
     };
     let path = workspace_root().join(file);
     std::fs::write(&path, &json).expect("write benchmark JSON");
     println!("wrote {}", path.display());
+
+    if let Some(out) = trace_out {
+        let events = fedsc_obs::trace::uninstall();
+        let trace = fedsc_obs::export::chrome_trace_json(&events);
+        std::fs::write(&out, &trace).expect("write chrome trace JSON");
+        println!("wrote {out} ({} span events)", events.len());
+    }
 }

@@ -8,11 +8,12 @@ use fedsc_clustering::spectral::{spectral_clustering, SpectralOptions};
 use fedsc_clustering::{clustering_accuracy, normalized_mutual_information};
 use fedsc_federated::kfed::{kfed, KFedConfig};
 use fedsc_federated::partition::FederatedDataset;
+use fedsc_obs::Stopwatch;
 use fedsc_subspace::model::LabeledData;
 use fedsc_subspace::SubspaceClusterer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The metric bundle every experiment reports.
 #[derive(Debug, Clone)]
@@ -115,9 +116,9 @@ pub fn run_kfed(
     cfg.pca_dim = pca_dim;
     cfg.seed = seed;
     let truth = fed.global_truth();
-    let t0 = Instant::now();
+    let sw = Stopwatch::start();
     let out = kfed(fed, &cfg).expect("k-FED run");
-    let wall = t0.elapsed();
+    let wall = sw.elapsed();
     let name = match pca_dim {
         None => "k-FED".to_string(),
         Some(p) => format!("k-FED + PCA-{p}"),
@@ -141,11 +142,11 @@ pub fn run_centralized<A: SubspaceClusterer>(
     compute_conn: bool,
 ) -> MethodResult {
     let mut rng = StdRng::seed_from_u64(seed);
-    let t0 = Instant::now();
+    let sw = Stopwatch::start();
     let graph = algo.affinity(&data.data).expect("affinity");
     let pred = spectral_clustering(&graph, &SpectralOptions::new(l), &mut rng)
         .expect("spectral clustering");
-    let time = t0.elapsed();
+    let time = sw.elapsed();
     let (conn_min, conn_mean) = if compute_conn {
         let c = connectivity(&graph, &data.labels).expect("connectivity");
         (c.min, c.mean)

@@ -11,6 +11,10 @@
 //!
 //! Exits nonzero if the server excludes this device (no downlink ever
 //! arrives) or the link fails beyond the retry budget.
+//!
+//! Observability: `--trace-out <path>` records this device's spans (local
+//! SSC phases plus the wire round) as Chrome `trace_event` JSON;
+//! `--metrics-out <path>` writes the flat `fedsc_obs` metrics snapshot.
 
 use fedsc::demo::demo_fixture;
 use fedsc::{device_round, RoundPolicy};
@@ -24,10 +28,13 @@ struct Args {
     devices: usize,
     clusters: usize,
     seed: u64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 const USAGE: &str = "usage: fedsc-device --addr HOST:PORT --device Z \
-[--devices 12] [--clusters 3] [--seed 1]";
+[--devices 12] [--clusters 3] [--seed 1] \
+[--trace-out trace.json] [--metrics-out metrics.json]";
 
 fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
     let mut it = args.iter();
@@ -65,7 +72,23 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         devices: parsed(args, "--devices", 12)?,
         clusters: parsed(args, "--clusters", 3)?,
         seed: parsed(args, "--seed", 1)?,
+        trace_out: flag_value(args, "--trace-out")?,
+        metrics_out: flag_value(args, "--metrics-out")?,
     })
+}
+
+/// Exports the recorded spans / metrics snapshot to the requested paths.
+fn write_observability(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.trace_out {
+        let events = fedsc_obs::trace::uninstall();
+        let trace = fedsc_obs::export::chrome_trace_json(&events);
+        std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &args.metrics_out {
+        let metrics = fedsc_obs::export::metrics_json(&fedsc_obs::metrics::snapshot());
+        std::fs::write(path, metrics).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -74,6 +97,9 @@ fn run(args: &Args) -> Result<(), String> {
             "--device {} out of range for --devices {}",
             args.device, args.devices
         ));
+    }
+    if args.trace_out.is_some() {
+        fedsc_obs::trace::install_ring(1 << 16);
     }
     let (fed, cfg) = demo_fixture(args.seed, args.devices, args.clusters);
     let mut link = TcpDevice::new(args.addr, args.device, TcpOptions::default());
@@ -87,6 +113,7 @@ fn run(args: &Args) -> Result<(), String> {
     .map_err(|e| format!("{e}"))?;
     let list: Vec<String> = predictions.iter().map(usize::to_string).collect();
     println!("device {} predictions {}", args.device, list.join(","));
+    write_observability(args)?;
     Ok(())
 }
 

@@ -15,6 +15,11 @@
 //! fixture is regenerated from `--seed` (see `fedsc::demo`), so the server
 //! and its `fedsc-device` peers agree on every parameter without sharing
 //! state.
+//!
+//! Observability: `--trace-out <path>` records structured spans for the
+//! round and writes them as Chrome `trace_event` JSON (load in Perfetto or
+//! `chrome://tracing`); `--metrics-out <path>` writes the flat
+//! `fedsc_obs` metrics snapshot (wire/transport counters) as JSON.
 
 use fedsc::demo::demo_fixture;
 use fedsc::{server_round, RoundPolicy};
@@ -31,10 +36,13 @@ struct Args {
     seed: u64,
     quorum: Option<usize>,
     deadline_ms: u64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 const USAGE: &str = "usage: fedsc-server [--addr 127.0.0.1:0] [--devices 12] \
-[--clusters 3] [--seed 1] [--quorum N] [--deadline-ms 300000]";
+[--clusters 3] [--seed 1] [--quorum N] [--deadline-ms 300000] \
+[--trace-out trace.json] [--metrics-out metrics.json]";
 
 fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
     let mut it = args.iter();
@@ -71,12 +79,31 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             })
             .transpose()?,
         deadline_ms: parsed(args, "--deadline-ms", 300_000)?,
+        trace_out: flag_value(args, "--trace-out")?,
+        metrics_out: flag_value(args, "--metrics-out")?,
     })
+}
+
+/// Exports the recorded spans / metrics snapshot to the requested paths.
+fn write_observability(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.trace_out {
+        let events = fedsc_obs::trace::uninstall();
+        let trace = fedsc_obs::export::chrome_trace_json(&events);
+        std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &args.metrics_out {
+        let metrics = fedsc_obs::export::metrics_json(&fedsc_obs::metrics::snapshot());
+        std::fs::write(path, metrics).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), String> {
     if args.devices == 0 {
         return Err("--devices must be positive".into());
+    }
+    if args.trace_out.is_some() {
+        fedsc_obs::trace::install_ring(1 << 16);
     }
     // Only the config matters server-side; regenerating the full fixture
     // guarantees it cannot drift from what the device processes use.
@@ -109,6 +136,7 @@ fn run(args: &Args) -> Result<(), String> {
         "uplink_bytes {} downlink_bytes {}",
         stats.bytes_received, stats.bytes_sent
     );
+    write_observability(args)?;
     Ok(())
 }
 

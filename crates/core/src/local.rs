@@ -60,6 +60,7 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
     // per-point Lasso, neighbor search); the device fan-out owns
     // `cfg.threads` one level up.
     let kernel_threads = cfg.kernel_threads.max(1);
+    let affinity_span = fedsc_obs::span("fedsc", "local.affinity").field("points", n_points);
     let graph = match cfg.local {
         LocalBackend::Ssc => {
             let mut lasso = cfg.lasso.clone();
@@ -77,8 +78,10 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
             tsc.affinity(data)?
         }
     };
+    drop(affinity_span);
 
     // Step 3: estimate r^(z).
+    let eigengap_span = fedsc_obs::span("fedsc", "local.eigengap");
     let r = match cfg.cluster_count {
         ClusterCountPolicy::Eigengap { max, relative } => {
             let spec = laplacian_spectrum(&graph)?;
@@ -91,11 +94,15 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
         ClusterCountPolicy::Fixed(r) => r,
     }
     .clamp(1, n_points);
+    drop(eigengap_span.field("clusters", r));
 
     // Step 4: spectral clustering into r partitions.
+    let spectral_span = fedsc_obs::span("fedsc", "local.spectral").field("clusters", r);
     let local_labels = spectral_clustering(&graph, &SpectralOptions::new(r), rng)?;
+    drop(spectral_span);
 
     // Steps 5-8: per-partition basis estimation and sampling.
+    let _basis_span = fedsc_obs::span("fedsc", "local.basis_sample").field("clusters", r);
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); r];
     for (i, &t) in local_labels.iter().enumerate() {
         members[t].push(i);

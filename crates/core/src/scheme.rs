@@ -14,14 +14,14 @@ use crate::central::central_cluster;
 use crate::config::FedScConfig;
 use crate::local::{local_cluster_and_sample, LocalOutput};
 use fedsc_federated::channel::{account_downlink, transmit_uplink, CommStats};
-use fedsc_federated::parallel::{par_map_timed, PhaseTiming};
+use fedsc_federated::parallel::{par_map_timed, time_phase, PhaseTiming};
 use fedsc_federated::partition::FederatedDataset;
 use fedsc_federated::privacy::{privatize_samples, PrivacyLedger};
 use fedsc_graph::AffinityGraph;
 use fedsc_linalg::{Matrix, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Everything a Fed-SC run produces.
 #[derive(Debug, Clone)]
@@ -112,12 +112,15 @@ impl FedSc {
     pub fn run(&self, fed: &FederatedDataset) -> Result<FedScOutput> {
         let cfg = &self.config;
         let z_count = fed.devices.len();
+        let _run_span = fedsc_obs::span("fedsc", "run").field("devices", z_count);
 
         // Phase 1: local clustering and sampling, in parallel. Each device
         // seeds its own RNG so results are independent of thread schedule.
+        let phase1_span = fedsc_obs::span("fedsc", "phase1.local").field("devices", z_count);
         type DeviceResult = (LocalOutput, Matrix, CommStats, PrivacyLedger);
         let locals: Vec<(Result<DeviceResult>, Duration)> =
             par_map_timed(z_count, cfg.threads, |z| {
+                let _device_span = fedsc_obs::span("fedsc", "phase1.device").field("device", z);
                 let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
                 let out = local_cluster_and_sample(&fed.devices[z].data, cfg, &mut rng)?;
                 // Optional differential privacy before anything leaves the
@@ -131,6 +134,7 @@ impl FedSc {
                 let received = transmit_uplink(&cfg.channel, &release, &mut stats, &mut rng);
                 Ok((out, received, stats, ledger))
             });
+        drop(phase1_span);
         let local_timing = PhaseTiming::from_durations(locals.iter().map(|(_, d)| *d));
 
         let mut comm = CommStats::default();
@@ -160,20 +164,23 @@ impl FedSc {
         let samples = Matrix::hcat(&refs)?;
 
         // Phase 2: central clustering.
-        let t0 = Instant::now();
-        let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
-        let central = central_cluster(
-            &samples,
-            cfg.num_clusters,
-            z_count,
-            cfg.central,
-            &mut server_rng,
-        )?;
-        let server_time = t0.elapsed();
+        let (central, server_time) = time_phase(|| {
+            let _span = fedsc_obs::span("fedsc", "phase2.central").field("samples", samples.cols());
+            let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
+            central_cluster(
+                &samples,
+                cfg.num_clusters,
+                z_count,
+                cfg.central,
+                &mut server_rng,
+            )
+        });
+        let central = central?;
 
         // Phase 3: local update. Each local cluster t on device z gets the
         // global label of its (first) representative sample; clusters that
         // produced no sample (empty after spectral k-means) keep label 0.
+        let phase3_span = fedsc_obs::span("fedsc", "phase3.update").field("devices", z_count);
         let mut per_device: Vec<Vec<usize>> = Vec::with_capacity(z_count);
         let mut point_sample = vec![usize::MAX; fed.total_points];
         let mut point_cluster = vec![(0usize, 0usize); fed.total_points];
@@ -219,6 +226,7 @@ impl FedSc {
             );
         }
         let predictions = fed.scatter_predictions(&per_device);
+        drop(phase3_span);
 
         Ok(FedScOutput {
             predictions,

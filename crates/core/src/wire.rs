@@ -30,6 +30,7 @@ use crate::local::local_cluster_and_sample;
 use fedsc_federated::channel::{DownlinkMessage, UplinkMessage};
 use fedsc_federated::partition::FederatedDataset;
 use fedsc_linalg::{LinalgError, Matrix, Result};
+use fedsc_obs::{LazyCounter, LazyHistogram, Stopwatch};
 use fedsc_transport::{
     with_retry, Deadline, DeviceTransport, InMemoryTransport, LinkStats, ServerTransport,
     Transport, TransportError,
@@ -37,6 +38,20 @@ use fedsc_transport::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
+
+/// Device rounds completed (uplink sent, downlink applied).
+static WIRE_DEVICE_ROUNDS: LazyCounter = LazyCounter::new("wire.device_rounds");
+/// Server rounds completed.
+static WIRE_SERVER_ROUNDS: LazyCounter = LazyCounter::new("wire.server_rounds");
+/// Devices excluded as stragglers across all server rounds.
+static WIRE_STRAGGLERS: LazyCounter = LazyCounter::new("wire.stragglers_excluded");
+/// Wall time of each completed device round, in milliseconds.
+static WIRE_DEVICE_ROUND_MS: LazyHistogram = LazyHistogram::new(
+    "wire.device_round_ms",
+    &[
+        1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 30_000, 60_000,
+    ],
+);
 
 /// Server-side straggler and reliability policy for one round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +140,8 @@ pub fn device_round<D: DeviceTransport>(
     link: &mut D,
     policy: &RoundPolicy,
 ) -> Result<Vec<usize>> {
+    let _span = fedsc_obs::span("wire", "wire.device_round").field("device", z);
+    let sw = Stopwatch::start();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
     let out = local_cluster_and_sample(data, cfg, &mut rng)?;
     let msg = UplinkMessage {
@@ -163,6 +180,8 @@ pub fn device_round<D: DeviceTransport>(
             cluster_to_global[t] = best;
         }
     }
+    WIRE_DEVICE_ROUNDS.inc();
+    WIRE_DEVICE_ROUND_MS.observe(sw.elapsed_ns() / 1_000_000);
     Ok(out
         .local_labels
         .iter()
@@ -182,9 +201,13 @@ pub fn server_round<S: ServerTransport>(
     cfg: &FedScConfig,
     policy: &RoundPolicy,
 ) -> Result<Vec<usize>> {
+    let _span = fedsc_obs::span("wire", "wire.server_round").field("devices", z_count);
     let mut payloads: Vec<Option<UplinkMessage>> = (0..z_count).map(|_| None).collect();
     let deadline = Deadline::after(policy.deadline);
     let mut received = 0usize;
+    // Server-side view of Phase 1: the window in which the devices' local
+    // clustering results arrive.
+    let collect_span = fedsc_obs::span("fedsc", "phase1.collect").field("devices", z_count);
     while received < z_count {
         let remaining = deadline.remaining();
         if remaining.is_zero() {
@@ -197,6 +220,7 @@ pub fn server_round<S: ServerTransport>(
                 if z >= z_count || payloads[z].is_some() {
                     continue;
                 }
+                let _uplink_span = fedsc_obs::span("wire", "wire.uplink").field("device", z);
                 let msg = UplinkMessage::decode(bytes)
                     .ok_or(LinalgError::InvalidArgument("malformed uplink"))?;
                 payloads[z] = Some(msg);
@@ -206,6 +230,7 @@ pub fn server_round<S: ServerTransport>(
             Err(e) => return Err(wire_err(e)),
         }
     }
+    drop(collect_span.field("received", received));
 
     let excluded: Vec<usize> = payloads
         .iter()
@@ -232,6 +257,7 @@ pub fn server_round<S: ServerTransport>(
     }
     let refs: Vec<&Matrix> = mats.iter().collect();
     let pooled = Matrix::hcat(&refs)?;
+    let central_span = fedsc_obs::span("fedsc", "phase2.central").field("samples", pooled.cols());
     let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
     let central = central_cluster(
         &pooled,
@@ -240,9 +266,13 @@ pub fn server_round<S: ServerTransport>(
         cfg.central,
         &mut server_rng,
     )?;
+    drop(central_span);
 
+    let _broadcast_span =
+        fedsc_obs::span("fedsc", "phase3.broadcast").field("devices", included.len());
     let mut offset = 0usize;
     for (&z, &r) in included.iter().zip(counts.iter()) {
+        let _downlink_span = fedsc_obs::span("wire", "wire.downlink").field("device", z);
         let assignments: Vec<u32> = central.assignments[offset..offset + r]
             .iter()
             .map(|&a| a as u32)
@@ -254,6 +284,8 @@ pub fn server_round<S: ServerTransport>(
         })
         .map_err(wire_err)?;
     }
+    WIRE_SERVER_ROUNDS.inc();
+    WIRE_STRAGGLERS.add(excluded.len() as u64);
     Ok(excluded)
 }
 
@@ -272,6 +304,7 @@ pub fn run_round<T: Transport>(
     policy: &RoundPolicy,
 ) -> Result<WireRunOutput> {
     let z_count = fed.devices.len();
+    let _span = fedsc_obs::span("wire", "wire.run_round").field("devices", z_count);
     let (mut server_link, device_links) = transport.open(z_count).map_err(wire_err)?;
 
     // Per-device results come back through a channel so the scope can end

@@ -151,3 +151,92 @@ fn killed_device_is_excluded_under_quorum() {
         assert_eq!(preds.len(), fed.devices[z].data.cols(), "device {z}");
     }
 }
+
+#[test]
+fn server_trace_and_metrics_exports_cover_the_round() {
+    let (seed, devices) = (13u64, 3usize);
+    let dir = std::env::temp_dir().join(format!("fedsc-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.json");
+
+    let (server, addr) = spawn_server(&[
+        "--devices",
+        "3",
+        "--seed",
+        "13",
+        "--trace-out",
+        trace_path.to_str().expect("utf-8 path"),
+        "--metrics-out",
+        metrics_path.to_str().expect("utf-8 path"),
+    ]);
+    let children: Vec<Child> = (0..devices)
+        .map(|z| spawn_device(&addr, z, devices, seed))
+        .collect();
+    for child in children {
+        let _ = device_predictions(child);
+    }
+    let out = server.wait_with_output().expect("server exits");
+    assert!(
+        out.status.success(),
+        "server failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    let bytes_line = summary
+        .lines()
+        .find(|l| l.starts_with("uplink_bytes "))
+        .expect("byte summary line");
+    let fields: Vec<&str> = bytes_line.split_whitespace().collect();
+    let uplink: u64 = fields[1].parse().expect("uplink total");
+    let downlink: u64 = fields[3].parse().expect("downlink total");
+
+    // The trace must be well-formed Chrome trace_event JSON covering all
+    // three Fed-SC phases plus the per-device wire spans.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    fedsc_obs::export::validate_chrome_trace(&trace).expect("trace validates");
+    for span in [
+        "phase1.collect",
+        "phase2.central",
+        "phase3.broadcast",
+        "wire.server_round",
+        "wire.uplink",
+        "wire.downlink",
+    ] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{span}\"")),
+            "trace missing {span} span"
+        );
+    }
+
+    // The metrics snapshot mirrors the byte totals the server printed —
+    // TCP accounting is wire-true on both surfaces, so they agree exactly.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    for (name, want) in [
+        ("transport.tcp.bytes_received", uplink),
+        ("transport.tcp.bytes_sent", downlink),
+        ("wire.server_rounds", 1),
+    ] {
+        assert!(
+            metrics.contains(&format!("\"{name}\":{want}")),
+            "metrics missing {name}={want}:\n{metrics}"
+        );
+    }
+    // Nothing was injected and nothing corrupted: fault/CRC counters are
+    // either absent (never touched, so never registered) or zero.
+    for name in [
+        "transport.crc_rejects",
+        "transport.fault.drop",
+        "transport.fault.bit_flip",
+        "transport.fault.truncate",
+    ] {
+        let key = format!("\"{name}\":");
+        if let Some(pos) = metrics.find(&key) {
+            assert!(
+                metrics[pos + key.len()..].starts_with('0'),
+                "clean run reported a nonzero {name}:\n{metrics}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,8 @@
 //! `FedScConfig::threads`; the numerical kernels inside a device own
 //! `FedScConfig::kernel_threads`; nothing nests beyond that product.
 
-use std::time::{Duration, Instant};
+use fedsc_obs::Stopwatch;
+use std::time::Duration;
 
 /// Maps `f` over `0..count` in parallel, returning results in index order
 /// together with each item's wall time.
@@ -31,11 +32,12 @@ where
 
 /// Times one closure, returning its result and wall time. Together with
 /// [`par_map_timed`] this is the sanctioned way to observe the clock in
-/// library code (`cargo xtask check` forbids `Instant::now` elsewhere).
+/// library code: the actual clock read lives in `fedsc_obs` (`cargo xtask
+/// check` confines `Instant`/`SystemTime` to that crate).
 pub fn time_phase<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-    let t0 = Instant::now();
+    let sw = Stopwatch::start();
     let r = f();
-    (r, t0.elapsed())
+    (r, sw.elapsed())
 }
 
 /// Default worker count: available parallelism, floor 1.

@@ -24,15 +24,29 @@
 //! crate sits below `fedsc-federated` in the graph, which is what lets
 //! `sparse`/`subspace`/`core` use the pool without a dependency cycle).
 //!
-//! This file is a sanctioned `Instant::now` site (`cargo xtask check`):
-//! [`par_map_timed`] is one of the few places library code may observe the
-//! clock.
+//! Timing goes through `fedsc_obs` ([`Stopwatch`]) — the workspace's only
+//! sanctioned wall-clock access (`cargo xtask check` rule 3) — and the pool
+//! reports itself to the metrics registry: `pool.tasks` (indices executed),
+//! `pool.steals` (tasks a worker executed beyond its fair share of the
+//! queue, the work-stealing imbalance), `pool.busy_ns` (per-worker loop
+//! wall time, summed), and `pool.workers_spawned`.
 
+use fedsc_obs::{LazyCounter, Stopwatch};
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Indices executed by [`par_map`] / chunks written by [`par_chunks_mut`].
+static POOL_TASKS: LazyCounter = LazyCounter::new("pool.tasks");
+/// Tasks executed beyond a worker's fair share `ceil(count / threads)` —
+/// the number of successful steals from slower workers's shares.
+static POOL_STEALS: LazyCounter = LazyCounter::new("pool.steals");
+/// Summed per-worker busy wall time (claim loop + task execution), ns.
+static POOL_BUSY_NS: LazyCounter = LazyCounter::new("pool.busy_ns");
+/// Worker threads spawned across all parallel calls.
+static POOL_WORKERS: LazyCounter = LazyCounter::new("pool.workers_spawned");
 
 /// Default worker count: available parallelism, floor 1.
 pub fn default_threads() -> usize {
@@ -74,6 +88,7 @@ fn run_workers<F>(threads: usize, stop: &AtomicBool, body: F)
 where
     F: Fn() + Sync,
 {
+    POOL_WORKERS.add(threads as u64);
     let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -114,20 +129,32 @@ where
         return Vec::new();
     }
     if threads == 1 {
+        POOL_TASKS.add(count as u64);
         return (0..count).map(f).collect();
     }
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let slots = Slots::new(count);
-    run_workers(threads, &stop, || loop {
-        if stop.load(Ordering::Relaxed) {
-            break;
+    // Fair share per worker; anything executed past it was stolen from a
+    // slower worker's share of the queue.
+    let fair = (count as u64).div_ceil(threads as u64);
+    run_workers(threads, &stop, || {
+        let sw = Stopwatch::start();
+        let mut executed = 0u64;
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            slots.put(i, f(i));
+            executed += 1;
         }
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= count {
-            break;
-        }
-        slots.put(i, f(i));
+        POOL_TASKS.add(executed);
+        POOL_STEALS.add(executed.saturating_sub(fair));
+        POOL_BUSY_NS.add(sw.elapsed_ns());
     });
     // INVARIANT: run_workers returned without re-raising a panic, so every
     // index in 0..count was claimed exactly once and its slot written.
@@ -138,18 +165,17 @@ where
         .collect()
 }
 
-/// [`par_map`] that also reports each item's wall time — the sanctioned way
-/// for library code to observe the clock (with
-/// `fedsc_federated::parallel::time_phase`).
+/// [`par_map`] that also reports each item's wall time (via the
+/// `fedsc_obs` stopwatch, so this crate never touches the clock directly).
 pub fn par_map_timed<T, F>(count: usize, threads: usize, f: F) -> Vec<(T, Duration)>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     par_map(count, threads, |i| {
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
         let r = f(i);
-        (r, t0.elapsed())
+        (r, sw.elapsed())
     })
 }
 
@@ -174,6 +200,7 @@ where
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = threads.max(1).min(n_chunks);
     if threads == 1 {
+        POOL_TASKS.add(n_chunks as u64);
         for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(c, chunk);
         }
@@ -183,6 +210,7 @@ where
     // extra chunk.
     let base = n_chunks / threads;
     let rem = n_chunks % threads;
+    POOL_WORKERS.add(threads as u64);
     let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
     std::thread::scope(|scope| {
         let mut rest = data;
@@ -196,9 +224,14 @@ where
             let f = &f;
             scope.spawn(move || {
                 let run = AssertUnwindSafe(|| {
+                    let sw = Stopwatch::start();
+                    let mut written = 0u64;
                     for (off, chunk) in span.chunks_mut(chunk_len).enumerate() {
                         f(start_chunk + off, chunk);
+                        written += 1;
                     }
+                    POOL_TASKS.add(written);
+                    POOL_BUSY_NS.add(sw.elapsed_ns());
                 });
                 if let Err(payload) = catch_unwind(run) {
                     let mut guard = first_panic

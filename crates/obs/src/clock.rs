@@ -1,0 +1,70 @@
+//! The workspace's only sanctioned monotonic-clock access.
+//!
+//! All timestamps are nanoseconds since a process-wide epoch anchored on
+//! first use, so traces from one process share a single timeline and
+//! Chrome-trace timestamps stay small. Other crates never name
+//! `std::time::Instant` (xtask rule 3); they hold a [`Stopwatch`] or a
+//! raw [`now_ns`] reading instead.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (anchored on first call).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// A started monotonic timer. The workspace-wide replacement for holding
+/// an `Instant` directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        // Anchor the epoch first so `now_ns` readings taken later are
+        // guaranteed to be comparable with this stopwatch's start.
+        epoch();
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let sw = Stopwatch::start();
+        let d = sw.elapsed();
+        assert!(d.as_nanos() <= sw.elapsed().as_nanos());
+        assert!(sw.elapsed_ns() >= d.as_nanos() as u64);
+    }
+}

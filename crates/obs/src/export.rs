@@ -1,0 +1,557 @@
+//! Exporters: Chrome `trace_event` JSON (Perfetto / `chrome://tracing`)
+//! and a flat JSON metrics snapshot — plus a dependency-free validator
+//! used by `cargo xtask validate-trace` and CI.
+//!
+//! Span events are emitted as complete (`"ph":"X"`) events with
+//! microsecond `ts`/`dur`; the viewer reconstructs the span hierarchy
+//! from time containment per `tid`, which matches how the spans nested
+//! at runtime.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{FieldValue, SpanEvent};
+use std::fmt::Write as _;
+
+/// Escapes a string into a JSON string body (no surrounding quotes).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Nanoseconds → microseconds with three decimals, as Chrome expects.
+fn push_us(ns: u64, out: &mut String) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn push_field_value(v: &FieldValue, out: &mut String) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+    }
+}
+
+/// Serializes span events as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(ev.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(ev.cat, &mut out);
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        push_us(ev.start_ns, &mut out);
+        out.push_str(",\"dur\":");
+        push_us(ev.dur_ns, &mut out);
+        let _ = write!(out, ",\"pid\":1,\"tid\":{}", ev.tid);
+        if !ev.fields.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (key, value)) in ev.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(key, &mut out);
+                out.push_str("\":");
+                push_field_value(value, &mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Serializes a metrics snapshot as flat JSON:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{"buckets":{"le_10":n,…,"inf":n},"count":c,"sum":s}}}`.
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(name, &mut out);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(name, &mut out);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(name, &mut out);
+        out.push_str("\":{\"buckets\":{");
+        let mut first = true;
+        for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"le_{bound}\":{count}");
+        }
+        if let Some(overflow) = h.buckets.last() {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"inf\":{overflow}");
+        }
+        let _ = write!(out, "}},\"count\":{},\"sum\":{}}}", h.count, h.sum);
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a minimal recursive-descent JSON reader, enough to check that
+// an exported trace is well-formed `trace_event` JSON without pulling in a
+// serde stack.
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value (validation-oriented: numbers stay `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered key/value pairs (duplicates preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 64;
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
+        if self.bump() == Some(want) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", want as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| (c as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogates collapse to the replacement char:
+                        // fine for validation purposes.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(c) => {
+                    // Re-assemble multi-byte utf-8 sequences.
+                    let len = utf8_len(c);
+                    if len == 1 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let end = start + len;
+                        if end > self.bytes.len() {
+                            return Err(self.err("truncated utf-8"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid utf-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(pairs)),
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+/// Validates that `text` is well-formed Chrome `trace_event` JSON: a root
+/// object with a `traceEvents` array whose entries each carry a string
+/// `name`, string `ph`, and numeric `ts` (plus numeric `dur` for `"X"`
+/// complete events). Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        Some(_) => return Err("`traceEvents` is not an array".to_string()),
+        None => return Err("missing `traceEvents` key".to_string()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let obj = match ev {
+            Json::Obj(_) => ev,
+            _ => return Err(format!("traceEvents[{i}] is not an object")),
+        };
+        match obj.get("name") {
+            Some(Json::Str(_)) => {}
+            _ => return Err(format!("traceEvents[{i}] lacks a string `name`")),
+        }
+        let ph = match obj.get("ph") {
+            Some(Json::Str(ph)) => ph.clone(),
+            _ => return Err(format!("traceEvents[{i}] lacks a string `ph`")),
+        };
+        match obj.get("ts") {
+            Some(Json::Num(ts)) if ts.is_finite() && *ts >= 0.0 => {}
+            _ => return Err(format!("traceEvents[{i}] lacks a finite `ts`")),
+        }
+        if ph == "X" {
+            match obj.get("dur") {
+                Some(Json::Num(d)) if d.is_finite() && *d >= 0.0 => {}
+                _ => return Err(format!("traceEvents[{i}] is `X` without a finite `dur`")),
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    fn demo_event() -> SpanEvent {
+        SpanEvent {
+            cat: "phase",
+            name: "local.ssc",
+            tid: 2,
+            start_ns: 1_234_567,
+            dur_ns: 89_012,
+            fields: vec![
+                ("device", FieldValue::U64(3)),
+                ("backend", FieldValue::Str("ssc")),
+                ("ok", FieldValue::Bool(true)),
+                ("rho", FieldValue::F64(0.5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_validator() {
+        let text = chrome_trace_json(&[demo_event(), demo_event()]);
+        assert_eq!(validate_chrome_trace(&text), Ok(2));
+        // Microsecond conversion: 1_234_567 ns = 1234.567 us.
+        assert!(text.contains("\"ts\":1234.567"), "{text}");
+        assert!(text.contains("\"dur\":89.012"), "{text}");
+        assert!(
+            text.contains("\"args\":{\"device\":3,\"backend\":\"ssc\",\"ok\":true,\"rho\":0.5}")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let text = chrome_trace_json(&[]);
+        assert_eq!(validate_chrome_trace(&text), Ok(0));
+    }
+
+    #[test]
+    fn nonfinite_field_values_become_null() {
+        let mut ev = demo_event();
+        ev.fields = vec![("bad", FieldValue::F64(f64::NAN))];
+        let text = chrome_trace_json(&[ev]);
+        assert!(text.contains("\"bad\":null"), "{text}");
+        assert_eq!(validate_chrome_trace(&text), Ok(1));
+    }
+
+    #[test]
+    fn metrics_export_is_parseable_and_sorted() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("b.count", 2);
+        snap.counters.insert("a.count", 1);
+        snap.gauges.insert("g.depth", -3);
+        snap.histograms.insert(
+            "h.lat",
+            HistogramSnapshot {
+                bounds: vec![10, 100],
+                buckets: vec![1, 2, 3],
+                count: 6,
+                sum: 420,
+            },
+        );
+        let text = metrics_json(&snap);
+        let doc = parse_json(&text).expect("parses");
+        assert_eq!(
+            doc.get("counters").and_then(|c| c.get("a.count")),
+            Some(&Json::Num(1.0))
+        );
+        assert_eq!(
+            doc.get("gauges").and_then(|g| g.get("g.depth")),
+            Some(&Json::Num(-3.0))
+        );
+        let h = doc
+            .get("histograms")
+            .and_then(|h| h.get("h.lat"))
+            .expect("histogram");
+        assert_eq!(h.get("count"), Some(&Json::Num(6.0)));
+        assert_eq!(
+            h.get("buckets").and_then(|b| b.get("le_10")),
+            Some(&Json::Num(1.0))
+        );
+        assert_eq!(
+            h.get("buckets").and_then(|b| b.get("inf")),
+            Some(&Json::Num(3.0))
+        );
+        // BTree ordering: "a.count" serialized before "b.count".
+        assert!(text.find("a.count") < text.find("b.count"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (text, why) in [
+            ("", "empty"),
+            ("{", "unclosed object"),
+            ("[]", "no traceEvents"),
+            ("{\"traceEvents\":1}", "traceEvents not an array"),
+            ("{\"traceEvents\":[{\"ph\":\"X\"}]}", "event without name"),
+            (
+                "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0}]}",
+                "X event without dur",
+            ),
+            ("{\"traceEvents\":[]} trailing", "trailing data"),
+        ] {
+            assert!(validate_chrome_trace(text).is_err(), "{why}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_numbers_and_nesting() {
+        let doc = parse_json(
+            "{\"s\":\"a\\n\\u0041\\\"\",\"n\":[-1.5e2,0.25],\"b\":[true,false,null],\"o\":{\"k\":{}}}",
+        )
+        .expect("parses");
+        assert_eq!(doc.get("s"), Some(&Json::Str("a\nA\"".to_string())));
+        assert_eq!(
+            doc.get("n"),
+            Some(&Json::Arr(vec![Json::Num(-150.0), Json::Num(0.25)]))
+        );
+    }
+
+    #[test]
+    fn parser_depth_limit_is_enforced() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_json(&deep).is_err());
+    }
+}

@@ -1,0 +1,477 @@
+//! Process-global metrics registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Metrics are **always on** — a handful of relaxed atomic adds per
+//! instrumented operation — because unlike spans they never read the
+//! clock and never allocate on the hot path. Instrumentation sites
+//! declare a `static` [`LazyCounter`] / [`LazyGauge`] /
+//! [`LazyHistogram`] that registers itself on first use, so recording
+//! is one `OnceLock` read plus one atomic op.
+//!
+//! The registry key space is flat dotted names (`"transport.bytes_sent"`,
+//! `"pool.tasks"`); [`snapshot`] walks it in sorted (BTree) order so the
+//! exported JSON is deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Instantaneous signed value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Fixed-bucket histogram: bucket `i` counts observations `<= bounds[i]`
+/// (non-cumulative storage), with one overflow bucket past the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut buckets = Vec::with_capacity(sorted.len() + 1);
+        for _ in 0..=sorted.len() {
+            buckets.push(AtomicU64::new(0));
+        }
+        Histogram {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+static REGISTRY: RwLock<BTreeMap<&'static str, Metric>> = RwLock::new(BTreeMap::new());
+
+fn read_registry() -> std::sync::RwLockReadGuard<'static, BTreeMap<&'static str, Metric>> {
+    match REGISTRY.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn write_registry() -> std::sync::RwLockWriteGuard<'static, BTreeMap<&'static str, Metric>> {
+    match REGISTRY.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Returns (registering on first use) the counter named `name`. If the
+/// name is already registered as a different kind, a detached counter is
+/// returned instead of panicking — the collision shows up in review as a
+/// metric that never moves in snapshots.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    if let Some(Metric::Counter(c)) = read_registry().get(name) {
+        return Arc::clone(c);
+    }
+    let mut reg = write_registry();
+    match reg.get(name) {
+        Some(Metric::Counter(c)) => Arc::clone(c),
+        Some(_) => Arc::new(Counter::default()),
+        None => {
+            let c = Arc::new(Counter::default());
+            reg.insert(name, Metric::Counter(Arc::clone(&c)));
+            c
+        }
+    }
+}
+
+/// Returns (registering on first use) the gauge named `name`. Kind
+/// collisions yield a detached gauge, as with [`counter`].
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    if let Some(Metric::Gauge(g)) = read_registry().get(name) {
+        return Arc::clone(g);
+    }
+    let mut reg = write_registry();
+    match reg.get(name) {
+        Some(Metric::Gauge(g)) => Arc::clone(g),
+        Some(_) => Arc::new(Gauge::default()),
+        None => {
+            let g = Arc::new(Gauge::default());
+            reg.insert(name, Metric::Gauge(Arc::clone(&g)));
+            g
+        }
+    }
+}
+
+/// Returns (registering on first use) the histogram named `name` with the
+/// given upper bucket bounds. The first registration fixes the bounds;
+/// kind collisions yield a detached histogram, as with [`counter`].
+pub fn histogram(name: &'static str, bounds: &[u64]) -> Arc<Histogram> {
+    if let Some(Metric::Histogram(h)) = read_registry().get(name) {
+        return Arc::clone(h);
+    }
+    let mut reg = write_registry();
+    match reg.get(name) {
+        Some(Metric::Histogram(h)) => Arc::clone(h),
+        Some(_) => Arc::new(Histogram::new(bounds)),
+        None => {
+            let h = Arc::new(Histogram::new(bounds));
+            reg.insert(name, Metric::Histogram(Arc::clone(&h)));
+            h
+        }
+    }
+}
+
+/// A `static`-friendly counter handle: resolves its registry entry once.
+#[derive(Debug)]
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl LazyCounter {
+    /// Declares a counter named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying counter.
+    pub fn handle(&self) -> &Counter {
+        self.cell.get_or_init(|| counter(self.name))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.handle().add(n);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.handle().inc();
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.handle().get()
+    }
+}
+
+/// A `static`-friendly gauge handle: resolves its registry entry once.
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    /// Declares a gauge named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying gauge.
+    pub fn handle(&self) -> &Gauge {
+        self.cell.get_or_init(|| gauge(self.name))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.handle().set(v);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.handle().add(delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.handle().get()
+    }
+}
+
+/// A `static`-friendly histogram handle: resolves its registry entry once.
+#[derive(Debug)]
+pub struct LazyHistogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram named `name` with upper bucket bounds `bounds`.
+    pub const fn new(name: &'static str, bounds: &'static [u64]) -> Self {
+        LazyHistogram {
+            name,
+            bounds,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying histogram.
+    pub fn handle(&self) -> &Histogram {
+        self.cell.get_or_init(|| histogram(self.name, self.bounds))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.handle().observe(v);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `buckets[i]` pairs with `bounds[i]`, with one
+    /// trailing overflow bucket (`> bounds.last()`).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Point-in-time copy of the whole registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+/// Snapshots every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for (&name, metric) in read_registry().iter() {
+        match metric {
+            Metric::Counter(c) => {
+                snap.counters.insert(name, c.get());
+            }
+            Metric::Gauge(g) => {
+                snap.gauges.insert(name, g.get());
+            }
+            Metric::Histogram(h) => {
+                snap.histograms.insert(
+                    name,
+                    HistogramSnapshot {
+                        bounds: h.bounds.clone(),
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                );
+            }
+        }
+    }
+    snap
+}
+
+/// Zeroes every registered metric (handles held by `Lazy*` statics stay
+/// valid). Intended for test/bench isolation, not for production paths.
+pub fn reset() {
+    for metric in read_registry().values() {
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global and one test calls [`reset`];
+    /// serialize so value assertions cannot race.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_register_and_accumulate() {
+        let _g = guard();
+        static C: LazyCounter = LazyCounter::new("test.metrics.counter_a");
+        static G: LazyGauge = LazyGauge::new("test.metrics.gauge_a");
+        C.add(2);
+        C.inc();
+        G.set(5);
+        G.add(-2);
+        assert_eq!(C.get(), 3);
+        assert_eq!(G.get(), 3);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.metrics.counter_a"), Some(&3));
+        assert_eq!(snap.gauges.get("test.metrics.gauge_a"), Some(&3));
+    }
+
+    #[test]
+    fn registry_returns_the_same_instance_per_name() {
+        let _g = guard();
+        let a = counter("test.metrics.shared");
+        let b = counter("test.metrics.shared");
+        a.add(1);
+        b.add(1);
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn kind_collision_yields_detached_metric_not_panic() {
+        let _g = guard();
+        let c = counter("test.metrics.collide");
+        c.add(7);
+        let g = gauge("test.metrics.collide");
+        g.set(99);
+        // The original counter is untouched and still registered.
+        assert_eq!(counter("test.metrics.collide").get(), 7);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.metrics.collide"), Some(&7));
+        assert!(!snap.gauges.contains_key("test.metrics.collide"));
+    }
+
+    #[test]
+    fn histogram_buckets_partition_correctly() {
+        let _g = guard();
+        static H: LazyHistogram = LazyHistogram::new("test.metrics.hist", &[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            H.observe(v);
+        }
+        let snap = snapshot();
+        let h = snap.histograms.get("test.metrics.hist").unwrap();
+        assert_eq!(h.bounds, vec![10, 100, 1000]);
+        // <=10: {1, 10}; <=100: {11, 100}; <=1000: {}; overflow: {5000}.
+        assert_eq!(h.buckets, vec![2, 2, 0, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_alive() {
+        let _g = guard();
+        static C: LazyCounter = LazyCounter::new("test.metrics.reset_me");
+        C.add(9);
+        reset();
+        assert_eq!(C.get(), 0);
+        C.add(4);
+        assert_eq!(C.get(), 4);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let _g = guard();
+        static C: LazyCounter = LazyCounter::new("test.metrics.concurrent");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        C.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get(), 4000);
+    }
+}

@@ -1,0 +1,357 @@
+//! Structured spans recorded into a lock-minimal ring buffer.
+//!
+//! A [`Span`] is an RAII guard: creation stamps the start time, drop
+//! stamps the duration and pushes one [`SpanEvent`] into the installed
+//! ring. Hierarchy is positional — a span opened while another is open
+//! on the same thread nests inside it by time, which is exactly how the
+//! Chrome `trace_event` viewer reconstructs the tree from `"X"` events.
+//!
+//! With no recorder installed (the default), [`span`] reads one relaxed
+//! atomic and returns an inert guard: no clock read, no allocation, no
+//! locking — the "no-op global recorder".
+
+use crate::clock::now_ns;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A typed span field value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string (field values never allocate).
+    Str(&'static str),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One completed span, as stored in the ring and fed to the exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Category (`"phase"`, `"wire"`, `"pool"`, …).
+    pub cat: &'static str,
+    /// Static span name (`"local.ssc"`, `"wire.device_round"`, …).
+    pub name: &'static str,
+    /// Small dense id of the recording thread (see [`thread_id`]).
+    pub tid: u64,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Typed key/value annotations attached via [`Span::field`].
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Fixed-capacity ring of completed spans. Claiming a slot is one
+/// relaxed `fetch_add`; each slot has its own mutex, contended only when
+/// two writers collide on the same index modulo capacity.
+struct Ring {
+    slots: Vec<Mutex<Option<SpanEvent>>>,
+    head: AtomicUsize,
+    overwritten: AtomicU64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        let mut slots = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            slots.push(Mutex::new(None));
+        }
+        Ring {
+            slots,
+            head: AtomicUsize::new(0),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let mut slot = match self.slots[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.replace(ev).is_some() {
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes and returns every recorded event, oldest first.
+    fn drain(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let mut guard = match slot.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(ev) = guard.take() {
+                out.push(ev);
+            }
+        }
+        out.sort_by(|a, b| (a.start_ns, a.tid, a.name).cmp(&(b.start_ns, b.tid, b.name)));
+        out
+    }
+}
+
+/// Fast-path gate: checked before anything else on every `span` call.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// The installed ring, if any. Read-locked only on the enabled path.
+static RECORDER: RwLock<Option<Arc<Ring>>> = RwLock::new(None);
+
+fn recorder() -> Option<Arc<Ring>> {
+    let guard = match RECORDER.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.as_ref().map(Arc::clone)
+}
+
+/// Installs a ring-buffer recorder with space for `capacity` spans and
+/// enables tracing. Replaces (and discards) any previous recorder.
+pub fn install_ring(capacity: usize) {
+    let ring = Arc::new(Ring::new(capacity));
+    match RECORDER.write() {
+        Ok(mut g) => *g = Some(ring),
+        Err(poisoned) => *poisoned.into_inner() = Some(ring),
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables tracing, removes the recorder, and returns everything it
+/// held (oldest first). With no recorder installed, returns empty.
+pub fn uninstall() -> Vec<SpanEvent> {
+    ENABLED.store(false, Ordering::SeqCst);
+    let ring = match RECORDER.write() {
+        Ok(mut g) => g.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    };
+    ring.map(|r| r.drain()).unwrap_or_default()
+}
+
+/// Drains the currently installed ring without uninstalling it.
+pub fn drain() -> Vec<SpanEvent> {
+    recorder().map(|r| r.drain()).unwrap_or_default()
+}
+
+/// Number of spans lost to ring overwrites since install.
+pub fn overwritten() -> u64 {
+    recorder().map_or(0, |r| r.overwritten.load(Ordering::Relaxed))
+}
+
+/// Whether a recorder is installed and tracing is on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Small dense id for the calling thread (1, 2, … in first-use order),
+/// used as the Chrome-trace `tid`.
+pub fn thread_id() -> u64 {
+    TID.with(|cell| {
+        let v = cell.get();
+        if v != 0 {
+            return v;
+        }
+        let fresh = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        cell.set(fresh);
+        fresh
+    })
+}
+
+struct SpanInner {
+    ring: Arc<Ring>,
+    cat: &'static str,
+    name: &'static str,
+    tid: u64,
+    start_ns: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII span guard: records one [`SpanEvent`] on drop. Inert (all
+/// methods are no-ops) when tracing is disabled.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Attaches a typed key/value field (builder style; no-op when inert).
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Whether this span will record an event on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end = now_ns();
+            inner.ring.push(SpanEvent {
+                cat: inner.cat,
+                name: inner.name,
+                tid: inner.tid,
+                start_ns: inner.start_ns,
+                dur_ns: end.saturating_sub(inner.start_ns),
+                fields: inner.fields,
+            });
+        }
+    }
+}
+
+/// Opens a span. When tracing is disabled this is one relaxed atomic
+/// load and returns an inert guard — no clock read, no allocation.
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Span { inner: None };
+    }
+    let Some(ring) = recorder() else {
+        return Span { inner: None };
+    };
+    Span {
+        inner: Some(SpanInner {
+            ring,
+            cat,
+            name,
+            tid: thread_id(),
+            start_ns: now_ns(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Tracing state is process-global; tests that install/uninstall
+    /// serialize on this lock.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = guard();
+        let _ = uninstall();
+        let s = span("t", "noop").field("k", 1u64);
+        assert!(!s.is_recording());
+        drop(s);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_record_fields_and_nesting_order() {
+        let _g = guard();
+        install_ring(16);
+        {
+            let _outer = span("t", "outer").field("device", 3usize);
+            let _inner = span("t", "inner").field("ok", true);
+        }
+        let events = uninstall();
+        assert_eq!(events.len(), 2);
+        // Sorted by start time: outer opened first.
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].fields, vec![("device", FieldValue::U64(3))]);
+        assert_eq!(events[1].name, "inner");
+        // The inner span closes before the outer: proper nesting by time.
+        let (o, i) = (&events[0], &events[1]);
+        assert!(i.start_ns >= o.start_ns);
+        assert!(i.start_ns + i.dur_ns <= o.start_ns + o.dur_ns);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_losses() {
+        let _g = guard();
+        install_ring(2);
+        for _ in 0..5 {
+            drop(span("t", "x"));
+        }
+        assert_eq!(overwritten(), 3);
+        let events = uninstall();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn spans_from_many_threads_all_land() {
+        let _g = guard();
+        install_ring(256);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        drop(span("t", "mt"));
+                    }
+                });
+            }
+        });
+        let events = uninstall();
+        assert_eq!(events.len(), 64);
+        assert!(events.iter().all(|e| e.name == "mt"));
+    }
+
+    #[test]
+    fn thread_ids_are_stable_within_a_thread() {
+        let a = thread_id();
+        let b = thread_id();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(thread_id).join();
+        assert!(other.is_ok_and(|t| t != a));
+    }
+}

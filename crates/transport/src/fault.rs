@@ -188,11 +188,13 @@ impl FaultLink {
         let reordered = cfg.reorder > 0.0 && self.rng.random_bool(cfg.reorder);
 
         if delayed && !cfg.max_delay.is_zero() {
+            crate::metrics::FAULT_DELAY.inc();
             let ms = cfg.max_delay.as_millis().min(u64::MAX as u128) as u64;
             let pause = self.rng.random_range(0..ms + 1);
             std::thread::sleep(Duration::from_millis(pause));
         }
         if dropped {
+            crate::metrics::FAULT_DROP.inc();
             self.record(format!("#{a} drop"));
             return Err(TransportError::Dropped);
         }
@@ -209,10 +211,12 @@ impl FaultLink {
                     got: cut,
                 },
             );
+            crate::metrics::FAULT_TRUNCATE.inc();
             self.record(format!("#{a} truncate cut={cut} reject"));
             return Err(err);
         }
         let wire = if flipped {
+            crate::metrics::FAULT_BIT_FLIP.inc();
             let bit = self.rng.random_range(0..clean.len() * 8);
             let mut dirty = clean.to_vec();
             dirty[bit / 8] ^= 1 << (bit % 8);
@@ -234,9 +238,11 @@ impl FaultLink {
 
         let mut deliver = vec![wire.clone()];
         if duplicated {
+            crate::metrics::FAULT_DUPLICATE.inc();
             deliver.push(wire);
         }
         if reordered && self.stash.is_empty() {
+            crate::metrics::FAULT_REORDER.inc();
             self.record(format!("#{a} hold n={}", deliver.len()));
             self.stash = deliver;
             return Ok(Vec::new());
@@ -331,9 +337,9 @@ impl DeviceTransport for FaultyDevice {
                 }
                 return Err(TransportError::Closed("server endpoint dropped"));
             }
-            self.stats.bytes_sent += len;
+            self.stats.on_bytes_sent(len);
         }
-        self.stats.messages_sent += 1;
+        self.stats.on_msg_sent();
         Ok(())
     }
 
@@ -349,12 +355,12 @@ impl DeviceTransport for FaultyDevice {
                         TransportError::Closed("server finished without answering this device")
                     }
                 })?;
-            self.stats.bytes_received += wire.len();
+            self.stats.on_bytes_received(wire.len());
             // Duplicates and (vanishingly unlikely) undetected corruption:
             // take the first frame that decodes and is addressed to us.
             match Frame::decode(wire.as_slice()) {
                 Ok(f) if f.kind == FrameKind::Downlink && f.device == self.device as u64 => {
-                    self.stats.messages_received += 1;
+                    self.stats.on_msg_received();
                     return Ok(f.payload);
                 }
                 _ => continue,
@@ -388,10 +394,10 @@ impl ServerTransport for FaultyServer {
                             TransportError::Closed("every device endpoint dropped")
                         }
                     })?;
-            self.stats.bytes_received += wire.len();
+            self.stats.on_bytes_received(wire.len());
             match Frame::decode(wire.as_slice()) {
                 Ok(f) if f.kind == FrameKind::Uplink && f.device == z as u64 => {
-                    self.stats.messages_received += 1;
+                    self.stats.on_msg_received();
                     return Ok((z, f.payload));
                 }
                 _ => continue,
@@ -419,9 +425,9 @@ impl ServerTransport for FaultyServer {
                 }
                 return Err(TransportError::Closed("device endpoint dropped"));
             }
-            self.stats.bytes_sent += len;
+            self.stats.on_bytes_sent(len);
         }
-        self.stats.messages_sent += 1;
+        self.stats.on_msg_sent();
         Ok(())
     }
 

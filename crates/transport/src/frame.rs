@@ -153,6 +153,7 @@ impl Frame {
         let stored_crc = le32(28);
         let computed = crc32_of_frame(bytes);
         if computed != stored_crc {
+            crate::metrics::CRC_REJECTS.inc();
             return Err(TransportError::ChecksumMismatch {
                 expected: stored_crc,
                 got: computed,

@@ -34,6 +34,7 @@ pub mod error;
 pub mod fault;
 pub mod frame;
 pub mod mem;
+mod metrics;
 pub mod tcp;
 pub mod timing;
 
@@ -60,6 +61,34 @@ pub struct LinkStats {
     pub messages_sent: u64,
     /// Messages received (handshake frames excluded).
     pub messages_received: u64,
+}
+
+impl LinkStats {
+    /// Records `n` bytes put on the wire, mirrored to the global
+    /// `transport.bytes_sent` counter.
+    pub(crate) fn on_bytes_sent(&mut self, n: usize) {
+        self.bytes_sent += n;
+        metrics::BYTES_SENT.add(n as u64);
+    }
+
+    /// Records `n` bytes taken off the wire, mirrored to the global
+    /// `transport.bytes_received` counter.
+    pub(crate) fn on_bytes_received(&mut self, n: usize) {
+        self.bytes_received += n;
+        metrics::BYTES_RECEIVED.add(n as u64);
+    }
+
+    /// Records one message sent, mirrored to `transport.msgs_sent`.
+    pub(crate) fn on_msg_sent(&mut self) {
+        self.messages_sent += 1;
+        metrics::MSGS_SENT.inc();
+    }
+
+    /// Records one message received, mirrored to `transport.msgs_received`.
+    pub(crate) fn on_msg_received(&mut self) {
+        self.messages_received += 1;
+        metrics::MSGS_RECEIVED.inc();
+    }
 }
 
 /// The device side of a link: one uplink out, one downlink back.

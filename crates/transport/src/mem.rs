@@ -65,8 +65,8 @@ impl DeviceTransport for MemDevice {
         self.uplink_tx
             .send((self.device, payload.clone()))
             .map_err(|_| TransportError::Closed("server endpoint dropped"))?;
-        self.stats.bytes_sent += payload.len();
-        self.stats.messages_sent += 1;
+        self.stats.on_bytes_sent(payload.len());
+        self.stats.on_msg_sent();
         Ok(())
     }
 
@@ -80,8 +80,8 @@ impl DeviceTransport for MemDevice {
                     TransportError::Closed("server finished without answering this device")
                 }
             })?;
-        self.stats.bytes_received += payload.len();
-        self.stats.messages_received += 1;
+        self.stats.on_bytes_received(payload.len());
+        self.stats.on_msg_received();
         Ok(payload)
     }
 
@@ -98,8 +98,8 @@ impl ServerTransport for MemServer {
                 TransportError::Closed("every device endpoint dropped")
             }
         })?;
-        self.stats.bytes_received += payload.len();
-        self.stats.messages_received += 1;
+        self.stats.on_bytes_received(payload.len());
+        self.stats.on_msg_received();
         Ok((z, payload))
     }
 
@@ -110,8 +110,8 @@ impl ServerTransport for MemServer {
             .ok_or(TransportError::Closed("unknown device id"))?;
         tx.send(payload.clone())
             .map_err(|_| TransportError::Closed("device endpoint dropped"))?;
-        self.stats.bytes_sent += payload.len();
-        self.stats.messages_sent += 1;
+        self.stats.on_bytes_sent(payload.len());
+        self.stats.on_msg_sent();
         Ok(())
     }
 

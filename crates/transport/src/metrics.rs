@@ -1,0 +1,43 @@
+//! Global transport counters (see `fedsc_obs::metrics`).
+//!
+//! Every endpoint already keeps a per-endpoint [`LinkStats`](crate::LinkStats);
+//! these process-wide counters mirror the *same* update sites so a metrics
+//! snapshot agrees with summed endpoint accounting, and add what per-endpoint
+//! stats cannot see: CRC rejects inside the codec, retry attempts inside
+//! [`with_retry`](crate::with_retry), and the fault injector's per-kind
+//! decisions (which match the seeded transcript line for line).
+
+use fedsc_obs::LazyCounter;
+
+/// Bytes any endpoint put on the wire (same accounting basis as its
+/// `LinkStats::bytes_sent`).
+pub(crate) static BYTES_SENT: LazyCounter = LazyCounter::new("transport.bytes_sent");
+/// Bytes any endpoint took off the wire.
+pub(crate) static BYTES_RECEIVED: LazyCounter = LazyCounter::new("transport.bytes_received");
+/// Messages sent (handshake frames excluded).
+pub(crate) static MSGS_SENT: LazyCounter = LazyCounter::new("transport.msgs_sent");
+/// Messages received (handshake frames excluded).
+pub(crate) static MSGS_RECEIVED: LazyCounter = LazyCounter::new("transport.msgs_received");
+/// Frames rejected by the CRC check in [`crate::Frame::decode`].
+pub(crate) static CRC_REJECTS: LazyCounter = LazyCounter::new("transport.crc_rejects");
+/// Retry attempts consumed inside [`crate::with_retry`] (first tries are
+/// not counted; only re-runs after a transient error).
+pub(crate) static RETRIES: LazyCounter = LazyCounter::new("transport.retries");
+/// TCP-only bytes put on the wire (wire-true: framing and handshakes count).
+pub(crate) static TCP_BYTES_SENT: LazyCounter = LazyCounter::new("transport.tcp.bytes_sent");
+/// TCP-only bytes taken off the wire.
+pub(crate) static TCP_BYTES_RECEIVED: LazyCounter =
+    LazyCounter::new("transport.tcp.bytes_received");
+/// Injected drops (transcript `drop` lines).
+pub(crate) static FAULT_DROP: LazyCounter = LazyCounter::new("transport.fault.drop");
+/// Injected duplicates that reached delivery (transcript `dup` markers plus
+/// two-frame `hold` lines).
+pub(crate) static FAULT_DUPLICATE: LazyCounter = LazyCounter::new("transport.fault.duplicate");
+/// Injected reorder holds (transcript `hold` lines).
+pub(crate) static FAULT_REORDER: LazyCounter = LazyCounter::new("transport.fault.reorder");
+/// Injected bit flips (transcript `bitflip` lines).
+pub(crate) static FAULT_BIT_FLIP: LazyCounter = LazyCounter::new("transport.fault.bit_flip");
+/// Injected truncations (transcript `truncate` lines).
+pub(crate) static FAULT_TRUNCATE: LazyCounter = LazyCounter::new("transport.fault.truncate");
+/// Injected delays (wall-clock only; never appear in the transcript).
+pub(crate) static FAULT_DELAY: LazyCounter = LazyCounter::new("transport.fault.delay");

@@ -232,9 +232,11 @@ impl ServerTransport for TcpServer {
             RecvTimeoutError::Timeout => TransportError::Timeout("uplink recv"),
             RecvTimeoutError::Disconnected => TransportError::Closed("acceptor gone"),
         })?;
-        self.stats.bytes_received += inbound.bytes_in;
-        self.stats.bytes_sent += inbound.bytes_out;
-        self.stats.messages_received += 1;
+        self.stats.on_bytes_received(inbound.bytes_in);
+        self.stats.on_bytes_sent(inbound.bytes_out);
+        self.stats.on_msg_received();
+        crate::metrics::TCP_BYTES_RECEIVED.add(inbound.bytes_in as u64);
+        crate::metrics::TCP_BYTES_SENT.add(inbound.bytes_out as u64);
         // A device retrying its round reconnects; the latest socket wins.
         self.conns.insert(inbound.device, inbound.stream);
         Ok((inbound.device, inbound.payload))
@@ -252,8 +254,9 @@ impl ServerTransport for TcpServer {
             payload: payload.clone(),
         };
         let n = write_frame(stream, &frame)?;
-        self.stats.bytes_sent += n;
-        self.stats.messages_sent += 1;
+        self.stats.on_bytes_sent(n);
+        self.stats.on_msg_sent();
+        crate::metrics::TCP_BYTES_SENT.add(n as u64);
         Ok(())
     }
 
@@ -338,9 +341,11 @@ impl DeviceTransport for TcpDevice {
                 payload: payload.clone(),
             },
         )?;
-        self.stats.bytes_sent += sent;
-        self.stats.bytes_received += n_ack;
-        self.stats.messages_sent += 1;
+        self.stats.on_bytes_sent(sent);
+        self.stats.on_bytes_received(n_ack);
+        self.stats.on_msg_sent();
+        crate::metrics::TCP_BYTES_SENT.add(sent as u64);
+        crate::metrics::TCP_BYTES_RECEIVED.add(n_ack as u64);
         self.stream = Some(stream);
         Ok(())
     }
@@ -363,9 +368,10 @@ impl DeviceTransport for TcpDevice {
                 .map_err(|e| io_error("arm read timeout", &e))?;
             match read_frame(stream) {
                 Ok((f, n)) => {
-                    self.stats.bytes_received += n;
+                    self.stats.on_bytes_received(n);
+                    crate::metrics::TCP_BYTES_RECEIVED.add(n as u64);
                     if f.kind == FrameKind::Downlink && f.device == self.device as u64 {
-                        self.stats.messages_received += 1;
+                        self.stats.on_msg_received();
                         return Ok(f.payload);
                     }
                     // Stray frame (e.g. duplicate ack): keep waiting.

@@ -51,6 +51,7 @@ pub fn with_retry<T>(
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && tries < max_retries => {
                 tries += 1;
+                crate::metrics::RETRIES.inc();
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff.min(cap));
                 }

@@ -13,10 +13,11 @@
 //!    `OsRng` / `SystemTime`-seeded generators, and no `HashMap` /
 //!    `HashSet` (nondeterministic iteration order) in the numerical
 //!    crates. All randomness flows from caller-provided seeds.
-//! 3. **Sanctioned timing** — `Instant::now` only inside the sanctioned
-//!    timing modules (`linalg/src/par.rs`, `federated/src/parallel.rs`,
-//!    `core/src/scheme.rs`, `transport/src/timing.rs`); the bench crate
-//!    runs a relaxed profile where timing is allowed.
+//! 3. **Sanctioned timing** — `Instant` / `SystemTime` only inside
+//!    `crates/obs/src` (the observability crate owns the process clock)
+//!    and `transport/src/timing.rs` (socket deadlines), in **both**
+//!    profiles; everything else routes timing through
+//!    `fedsc_obs::Stopwatch`, `time_phase`, or `Deadline`.
 //! 4. **Unignorable results** — solver/decomposition result structs are
 //!    declared `#[must_use]`, and public solver entry points return
 //!    `Result` or are `#[must_use]`.
@@ -28,6 +29,10 @@
 //!
 //! Exit status is non-zero iff any diagnostic fired; every diagnostic is a
 //! `file:line: [rule] message` the terminal can jump to.
+//!
+//! `cargo xtask validate-trace <file.json>` checks that an exported Chrome
+//! trace (`--trace-out`) is well-formed `trace_event` JSON — CI runs it
+//! against the smoke-perf trace so exporter regressions fail the build.
 
 mod scan;
 
@@ -46,12 +51,13 @@ const STRICT_ROOTS: &[&str] = &[
     "crates/data/src",
     "crates/core/src",
     "crates/transport/src",
+    "crates/obs/src",
     "crates/xtask/src",
     "src",
 ];
 
-/// Crates scanned with the relaxed profile (timing allowed, `expect`
-/// with a message allowed; everything else still enforced).
+/// Crates scanned with the relaxed profile (`expect` with a message
+/// allowed; everything else — timing included — still enforced).
 const RELAXED_ROOTS: &[&str] = &["crates/bench/src"];
 
 const ALLOWLIST_PATH: &str = "crates/xtask/panic-allowlist.txt";
@@ -60,12 +66,40 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("check") => run_check(),
+        Some("validate-trace") => match args.next() {
+            Some(path) => run_validate_trace(&path),
+            None => {
+                eprintln!("usage: cargo xtask validate-trace <trace.json>");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
-            eprintln!("unknown xtask command `{other}`; available: check");
+            eprintln!("unknown xtask command `{other}`; available: check, validate-trace");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask check");
+            eprintln!("usage: cargo xtask check | cargo xtask validate-trace <trace.json>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates `path` as well-formed Chrome `trace_event` JSON.
+fn run_validate_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask validate-trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match fedsc_obs::export::validate_chrome_trace(&text) {
+        Ok(n) => {
+            println!("xtask validate-trace: {path}: {n} well-formed trace events");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask validate-trace: {path}: {e}");
             ExitCode::FAILURE
         }
     }

@@ -146,22 +146,22 @@ const RNG_TOKENS: &[&str] = &[
     "from_os_rng",
     "OsRng",
     "getrandom",
-    "SystemTime::now",
     "HashMap",
     "HashSet",
 ];
 
-/// Wall-clock constructs (rule 3): only the sanctioned timing helpers may
-/// observe time.
-const TIMING_TOKENS: &[&str] = &["Instant::now"];
+/// Wall-clock constructs (rule 3): naming the clock types at all is
+/// confined to the timing sanctuary, in **both** profiles —
+/// `SystemTime::now` included (it used to ride along in the RNG rule).
+const TIMING_TOKENS: &[&str] = &["Instant", "SystemTime"];
 
-/// Files allowed to call `Instant::now` under the strict profile.
-const SANCTIONED_TIMING_FILES: &[&str] = &[
-    "crates/linalg/src/par.rs",
-    "crates/federated/src/parallel.rs",
-    "crates/core/src/scheme.rs",
-    "crates/transport/src/timing.rs",
-];
+/// The observability crate owns the process clock (`fedsc_obs::clock`);
+/// every file in it may observe time.
+const TIMING_SANCTUARY_DIR: &str = "crates/obs/src";
+
+/// Extra files allowed to observe the wall clock: the transport crate's
+/// deadline/retry module (socket budgets are inherently wall-clock).
+const SANCTIONED_TIMING_FILES: &[&str] = &["crates/transport/src/timing.rs"];
 
 /// Raw socket types (rule 5): only the transport crate may touch them, and
 /// any transport file that does must arm both socket timeouts.
@@ -202,7 +202,8 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
     let stripped = strip_comments_and_strings(text);
     let stripped_lines: Vec<&str> = stripped.lines().collect();
     let test_mask = test_region_mask(&stripped_lines);
-    let timing_sanctioned = SANCTIONED_TIMING_FILES.contains(&label);
+    let timing_sanctioned =
+        label.starts_with(TIMING_SANCTUARY_DIR) || SANCTIONED_TIMING_FILES.contains(&label);
     let socket_sanctioned = label.starts_with(SOCKET_SANCTUARY);
     let mut socket_token_seen = false;
 
@@ -276,8 +277,9 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
             }
         }
 
-        // Rule 3: sanctioned timing only.
-        if profile == Profile::Strict && !timing_sanctioned {
+        // Rule 3: sanctioned timing only (both profiles — the wall clock
+        // lives in `fedsc_obs`, full stop).
+        if !timing_sanctioned {
             for &token in TIMING_TOKENS {
                 if code.contains(token) {
                     out.diagnostics.push(Diagnostic {
@@ -285,10 +287,10 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
                         line: line_no,
                         rule: "timing",
                         message: format!(
-                            "`{token}` outside the sanctioned timing helpers \
-                             (linalg::par, federated::parallel, core::scheme, \
-                             transport::timing); route timing through \
-                             `par_map_timed`/`time_phase`/`Deadline`"
+                            "`{token}` outside `{TIMING_SANCTUARY_DIR}` (and \
+                             `transport::timing`); route timing through \
+                             `fedsc_obs::Stopwatch`/`now_ns`, \
+                             `time_phase`/`par_map_timed`, or `Deadline`"
                         ),
                     });
                 }
@@ -752,7 +754,6 @@ mod tests {
             "rand::thread_rng()",
             "StdRng::from_entropy()",
             "OsRng.next()",
-            "SystemTime::now()",
             "HashMap::new()",
             "HashSet::new()",
         ] {
@@ -768,22 +769,46 @@ mod tests {
 
     #[test]
     fn timing_forbidden_except_sanctioned_files() {
-        let src = "fn f() { let t = Instant::now(); let _ = t; }\n";
-        let out = strict("crates/subspace/src/x.rs", src);
-        assert_eq!(out.diagnostics.len(), 1);
-        assert_eq!(out.diagnostics[0].rule, "timing");
-        for sanctioned in super::SANCTIONED_TIMING_FILES {
-            let out = strict(sanctioned, src);
-            assert!(
-                out.diagnostics.is_empty(),
-                "{sanctioned}: {:?}",
-                out.diagnostics
-            );
+        for src in [
+            "fn f() { let t = Instant::now(); let _ = t; }\n",
+            "fn f() { let t = std::time::SystemTime::now(); let _ = t; }\n",
+        ] {
+            let out = strict("crates/subspace/src/x.rs", src);
+            assert_eq!(out.diagnostics.len(), 1, "{src}");
+            assert_eq!(out.diagnostics[0].rule, "timing");
+            for sanctioned in super::SANCTIONED_TIMING_FILES {
+                let out = strict(sanctioned, src);
+                assert!(
+                    out.diagnostics.is_empty(),
+                    "{sanctioned}: {:?}",
+                    out.diagnostics
+                );
+            }
         }
     }
 
     #[test]
-    fn relaxed_profile_allows_timing_and_expect_only() {
+    fn obs_crate_is_a_timing_sanctuary() {
+        let src = "fn f() { let t = Instant::now(); let _ = t; }\n";
+        for file in ["crates/obs/src/clock.rs", "crates/obs/src/deep/nested.rs"] {
+            let out = strict(file, src);
+            assert!(out.diagnostics.is_empty(), "{file}: {:?}", out.diagnostics);
+        }
+        // Files that were sanctioned before the obs crate took over the
+        // clock are no longer exempt.
+        for file in [
+            "crates/linalg/src/par.rs",
+            "crates/federated/src/parallel.rs",
+            "crates/core/src/scheme.rs",
+        ] {
+            let out = strict(file, src);
+            assert_eq!(out.diagnostics.len(), 1, "{file}");
+            assert_eq!(out.diagnostics[0].rule, "timing");
+        }
+    }
+
+    #[test]
+    fn relaxed_profile_allows_expect_but_not_timing() {
         let src = "fn f() {\n    let t = Instant::now();\n    let v = g().expect(\"context\");\n    let w = h().unwrap();\n    let _ = (t, v, w);\n}\n";
         let out = scan_source(
             "crates/bench/src/x.rs",
@@ -791,9 +816,11 @@ mod tests {
             Profile::Relaxed,
             &Allowlist::default(),
         );
-        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
-        assert_eq!(out.diagnostics[0].rule, "panic");
-        assert_eq!(out.diagnostics[0].line, 4);
+        assert_eq!(out.diagnostics.len(), 2, "{:?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].rule, "timing");
+        assert_eq!(out.diagnostics[0].line, 2);
+        assert_eq!(out.diagnostics[1].rule, "panic");
+        assert_eq!(out.diagnostics[1].line, 4);
     }
 
     #[test]
@@ -887,6 +914,14 @@ mod tests {
         assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
         let out = strict("crates/transport/src/tcp.rs", src);
         assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "timing");
+        let out = scan_source(
+            "crates/transport/src/tcp.rs",
+            src,
+            Profile::Relaxed,
+            &Allowlist::default(),
+        );
+        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
         assert_eq!(out.diagnostics[0].rule, "timing");
     }
 

@@ -25,5 +25,6 @@ pub use fedsc_data as data;
 pub use fedsc_federated as federated;
 pub use fedsc_graph as graph;
 pub use fedsc_linalg as linalg;
+pub use fedsc_obs as obs;
 pub use fedsc_sparse as sparse;
 pub use fedsc_subspace as subspace;
