@@ -2,13 +2,18 @@
 //! seeds and writes a machine-readable JSON snapshot next to the workspace
 //! root, so successive PRs can be compared number-to-number.
 //!
-//! Kernels covered (threads in {1, max(default_threads, 2)} each):
+//! Kernels covered (threads in {1, max(default_threads, 2)} each; override
+//! the upper point with `--max-threads <n>`):
 //! - `gram` — the blocked `X^T X` product behind every SSC run.
 //! - `matmul` — the blocked general product.
+//! - `lasso_batch` — N screened self-expression solves over one shared
+//!   Gram, the unit of work behind `ssc_affinity`.
 //! - `ssc_affinity` — the per-point Lasso sweep (Phase 1's hot path).
+//! - `pool_overhead` — many tiny `par_map` calls; isolates the persistent
+//!   pool's dispatch cost from compute.
 //! - `fedsc_e2e` — a full seeded Fed-SC run over a partitioned dataset.
 //!
-//! Output: `BENCH_PR5.json`, an object `{"rows": [...], "metrics": {...}}` —
+//! Output: `BENCH_PR6.json`, an object `{"rows": [...], "metrics": {...}}` —
 //! `rows` holds `{kernel, size, threads, median_ns, speedup}` entries
 //! (`speedup` is `median_1 / median_t`, 1.0 on the single-thread rows);
 //! `metrics` is the flat `fedsc_obs` metrics snapshot accumulated over the
@@ -28,6 +33,7 @@ use fedsc_federated::partition::{partition_dataset, Partition};
 use fedsc_linalg::par::default_threads;
 use fedsc_linalg::Matrix;
 use fedsc_obs::Stopwatch;
+use fedsc_sparse::lasso::{ssc_lambda, LassoOptions, LassoSolver, LassoWorkspace};
 use fedsc_subspace::{Ssc, SubspaceClusterer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -143,7 +149,10 @@ fn main() {
     }
     // Always produce a genuinely multi-threaded row, even on a single-core
     // host (where it measures overhead, not speedup — still worth tracking).
-    let tmax = default_threads().max(2);
+    let tmax = flag_value("--max-threads")
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 2)
+        .unwrap_or_else(|| default_threads().max(2));
     let reps = if smoke { 3 } else { 5 };
     let mut entries: Vec<Entry> = Vec::new();
 
@@ -172,6 +181,30 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let model = fedsc_subspace::SubspaceModel::random(&mut rng, sd, 3, 3);
     let ds = model.sample_dataset(&mut rng, &[spts, spts, spts], 0.01);
+
+    // Lasso batch: the N screened self-expression solves behind one
+    // affinity computation, over a Gram precomputed outside the timer —
+    // this isolates the solver from the `gram` kernel above.
+    let lasso_gram = ds.data.gram_threaded(1);
+    let npts = lasso_gram.cols();
+    entries.extend(bench_pair(
+        "lasso_batch",
+        format!("n={npts}"),
+        reps,
+        tmax,
+        |t| {
+            let solver = LassoSolver::new(&lasso_gram, LassoOptions::default());
+            let codes = fedsc_linalg::par::par_map_with(npts, t, LassoWorkspace::new, |ws, i| {
+                let b = lasso_gram.col(i);
+                let lambda = ssc_lambda(b, i, 50.0);
+                solver
+                    .solve_screened(b, lambda, i, lasso_gram[(i, i)], ws)
+                    .expect("lasso solve")
+            });
+            std::hint::black_box(codes);
+        },
+    ));
+
     entries.extend(bench_pair(
         "ssc_affinity",
         format!("d={sd},n={}", 3 * spts),
@@ -181,6 +214,22 @@ fn main() {
             let mut ssc = Ssc::default();
             ssc.lasso.threads = t;
             std::hint::black_box(ssc.affinity(&ds.data).expect("affinity"));
+        },
+    ));
+
+    // Pool overhead: many tiny fan-outs, dominated by dispatch rather than
+    // compute. The persistent pool keeps this flat in the number of calls;
+    // the old spawn-per-call design paid a thread spawn per helper per call.
+    let (calls, items) = if smoke { (50, 32) } else { (400, 64) };
+    entries.extend(bench_pair(
+        "pool_overhead",
+        format!("{calls}x{items}"),
+        reps,
+        tmax,
+        |t| {
+            for _ in 0..calls {
+                std::hint::black_box(fedsc_linalg::par::par_map(items, t, |i| i * 17 + 1));
+            }
         },
     ));
 
@@ -285,8 +334,32 @@ fn main() {
         }
     }
 
+    // Pool regression check: a persistent pool spawns each worker at most
+    // once for the whole process, so the spawn counter is bounded by the
+    // configured thread count. Spawn-per-call churn shows up here as counts
+    // in the hundreds (BENCH_PR5.json recorded 530).
+    let snap = fedsc_obs::metrics::snapshot();
+    let spawned = snap
+        .counters
+        .get("pool.workers_spawned")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        spawned <= tmax as u64,
+        "pool spawned {spawned} workers; configured thread count is {tmax}"
+    );
+    // Solver-counter contract: the screened Lasso hot path must have been
+    // exercised and exported (CI's bench-smoke job checks the same keys in
+    // the written JSON).
+    for key in ["lasso.sweeps", "lasso.atoms_screened", "lasso.ws_rounds"] {
+        assert!(
+            snap.counters.contains_key(key),
+            "metrics snapshot missing {key}"
+        );
+    }
+
     let rows: Vec<String> = entries.iter().map(Entry::to_json).collect();
-    let metrics = fedsc_obs::export::metrics_json(&fedsc_obs::metrics::snapshot());
+    let metrics = fedsc_obs::export::metrics_json(&snap);
     let json = format!(
         "{{\"rows\": [\n{}\n], \"metrics\": {}}}\n",
         rows.join(",\n"),
@@ -295,7 +368,7 @@ fn main() {
     let file = if smoke {
         "BENCH_SMOKE.json"
     } else {
-        "BENCH_PR5.json"
+        "BENCH_PR6.json"
     };
     let path = workspace_root().join(file);
     std::fs::write(&path, &json).expect("write benchmark JSON");

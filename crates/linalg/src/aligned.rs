@@ -1,0 +1,164 @@
+//! Cache-line-aligned storage for matrix buffers.
+//!
+//! `Vec<f64>` only guarantees 8-byte alignment, so a column-major buffer can
+//! straddle cache lines at its base and force the 8-wide unrolled kernels in
+//! [`crate::vector`] onto split loads. [`AlignedBuf`] allocates on 64-byte
+//! boundaries instead: the buffer base — and every column of a matrix whose
+//! row count is a multiple of 8 — starts exactly on a cache line.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::mem::size_of;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Cache-line size on the targets this workspace runs on (x86-64, aarch64).
+const ALIGN: usize = 64;
+
+/// A fixed-length, cache-line-aligned `f64` buffer.
+///
+/// Fixed length because matrices never grow in place; everything else is
+/// plain-slice behavior via `Deref`/`DerefMut`, so kernel code is untouched
+/// by the storage swap.
+pub struct AlignedBuf {
+    ptr: NonNull<f64>,
+    len: usize,
+}
+
+#[allow(unsafe_code)]
+// SAFETY: the buffer exclusively owns its allocation of plain `f64`s —
+// moving or sharing it across threads moves/shares only POD data.
+unsafe impl Send for AlignedBuf {}
+#[allow(unsafe_code)]
+// SAFETY: see `Send`; `&AlignedBuf` only exposes `&[f64]`.
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    fn layout(len: usize) -> Layout {
+        // INVARIANT: ALIGN is a power of two and any `len` small enough to
+        // allocate keeps `len * 8` rounded up to ALIGN below `isize::MAX`,
+        // so the layout constructor cannot fail before the allocator would.
+        Layout::from_size_align(len * size_of::<f64>(), ALIGN).expect("aligned buffer layout")
+    }
+
+    /// Allocates a zero-filled buffer of `len` entries.
+    #[allow(unsafe_code)]
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: `layout` has non-zero size, and the all-zero byte pattern
+        // is a valid `f64` (positive zero).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f64>()) else {
+            handle_alloc_error(layout);
+        };
+        Self { ptr, len }
+    }
+
+    /// Allocates a buffer of `len` copies of `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        let mut buf = Self::zeroed(len);
+        buf.fill(value);
+        buf
+    }
+
+    /// Allocates a buffer holding a copy of `src`.
+    pub fn from_slice(src: &[f64]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.copy_from_slice(src);
+        buf
+    }
+}
+
+impl Drop for AlignedBuf {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr` came from `alloc_zeroed` with this exact layout
+            // and is deallocated exactly once (fixed length, unique owner).
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f64];
+
+    #[inline]
+    #[allow(unsafe_code)]
+    fn deref(&self) -> &[f64] {
+        // SAFETY: `ptr` points at `len` initialized `f64`s (or dangles,
+        // suitably aligned, when `len == 0`).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    #[inline]
+    #[allow(unsafe_code)]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        // SAFETY: see `Deref`; `&mut self` guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        Self::from_slice(self)
+    }
+}
+
+impl PartialEq for AlignedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let b = AlignedBuf::zeroed(37);
+        assert_eq!(b.len(), 37);
+        assert!(b.iter().all(|&v| v == 0.0));
+        assert_eq!(b.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let src: Vec<f64> = (0..19).map(|i| i as f64 * 0.5).collect();
+        let b = AlignedBuf::from_slice(&src);
+        assert_eq!(&b[..], &src[..]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn filled_and_mutation() {
+        let mut b = AlignedBuf::filled(8, 2.5);
+        assert!(b.iter().all(|&v| v == 2.5));
+        b[3] = -1.0;
+        assert_eq!(b[3], -1.0);
+    }
+
+    #[test]
+    fn empty_buffer_is_safe() {
+        let b = AlignedBuf::zeroed(0);
+        assert!(b.is_empty());
+        assert_eq!(&b[..], &[] as &[f64]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+}

@@ -32,6 +32,7 @@
 // (parallel indexing of several buffers); iterator rewrites obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod aligned;
 pub mod angles;
 pub mod eigh;
 pub mod error;

@@ -1,4 +1,5 @@
-//! Shared work-stealing parallelism for the numerical kernels.
+//! Shared parallelism for the numerical kernels: a **persistent worker
+//! pool**.
 //!
 //! Every parallel loop in the workspace — the blocked matrix kernels here in
 //! `linalg`, the per-column Lasso fan-out in `sparse`/`subspace`, the
@@ -8,44 +9,82 @@
 //! the device fan-out owns `threads`, kernels own `kernel_threads`, and
 //! neither nests inside the other's workers beyond that product).
 //!
-//! Two primitives:
+//! ## Pool design
+//!
+//! Earlier revisions spawned fresh scoped threads on every call, which made
+//! many-small-call workloads (the per-point Lasso sweep issues hundreds of
+//! `par_map`s) pay thread-creation latency each time and produced *negative*
+//! parallel speedups end to end. The pool here is lazily initialized and
+//! **persistent**:
+//!
+//! * Workers are spawned on first demand, parked on a condvar when idle, and
+//!   never exit; `pool.workers_spawned` is therefore a high-water mark
+//!   bounded by the largest `threads` any call requested (minus the caller,
+//!   who always participates), not a per-call churn count.
+//! * A call with `threads = t` publishes one **job** — a type-erased
+//!   reference to its loop body — with `t - 1` helper tickets on a shared
+//!   queue, runs the body on the calling thread, then cancels any tickets no
+//!   worker claimed and waits for claimed ones to drain. The caller always
+//!   makes progress by itself, so a busy pool degrades to sequential
+//!   execution instead of deadlocking (this also makes nested calls —
+//!   device fan-out over kernel fan-out — safe: the inner caller never
+//!   blocks on a worker that might be waiting on it).
+//! * The job body borrows the caller's stack. That borrow is sound because
+//!   the caller does not return until every claimed ticket has finished
+//!   running (`running == 0`), and cancellation removes unclaimed tickets
+//!   under the same lock workers claim through.
+//!
+//! Three primitives:
 //!
 //! * [`par_map`] / [`par_map_timed`] — map `f` over `0..count` with an
 //!   atomic work-stealing queue. Results come back **in index order**, and
-//!   each index is computed by exactly one worker with thread-count-
+//!   each index is computed by exactly one participant with thread-count-
 //!   independent arithmetic, so seeded callers stay bit-reproducible.
+//! * [`par_map_with`] — [`par_map`] with per-participant scratch state
+//!   (`make_state` runs once per participating thread): the warm-start hook
+//!   batch Lasso drivers use to reuse solver workspaces across a device's
+//!   `N` per-point problems instead of reallocating in every solve.
 //! * [`par_chunks_mut`] — split a flat buffer into contiguous chunks (the
-//!   columns of a column-major matrix) and process disjoint chunk ranges on
-//!   separate workers; in-place, allocation-free result collection.
+//!   column panels of a column-major matrix) and process each chunk on
+//!   exactly one participant; in-place, allocation-free result collection.
 //!
 //! Worker panics are caught, the **first** payload is preserved, and it is
-//! re-raised on the calling thread after every worker has parked — the same
-//! contract `crossbeam::thread::scope` gives, without the dependency (this
-//! crate sits below `fedsc-federated` in the graph, which is what lets
-//! `sparse`/`subspace`/`core` use the pool without a dependency cycle).
+//! re-raised on the calling thread after every participant has finished —
+//! the same contract `crossbeam::thread::scope` gives, without the
+//! dependency (this crate sits below `fedsc-federated` in the graph, which
+//! is what lets `sparse`/`subspace`/`core` use the pool without a
+//! dependency cycle).
 //!
 //! Timing goes through `fedsc_obs` ([`Stopwatch`]) — the workspace's only
 //! sanctioned wall-clock access (`cargo xtask check` rule 3) — and the pool
 //! reports itself to the metrics registry: `pool.tasks` (indices executed),
-//! `pool.steals` (tasks a worker executed beyond its fair share of the
-//! queue, the work-stealing imbalance), `pool.busy_ns` (per-worker loop
-//! wall time, summed), and `pool.workers_spawned`.
+//! `pool.tasks_inline` (indices executed on the caller because
+//! `threads == 1`, i.e. no job was ever published), `pool.steals` (tasks a
+//! participant executed beyond its fair share of the queue), `pool.busy_ns`
+//! (per-participant loop wall time, summed), and `pool.workers_spawned`
+//! (persistent workers ever created — bounded by the configured thread
+//! count, not by call volume).
 
 use fedsc_obs::{LazyCounter, Stopwatch};
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Indices executed by [`par_map`] / chunks written by [`par_chunks_mut`].
 static POOL_TASKS: LazyCounter = LazyCounter::new("pool.tasks");
-/// Tasks executed beyond a worker's fair share `ceil(count / threads)` —
-/// the number of successful steals from slower workers's shares.
+/// Indices executed inline on the caller because `threads == 1` (no job
+/// was published to the pool at all).
+static POOL_TASKS_INLINE: LazyCounter = LazyCounter::new("pool.tasks_inline");
+/// Tasks executed beyond a participant's fair share `ceil(count / threads)`
+/// — the number of successful steals from slower participants' shares.
 static POOL_STEALS: LazyCounter = LazyCounter::new("pool.steals");
-/// Summed per-worker busy wall time (claim loop + task execution), ns.
+/// Summed per-participant busy wall time (claim loop + task execution), ns.
 static POOL_BUSY_NS: LazyCounter = LazyCounter::new("pool.busy_ns");
-/// Worker threads spawned across all parallel calls.
+/// Persistent worker threads ever spawned (high-water mark, not churn).
 static POOL_WORKERS: LazyCounter = LazyCounter::new("pool.workers_spawned");
 
 /// Default worker count: available parallelism, floor 1.
@@ -55,15 +94,221 @@ pub fn default_threads() -> usize {
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
+/// Type-erased pointer to a job body borrowed from the submitting stack.
+///
+/// Sent to persistent workers even though the pointee is not `'static`.
+// SAFETY: `Job::wait` blocks the submitting call until `tickets == 0` and
+// `running == 0`, so no worker dereferences the pointer after the borrow
+// ends; claims and cancellation are serialized through `Job::state`.
+#[allow(unsafe_code)]
+struct BodyPtr(*const (dyn Fn() + Sync));
+#[allow(unsafe_code)]
+// SAFETY: see `BodyPtr` — lifetime is enforced by the job completion latch.
+unsafe impl Send for BodyPtr {}
+#[allow(unsafe_code)]
+// SAFETY: the pointee is `Sync`, so shared `&` access from workers is sound.
+unsafe impl Sync for BodyPtr {}
+
+/// Mutable job bookkeeping, guarded by `Job::state`.
+struct JobState {
+    /// Helper invitations not yet claimed by a worker.
+    tickets: usize,
+    /// Workers currently executing the body.
+    running: usize,
+    /// First panic payload raised by any participant.
+    panic: Option<PanicPayload>,
+}
+
+/// One published parallel call: a body plus its completion latch.
+struct Job {
+    body: BodyPtr,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl Job {
+    fn new(body: *const (dyn Fn() + Sync), tickets: usize) -> Self {
+        Job {
+            body: BodyPtr(body),
+            state: Mutex::new(JobState {
+                tickets,
+                running: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs the body once on the current thread, recording the first panic.
+    #[allow(unsafe_code)]
+    fn run(&self) {
+        // SAFETY: a ticket for this job was claimed (or the caller is
+        // running its own body), so the submitting stack frame is still
+        // alive — it cannot return until this thread reports completion.
+        let body = unsafe { &*self.body.0 };
+        let result = catch_unwind(AssertUnwindSafe(body));
+        if let Err(payload) = result {
+            let mut st = self.lock();
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+    }
+
+    /// Cancels unclaimed tickets, waits for claimed ones to finish, and
+    /// returns the first recorded panic payload.
+    fn wait(&self) -> Option<PanicPayload> {
+        let mut st = self.lock();
+        st.tickets = 0;
+        while st.running > 0 {
+            st = self
+                .done
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        st.panic.take()
+    }
+}
+
+/// The process-global pool: a job queue, a worker wakeup, and spawn
+/// bookkeeping.
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_ready: Condvar,
+    /// Persistent workers spawned so far (high-water mark).
+    spawned: Mutex<usize>,
+    /// Workers currently parked on `work_ready` (advisory, for spawn
+    /// decisions only).
+    idle: AtomicUsize,
+}
+
+fn pool() -> &'static PoolShared {
+    static POOL: OnceLock<PoolShared> = OnceLock::new();
+    POOL.get_or_init(|| PoolShared {
+        queue: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        spawned: Mutex::new(0),
+        idle: AtomicUsize::new(0),
+    })
+}
+
+/// The persistent worker loop: claim a ticket, run the body, report, park.
+fn worker_loop() {
+    let shared = pool();
+    loop {
+        let job: Arc<Job> = {
+            let mut q = shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            loop {
+                // Claim a ticket from the oldest job that still has one;
+                // drained jobs are pruned as we pass them.
+                let mut claimed = None;
+                while let Some(front) = q.front() {
+                    let mut st = front.lock();
+                    if st.tickets > 0 {
+                        st.tickets -= 1;
+                        st.running += 1;
+                        drop(st);
+                        claimed = Some(Arc::clone(front));
+                        break;
+                    }
+                    drop(st);
+                    q.pop_front();
+                }
+                if let Some(job) = claimed {
+                    break job;
+                }
+                shared.idle.fetch_add(1, Ordering::Relaxed);
+                q = shared
+                    .work_ready
+                    .wait(q)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                shared.idle.fetch_sub(1, Ordering::Relaxed);
+            }
+        };
+        job.run();
+        let mut st = job.lock();
+        st.running -= 1;
+        if st.running == 0 && st.tickets == 0 {
+            job.done.notify_all();
+        }
+    }
+}
+
+/// Ensures at least `min` persistent workers exist (never shrinks; spawn
+/// failures degrade gracefully to fewer helpers).
+fn ensure_workers(min: usize) {
+    let shared = pool();
+    let mut spawned = shared
+        .spawned
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    while *spawned < min {
+        let builder = std::thread::Builder::new().name(format!("fedsc-par-{}", *spawned));
+        if builder.spawn(worker_loop).is_err() {
+            break;
+        }
+        *spawned += 1;
+        POOL_WORKERS.inc();
+    }
+}
+
+/// Publishes `body` with `helpers` pool tickets, runs it on the calling
+/// thread too, waits for every claimed ticket, and re-raises the first
+/// panic (original payload) on the caller.
+#[allow(unsafe_code)]
+fn run_on_pool(helpers: usize, body: &(dyn Fn() + Sync)) {
+    // SAFETY: the lifetime is erased only for transport to pool workers;
+    // `Job::wait` pins this stack frame until every claimed ticket has
+    // finished running, so no worker touches `body` after it returns.
+    let erased: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
+    let job = Arc::new(Job::new(erased as *const (dyn Fn() + Sync), helpers));
+    {
+        let shared = pool();
+        ensure_workers(helpers.min(default_threads().saturating_sub(1)).max(1));
+        let mut q = shared
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        q.push_back(Arc::clone(&job));
+        drop(q);
+        shared.work_ready.notify_all();
+    }
+    // The caller is always a participant: if every worker is busy (or none
+    // could be spawned), the call still completes sequentially.
+    job.run();
+    let payload = job.wait();
+    // Prune this job from the queue in case no worker walked past it.
+    {
+        let mut q = pool()
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        q.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
 /// Write-once result slots indexed by the work queue.
 ///
 /// The atomic queue in [`par_map`] hands each index in `0..count` to exactly
-/// one worker, so every `UnsafeCell` is written by at most one thread, and
-/// none is read until the scope has joined all workers.
+/// one participant, so every `UnsafeCell` is written by at most one thread,
+/// and none is read until the job latch has drained every participant.
 struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
 
 // SAFETY: disjoint-by-construction writes (one claimed index per slot) and
-// no reads before the owning scope joins every worker.
+// no reads before the owning call joins every participant.
 #[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for Slots<T> {}
 
@@ -81,40 +326,9 @@ impl<T> Slots<T> {
     }
 }
 
-/// Spawns `threads` scoped workers running `body`, joins them all, and
-/// re-raises the first worker panic (original payload) on the caller.
-/// `stop` is set as soon as any worker panics so the others can bail early.
-fn run_workers<F>(threads: usize, stop: &AtomicBool, body: F)
-where
-    F: Fn() + Sync,
-{
-    POOL_WORKERS.add(threads as u64);
-    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(&body)) {
-                    stop.store(true, Ordering::SeqCst);
-                    let mut guard = first_panic
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                    if guard.is_none() {
-                        *guard = Some(payload);
-                    }
-                }
-            });
-        }
-    });
-    let payload = first_panic
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    if let Some(payload) = payload {
-        resume_unwind(payload);
-    }
-}
-
-/// Maps `f` over `0..count` on `threads` workers (atomic work stealing),
-/// returning results in index order.
+/// Maps `f` over `0..count` on `threads` participants (the caller plus
+/// `threads - 1` pool workers; atomic work stealing), returning results in
+/// index order.
 ///
 /// Each index is computed exactly once with the same arithmetic regardless
 /// of `threads`, so results are bit-identical across thread counts; callers
@@ -124,39 +338,57 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_with(count, threads, || (), move |(), i| f(i))
+}
+
+/// [`par_map`] with per-participant scratch state.
+///
+/// `make_state` runs once on every participating thread (including the
+/// caller) before it claims its first index; `f` receives that thread's
+/// state mutably alongside each index. This is the warm-start hook for
+/// batch solvers: the state carries reusable scratch buffers, and because
+/// each index's computation must not depend on *which* indices the state
+/// already served, results remain bit-identical across thread counts —
+/// callers are responsible for fully re-initializing per-solve values
+/// (cheap) while reusing allocations (the expensive part).
+pub fn par_map_with<S, T, I, F>(count: usize, threads: usize, make_state: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(count.max(1));
     if count == 0 {
         return Vec::new();
     }
     if threads == 1 {
         POOL_TASKS.add(count as u64);
-        return (0..count).map(f).collect();
+        POOL_TASKS_INLINE.add(count as u64);
+        let mut state = make_state();
+        return (0..count).map(|i| f(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
     let slots = Slots::new(count);
-    // Fair share per worker; anything executed past it was stolen from a
-    // slower worker's share of the queue.
+    // Fair share per participant; anything executed past it was stolen from
+    // a slower participant's share of the queue.
     let fair = (count as u64).div_ceil(threads as u64);
-    run_workers(threads, &stop, || {
+    run_on_pool(threads - 1, &|| {
         let sw = Stopwatch::start();
         let mut executed = 0u64;
+        let mut state = make_state();
         loop {
-            if stop.load(Ordering::Relaxed) {
-                break;
-            }
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= count {
                 break;
             }
-            slots.put(i, f(i));
+            slots.put(i, f(&mut state, i));
             executed += 1;
         }
         POOL_TASKS.add(executed);
         POOL_STEALS.add(executed.saturating_sub(fair));
         POOL_BUSY_NS.add(sw.elapsed_ns());
     });
-    // INVARIANT: run_workers returned without re-raising a panic, so every
+    // INVARIANT: run_on_pool returned without re-raising a panic, so every
     // index in 0..count was claimed exactly once and its slot written.
     slots
         .0
@@ -179,17 +411,39 @@ where
     })
 }
 
+/// Base pointer of an in-place chunk fan-out, shared across participants.
+// SAFETY: participants derive disjoint subslices from it — every chunk
+// index is claimed exactly once from an atomic queue, and chunk ranges
+// never overlap; the caller's `&mut` borrow outlives the job (see
+// `run_on_pool`).
+#[allow(unsafe_code)]
+struct ChunkBase(*mut f64);
+#[allow(unsafe_code)]
+// SAFETY: see `ChunkBase` — disjointness plus the job completion latch.
+unsafe impl Send for ChunkBase {}
+#[allow(unsafe_code)]
+// SAFETY: see `ChunkBase`.
+unsafe impl Sync for ChunkBase {}
+
+impl ChunkBase {
+    /// The shared base pointer (method access keeps closures capturing the
+    /// `Sync` wrapper rather than the raw pointer field).
+    fn ptr(&self) -> *mut f64 {
+        self.0
+    }
+}
+
 /// Splits `data` into contiguous `chunk_len`-sized chunks (`chunks_mut`
 /// semantics: the last chunk may be shorter) and calls `f(chunk_index,
-/// chunk)` for each, distributing contiguous chunk *ranges* across
-/// `threads` workers.
+/// chunk)` for each, claiming chunks from an atomic queue across `threads`
+/// participants (the caller plus `threads - 1` pool workers).
 ///
 /// This is the in-place fan-out for the blocked matrix kernels: a chunk is a
 /// column panel of a column-major output, every panel is written by exactly
-/// one worker, and the per-panel arithmetic never depends on the thread
+/// one participant, and the per-panel arithmetic never depends on the thread
 /// count — so threaded kernels produce bit-identical buffers to `threads =
-/// 1`. Static (not stealing) distribution: panel costs are uniform in those
-/// kernels, and static ranges need no synchronization at all.
+/// 1`.
+#[allow(unsafe_code)]
 pub fn par_chunks_mut<F>(data: &mut [f64], chunk_len: usize, threads: usize, f: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
@@ -201,56 +455,38 @@ where
     let threads = threads.max(1).min(n_chunks);
     if threads == 1 {
         POOL_TASKS.add(n_chunks as u64);
+        POOL_TASKS_INLINE.add(n_chunks as u64);
         for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(c, chunk);
         }
         return;
     }
-    // Balanced contiguous chunk ranges: the first `rem` workers take one
-    // extra chunk.
-    let base = n_chunks / threads;
-    let rem = n_chunks % threads;
-    POOL_WORKERS.add(threads as u64);
-    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut start_chunk = 0usize;
-        for w in 0..threads {
-            let take_chunks = base + usize::from(w < rem);
-            let take_len = (take_chunks * chunk_len).min(rest.len());
-            let (span, tail) = rest.split_at_mut(take_len);
-            rest = tail;
-            let first_panic = &first_panic;
-            let f = &f;
-            scope.spawn(move || {
-                let run = AssertUnwindSafe(|| {
-                    let sw = Stopwatch::start();
-                    let mut written = 0u64;
-                    for (off, chunk) in span.chunks_mut(chunk_len).enumerate() {
-                        f(start_chunk + off, chunk);
-                        written += 1;
-                    }
-                    POOL_TASKS.add(written);
-                    POOL_BUSY_NS.add(sw.elapsed_ns());
-                });
-                if let Err(payload) = catch_unwind(run) {
-                    let mut guard = first_panic
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                    if guard.is_none() {
-                        *guard = Some(payload);
-                    }
-                }
-            });
-            start_chunk += take_chunks;
+    let len = data.len();
+    let base = ChunkBase(data.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let fair = (n_chunks as u64).div_ceil(threads as u64);
+    run_on_pool(threads - 1, &|| {
+        let sw = Stopwatch::start();
+        let mut written = 0u64;
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let start = c * chunk_len;
+            let end = (start + chunk_len).min(len);
+            // SAFETY: chunk `c` was claimed exactly once, chunk ranges are
+            // disjoint by construction, and the caller's `&mut data` borrow
+            // is pinned until the job latch drains (see `ChunkBase`).
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+            f(c, chunk);
+            written += 1;
         }
+        POOL_TASKS.add(written);
+        POOL_STEALS.add(written.saturating_sub(fair));
+        POOL_BUSY_NS.add(sw.elapsed_ns());
     });
-    let payload = first_panic
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    if let Some(payload) = payload {
-        resume_unwind(payload);
-    }
 }
 
 #[cfg(test)]
@@ -284,6 +520,28 @@ mod tests {
         let payload = caught.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "slot 9 exploded");
+    }
+
+    #[test]
+    fn par_map_with_reuses_state_per_participant() {
+        // Each participant's state counts how many indices it served; the
+        // counts must sum to the item count, and every result must be
+        // correct regardless of which participant computed it.
+        for threads in [1, 2, 4] {
+            let served = AtomicUsize::new(0);
+            let r = par_map_with(
+                29,
+                threads,
+                || 0usize,
+                |state, i| {
+                    *state += 1;
+                    served.fetch_add(1, Ordering::Relaxed);
+                    i * 3
+                },
+            );
+            assert_eq!(r, (0..29).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(served.load(Ordering::Relaxed), 29, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -336,6 +594,53 @@ mod tests {
         let payload = caught.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "chunk 7 exploded");
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // Device-over-kernel nesting: an outer fan-out whose bodies issue
+        // inner fan-outs must terminate even when the pool is saturated,
+        // because every caller participates in its own job.
+        let r = par_map(4, 4, |i| {
+            let inner = par_map(8, 4, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..4).map(|i| (0..8).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn repeated_calls_do_not_spawn_per_call() {
+        // The no-churn regression: hundreds of parallel calls at a fixed
+        // thread count may grow the pool by at most `threads - 1` workers
+        // (concurrently-running tests may have grown it already, so assert
+        // on the delta, not the absolute count).
+        let before = POOL_WORKERS.get();
+        for _ in 0..200 {
+            let r = par_map(16, 2, |i| i + 1);
+            assert_eq!(r.len(), 16);
+        }
+        let delta = POOL_WORKERS.get() - before;
+        assert!(delta <= 1, "200 calls at 2 threads spawned {delta} workers");
+    }
+
+    #[test]
+    fn workers_spawned_bounded_by_thread_count() {
+        // `pool.workers_spawned` is a high-water mark: after any number of
+        // calls at `threads = t`, the pool has spawned at most `t - 1`
+        // workers on behalf of those calls.
+        let before = POOL_WORKERS.get();
+        for _ in 0..50 {
+            par_map(32, 4, |i| i * 2);
+            let mut buf = vec![0.0f64; 64];
+            par_chunks_mut(&mut buf, 8, 4, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+        }
+        let delta = POOL_WORKERS.get() - before;
+        assert!(delta <= 3, "calls at 4 threads spawned {delta} workers");
     }
 
     #[test]

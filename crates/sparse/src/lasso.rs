@@ -1,4 +1,5 @@
-//! Lasso solver via cyclic coordinate descent with active-set shrinking.
+//! Lasso solver via cyclic coordinate descent with active-set shrinking,
+//! gap-safe atom screening, and reusable per-thread workspaces.
 //!
 //! Solves the paper's Eq. (2), the noisy-SSC self-expression problem
 //!
@@ -16,9 +17,35 @@
 //! Precomputing `G` once per device and reusing it across the device's `N`
 //! per-point problems is what makes local SSC `O(N^2 d)` instead of
 //! `O(N^3)` per point.
+//!
+//! ## Solver structure (DESIGN.md §9)
+//!
+//! Each working-set round copies the active atoms into a compact `m x m`
+//! sub-Gram panel and sweeps coordinate descent there, so every residual
+//! update is a contiguous length-`m` axpy instead of a length-`n` strided
+//! pass over the full Gram. Between rounds the full residual `r = b - G c`
+//! is rebuilt from the (small) support, KKT violators re-enter in a batch,
+//! and — when the caller supplies `||x||^2` via [`LassoSolver::solve_screened`]
+//! — a gap-safe sphere test permanently discards atoms that provably cannot
+//! enter any optimal support at this `lambda`. Screening is exact: it only
+//! removes atoms whose optimal coefficient is zero, so screened and
+//! unscreened solves agree within the coordinate tolerance.
 
 use crate::vec::SparseVec;
 use fedsc_linalg::{vector, LinalgError, Matrix, Result};
+use fedsc_obs::LazyCounter;
+
+/// Coordinate-descent sweeps executed (one panel pass each).
+static LASSO_SWEEPS: LazyCounter = LazyCounter::new("lasso.sweeps");
+/// Atoms permanently discarded by the gap-safe screening rule.
+static LASSO_ATOMS_SCREENED: LazyCounter = LazyCounter::new("lasso.atoms_screened");
+/// Working-set growth rounds across all solves.
+static LASSO_WS_ROUNDS: LazyCounter = LazyCounter::new("lasso.ws_rounds");
+
+/// Relative slack that makes the screening inequality strictly conservative
+/// under floating-point evaluation: an atom is only discarded when its bound
+/// clears the threshold by this margin.
+const SCREEN_SLACK: f64 = 1e-9;
 
 /// Options for the coordinate-descent Lasso.
 ///
@@ -63,6 +90,60 @@ impl Default for LassoOptions {
     }
 }
 
+/// Reusable scratch buffers for a sequence of Lasso solves over Grams of
+/// (possibly varying) size.
+///
+/// Batch drivers keep one workspace per worker thread and pass it to every
+/// [`LassoSolver::solve_in`] / [`LassoSolver::solve_screened`] call: the
+/// allocations persist, while every value is re-initialized per solve, so
+/// results never depend on what the workspace previously computed (this is
+/// what keeps batch solves bitwise thread-invariant).
+#[derive(Debug, Default)]
+pub struct LassoWorkspace {
+    /// Dense coefficients, length `n`.
+    c: Vec<f64>,
+    /// Residual correlations `r = b - G c`, length `n` (exact on all live
+    /// atoms at round boundaries; maintained only on the panel inside a
+    /// round).
+    r: Vec<f64>,
+    /// Unscreened candidate atoms (global indices).
+    live: Vec<usize>,
+    /// Working set (global indices).
+    active: Vec<usize>,
+    /// Membership mask for `active`, length `n`.
+    in_active: Vec<bool>,
+    /// Column-major `m x m` sub-Gram over the active atoms.
+    panel: Vec<f64>,
+    /// Residual restricted to the active atoms.
+    rc: Vec<f64>,
+    /// Coefficients restricted to the active atoms.
+    cc: Vec<f64>,
+    /// Gram diagonal restricted to the active atoms.
+    diag: Vec<f64>,
+    /// KKT violators found in the current round.
+    violators: Vec<usize>,
+}
+
+impl LassoWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-initializes every per-solve value for a problem of size `n`.
+    fn reset(&mut self, n: usize, b: &[f64]) {
+        self.c.clear();
+        self.c.resize(n, 0.0);
+        self.r.clear();
+        self.r.extend_from_slice(b);
+        self.live.clear();
+        self.active.clear();
+        self.in_active.clear();
+        self.in_active.resize(n, false);
+        self.violators.clear();
+    }
+}
+
 /// A Lasso solver bound to one dictionary Gram matrix.
 ///
 /// `gram` must be `X^T X` for a column dictionary `X`; the same solver is
@@ -86,6 +167,57 @@ impl<'a> LassoSolver<'a> {
     /// Returns the solution as a sparse vector. Errors on a correlation
     /// vector of the wrong length or a non-positive `lambda`.
     pub fn solve(&self, b: &[f64], lambda: f64, excluded: usize) -> Result<SparseVec> {
+        let mut ws = LassoWorkspace::new();
+        self.solve_impl(b, lambda, excluded, None, &mut ws)
+    }
+
+    /// [`LassoSolver::solve`] with caller-owned scratch buffers, the
+    /// warm-start entry point for batch drivers: allocations in `ws` are
+    /// reused across solves while every value is re-initialized, so the
+    /// result is bitwise identical to a fresh [`LassoSolver::solve`].
+    pub fn solve_in(
+        &self,
+        b: &[f64],
+        lambda: f64,
+        excluded: usize,
+        ws: &mut LassoWorkspace,
+    ) -> Result<SparseVec> {
+        self.solve_impl(b, lambda, excluded, None, ws)
+    }
+
+    /// [`LassoSolver::solve_in`] plus gap-safe atom screening.
+    ///
+    /// `x_norm_sq` must be `||x||^2` for the target `x` behind
+    /// `b = X^T x` — for SSC self-expression of point `i` that is simply
+    /// `gram[(i, i)]`. Knowing `||x||^2` lets the solver evaluate the duality
+    /// gap in Gram form and permanently discard atoms that provably take no
+    /// part in any optimal support at this `lambda` (DESIGN.md §9 has the
+    /// exactness argument), which shrinks every later KKT scan and keeps the
+    /// working set small. Errors when `x_norm_sq` is negative or non-finite.
+    pub fn solve_screened(
+        &self,
+        b: &[f64],
+        lambda: f64,
+        excluded: usize,
+        x_norm_sq: f64,
+        ws: &mut LassoWorkspace,
+    ) -> Result<SparseVec> {
+        if !x_norm_sq.is_finite() || x_norm_sq < 0.0 {
+            return Err(LinalgError::InvalidArgument(
+                "lasso x_norm_sq must be finite and non-negative",
+            ));
+        }
+        self.solve_impl(b, lambda, excluded, Some(x_norm_sq), ws)
+    }
+
+    fn solve_impl(
+        &self,
+        b: &[f64],
+        lambda: f64,
+        excluded: usize,
+        x_norm_sq: Option<f64>,
+        ws: &mut LassoWorkspace,
+    ) -> Result<SparseVec> {
         let n = self.gram.cols();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -99,71 +231,170 @@ impl<'a> LassoSolver<'a> {
             ));
         }
         let thresh = 1.0 / lambda;
+        ws.reset(n, b);
 
-        let mut c = vec![0.0; n];
-        // residual correlations r_j = b_j - (G c)_j, maintained incrementally
-        // over ALL coordinates so KKT screening is an O(n) scan.
-        let mut r = b.to_vec();
+        // Candidate atoms: everything with a usable curvature, minus the
+        // excluded coordinate. Zero-diagonal atoms can never move off zero,
+        // so dropping them up front is exact.
+        ws.live
+            .extend((0..n).filter(|&j| j != excluded && self.gram[(j, j)] > 0.0));
 
-        // Working-set strategy (ORGEN-style): start from the most-correlated
-        // atoms — the Lasso support is contained in high-correlation atoms
-        // for the self-expression problems this solver serves — converge on
-        // that set, then grow it with KKT violators until none remain.
-        // Starting small avoids the first-sweep blowup where every
-        // coordinate above the threshold goes transiently nonzero at O(n)
-        // apiece.
-        let mut order: Vec<usize> = (0..n).filter(|&j| j != excluded).collect();
-        order.sort_by(|&i, &j| b[j].abs().total_cmp(&b[i].abs()));
-        let mut active: Vec<usize> = order
-            .iter()
-            .copied()
-            .take(self.opts.working_set.max(1))
-            .collect();
-        let mut in_active = vec![false; n];
-        for &j in &active {
-            in_active[j] = true;
+        // Working-set seeding (ORGEN-style): the most-correlated atoms — the
+        // Lasso support is contained in high-correlation atoms for the
+        // self-expression problems this solver serves — converge there, then
+        // grow with KKT violators until none remain. Starting small avoids
+        // the first-sweep blowup where every coordinate above the threshold
+        // goes transiently nonzero.
+        let seed = self.opts.working_set.max(1).min(ws.live.len());
+        ws.active.extend_from_slice(&ws.live);
+        let by_corr_desc = |&i: &usize, &j: &usize| b[j].abs().total_cmp(&b[i].abs());
+        if seed < ws.active.len() {
+            ws.active.select_nth_unstable_by(seed - 1, by_corr_desc);
+            ws.active.truncate(seed);
+        }
+        ws.active.sort_unstable_by(by_corr_desc);
+        for &j in &ws.active {
+            ws.in_active[j] = true;
         }
 
+        let mut rounds = 0u64;
         for _round in 0..self.opts.max_rounds.max(1) {
-            for _ in 0..self.opts.max_iters {
-                let mut max_delta = 0.0f64;
-                for &j in &active {
-                    let gjj = self.gram[(j, j)];
-                    if gjj <= 0.0 {
-                        continue;
-                    }
-                    let cj_old = c[j];
-                    // Correlation with j excluding its own contribution.
-                    let rho = r[j] + gjj * cj_old;
-                    let cj_new = vector::soft_threshold(rho, thresh) / gjj;
-                    let delta = cj_new - cj_old;
-                    if delta != 0.0 {
-                        c[j] = cj_new;
-                        // r -= delta * G[:, j]
-                        let gcol = self.gram.col(j);
-                        for (rk, &g) in r.iter_mut().zip(gcol) {
-                            *rk -= delta * g;
-                        }
-                        max_delta = max_delta.max(delta.abs());
-                    }
-                }
-                if max_delta < self.opts.tol {
-                    break;
+            rounds += 1;
+            self.sweep_panel(thresh, ws);
+
+            // Rebuild the exact residual from the support: `r = b - G c`,
+            // one contiguous column axpy per nonzero coefficient.
+            ws.r.copy_from_slice(b);
+            for p in 0..ws.active.len() {
+                let cj = ws.cc[p];
+                if cj != 0.0 {
+                    vector::axpy(-cj, self.gram.col(ws.active[p]), &mut ws.r);
                 }
             }
-            // KKT screening outside the working set.
-            let mut violators: Vec<usize> = (0..n)
-                .filter(|&j| j != excluded && !in_active[j] && r[j].abs() > thresh * (1.0 + 1e-9))
-                .collect();
-            if violators.is_empty() {
+
+            if let Some(x_sq) = x_norm_sq {
+                self.screen(b, thresh, x_sq, ws);
+            }
+
+            // Batched KKT re-entry: every remaining dormant atom whose
+            // gradient escapes the subdifferential joins the working set at
+            // once.
+            ws.violators.clear();
+            for &j in &ws.live {
+                if !ws.in_active[j] && ws.r[j].abs() > thresh * (1.0 + 1e-9) {
+                    ws.violators.push(j);
+                }
+            }
+            if ws.violators.is_empty() {
                 break;
             }
-            for &j in &violators {
-                in_active[j] = true;
+            for i in 0..ws.violators.len() {
+                let j = ws.violators[i];
+                ws.in_active[j] = true;
+                ws.active.push(j);
             }
-            active.append(&mut violators);
         }
-        Ok(SparseVec::from_dense(&c, self.opts.support_tol))
+        LASSO_WS_ROUNDS.add(rounds);
+        Ok(SparseVec::from_dense(&ws.c, self.opts.support_tol))
+    }
+
+    /// Copies the active atoms into a compact column-major panel and runs
+    /// cyclic CD sweeps there until the largest coordinate change falls
+    /// below `tol`. Inside the panel every residual update is a contiguous
+    /// length-`m` axpy; converged coefficients are scattered back to `ws.c`.
+    fn sweep_panel(&self, thresh: f64, ws: &mut LassoWorkspace) {
+        let m = ws.active.len();
+        ws.panel.resize(m * m, 0.0);
+        ws.rc.resize(m, 0.0);
+        ws.cc.resize(m, 0.0);
+        ws.diag.resize(m, 0.0);
+        for q in 0..m {
+            let col = self.gram.col(ws.active[q]);
+            let dst = &mut ws.panel[q * m..(q + 1) * m];
+            for (p, slot) in dst.iter_mut().enumerate() {
+                *slot = col[ws.active[p]];
+            }
+        }
+        for p in 0..m {
+            let j = ws.active[p];
+            ws.rc[p] = ws.r[j];
+            ws.cc[p] = ws.c[j];
+            ws.diag[p] = self.gram[(j, j)];
+        }
+
+        let mut sweeps = 0u64;
+        for _ in 0..self.opts.max_iters {
+            sweeps += 1;
+            let mut max_delta = 0.0f64;
+            for p in 0..m {
+                let old = ws.cc[p];
+                // Correlation with atom p excluding its own contribution.
+                let rho = ws.rc[p] + ws.diag[p] * old;
+                let new = vector::soft_threshold(rho, thresh) / ws.diag[p];
+                let delta = new - old;
+                if delta != 0.0 {
+                    ws.cc[p] = new;
+                    vector::axpy(-delta, &ws.panel[p * m..(p + 1) * m], &mut ws.rc);
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.opts.tol {
+                break;
+            }
+        }
+        LASSO_SWEEPS.add(sweeps);
+
+        for p in 0..m {
+            ws.c[ws.active[p]] = ws.cc[p];
+        }
+    }
+
+    /// Gap-safe sphere screening over the dormant live atoms.
+    ///
+    /// In the standard Lasso scaling (`min 0.5||x - Xc||^2 + t||c||_1` with
+    /// `t = 1/lambda`) the dual point `theta = (x - Xc)/s` with
+    /// `s = max(1, ||r||_inf / t)` over the live atoms is feasible for the
+    /// reduced problem, and strong concavity of the dual gives
+    /// `||theta - theta*|| <= sqrt(2 * gap)`. Any dormant atom `j` with
+    ///
+    /// ```text
+    ///   |r_j| / s + sqrt(G_jj) * sqrt(2 * gap)  <  t
+    /// ```
+    ///
+    /// therefore satisfies `|x_j^T theta*| < t` strictly, which forces
+    /// `c*_j = 0` in every optimum — the atom is removed from `live` for
+    /// good. All quantities are computed in Gram form:
+    /// `||x - Xc||^2 = ||x||^2 - b.c - r.c` and `(x - Xc).x = ||x||^2 - b.c`.
+    fn screen(&self, b: &[f64], thresh: f64, x_sq: f64, ws: &mut LassoWorkspace) {
+        let mut b_dot_c = 0.0;
+        let mut r_dot_c = 0.0;
+        let mut l1 = 0.0;
+        for p in 0..ws.active.len() {
+            let cj = ws.cc[p];
+            if cj != 0.0 {
+                let j = ws.active[p];
+                b_dot_c += b[j] * cj;
+                r_dot_c += ws.r[j] * cj;
+                l1 += cj.abs();
+            }
+        }
+        let rho_sq = (x_sq - b_dot_c - r_dot_c).max(0.0);
+        let r_inf = ws
+            .live
+            .iter()
+            .fold(0.0f64, |acc, &j| acc.max(ws.r[j].abs()));
+        let s = (r_inf / thresh).max(1.0);
+        let gap =
+            (0.5 * rho_sq * (1.0 + 1.0 / (s * s)) + thresh * l1 - (x_sq - b_dot_c) / s).max(0.0);
+        let radius = (2.0 * gap).sqrt();
+
+        let before = ws.live.len();
+        let (gram, in_active, r) = (self.gram, &ws.in_active, &ws.r);
+        ws.live.retain(|&j| {
+            in_active[j]
+                || r[j].abs() / s + gram[(j, j)].sqrt() * radius >= thresh * (1.0 - SCREEN_SLACK)
+        });
+        LASSO_ATOMS_SCREENED.add((before - ws.live.len()) as u64);
     }
 
     /// Maximum absolute KKT violation of a candidate solution — `0` at the
@@ -344,5 +575,115 @@ mod tests {
         let fast = solver.solve(&b, 20.0, usize::MAX).unwrap();
         let viol = solver.kkt_violation(&b, 20.0, usize::MAX, &fast).unwrap();
         assert!(viol < 1e-5, "KKT violation {viol}");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_to_fresh_solves() {
+        // The warm-start contract: reused allocations, re-initialized
+        // values. Solving a batch through one workspace must reproduce
+        // fresh per-solve results bit for bit, in any order.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.9, 0.1, -0.4, 0.3, 0.2],
+            &[0.0, 0.3, 1.0, 0.5, -0.2, -0.7],
+            &[0.2, -0.1, 0.0, 0.8, 0.9, 0.4],
+        ])
+        .unwrap();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let mut ws = LassoWorkspace::new();
+        for i in 0..g.cols() {
+            let b = g.col(i);
+            let lambda = ssc_lambda(b, i, 50.0);
+            let fresh = solver.solve(b, lambda, i).unwrap();
+            let warm = solver.solve_in(b, lambda, i, &mut ws).unwrap();
+            assert_eq!(fresh.to_dense(), warm.to_dense(), "point {i}");
+        }
+    }
+
+    #[test]
+    fn screened_solve_matches_unscreened() {
+        // Self-expression over a small dictionary: screening must not move
+        // a single coefficient beyond the coordinate tolerance.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.9, 0.1, -0.4, 0.3, 0.2],
+            &[0.0, 0.3, 1.0, 0.5, -0.2, -0.7],
+            &[0.2, -0.1, 0.0, 0.8, 0.9, 0.4],
+        ])
+        .unwrap();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let mut ws = LassoWorkspace::new();
+        for i in 0..g.cols() {
+            let b = g.col(i);
+            for factor in [0.5, 1.0, 2.0] {
+                let lambda = ssc_lambda(b, i, 50.0) * factor;
+                let plain = solver.solve(b, lambda, i).unwrap().to_dense();
+                let screened = solver
+                    .solve_screened(b, lambda, i, g[(i, i)], &mut ws)
+                    .unwrap()
+                    .to_dense();
+                for (j, (p, s)) in plain.iter().zip(&screened).enumerate() {
+                    assert!(
+                        (p - s).abs() < 1e-6,
+                        "point {i} lambda x{factor} coef {j}: {p} vs {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screening_fires_on_self_expression() {
+        // A deterministic 40-atom self-expression instance must actually
+        // discard atoms (the exactness tests alone would pass even if the
+        // screening rule never fired). Counters are global and monotone, so
+        // a strict increase is safe to assert under parallel test threads.
+        let mut x = Matrix::zeros(8, 40);
+        for j in 0..40 {
+            for i in 0..8 {
+                x[(i, j)] = ((i * 13 + j * 5 + 1) % 11) as f64 - 5.0;
+            }
+        }
+        x.normalize_columns(1e-12);
+        let g = x.gram();
+        // Seed below the atom count so dormant atoms exist: only dormant
+        // atoms are screening candidates (active ones stay live).
+        let opts = LassoOptions {
+            working_set: 8,
+            ..Default::default()
+        };
+        let solver = LassoSolver::new(&g, opts);
+        let mut ws = LassoWorkspace::new();
+        let before = fedsc_obs::metrics::snapshot()
+            .counters
+            .get("lasso.atoms_screened")
+            .copied()
+            .unwrap_or(0);
+        let b = g.col(0);
+        let lambda = ssc_lambda(b, 0, 50.0);
+        let _ = solver
+            .solve_screened(b, lambda, 0, g[(0, 0)], &mut ws)
+            .unwrap();
+        let after = fedsc_obs::metrics::snapshot()
+            .counters
+            .get("lasso.atoms_screened")
+            .copied()
+            .unwrap_or(0);
+        assert!(after > before, "screening never fired: {before} -> {after}");
+    }
+
+    #[test]
+    fn solve_screened_rejects_bad_norm() {
+        let x = simple_dictionary();
+        let g = x.gram();
+        let solver = LassoSolver::new(&g, LassoOptions::default());
+        let b = vec![0.0; g.cols()];
+        let mut ws = LassoWorkspace::new();
+        assert!(solver
+            .solve_screened(&b, 1.0, usize::MAX, -1.0, &mut ws)
+            .is_err());
+        assert!(solver
+            .solve_screened(&b, 1.0, usize::MAX, f64::NAN, &mut ws)
+            .is_err());
     }
 }

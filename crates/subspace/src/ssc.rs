@@ -8,7 +8,7 @@
 use crate::algo::{normalize_data, SubspaceClusterer};
 use fedsc_graph::AffinityGraph;
 use fedsc_linalg::{par, Matrix, Result};
-use fedsc_sparse::lasso::{ssc_lambda, LassoOptions, LassoSolver};
+use fedsc_sparse::lasso::{ssc_lambda, LassoOptions, LassoSolver, LassoWorkspace};
 
 /// SSC configuration.
 ///
@@ -49,9 +49,13 @@ impl Ssc {
     ///
     /// The `N` per-point Lasso problems are independent, so they fan out
     /// over `self.lasso.threads` workers (the Phase-1 hot path of the
-    /// paper's complexity analysis). Each point's solve is untouched by the
-    /// fan-out, so the coefficients are bitwise identical for every thread
-    /// count.
+    /// paper's complexity analysis). Each worker carries one
+    /// [`LassoWorkspace`] reused across all the points it solves (warm
+    /// scratch buffers, no per-point allocation), and each solve runs the
+    /// gap-safe screened path — `||x_i||^2` is just `gram[(i, i)]`. Each
+    /// point's solve is untouched by the fan-out and fully re-initializes
+    /// its workspace values, so the coefficients are bitwise identical for
+    /// every thread count.
     pub fn coefficients(&self, data: &Matrix) -> Result<Matrix> {
         let x = if self.normalize {
             normalize_data(data)
@@ -62,10 +66,10 @@ impl Ssc {
         let threads = self.lasso.threads.max(1);
         let gram = x.gram_threaded(threads);
         let solver = LassoSolver::new(&gram, self.lasso.clone());
-        let codes = par::par_map(n, threads, |i| {
+        let codes = par::par_map_with(n, threads, LassoWorkspace::new, |ws, i| {
             let b = gram.col(i);
             let lambda = ssc_lambda(b, i, self.alpha);
-            solver.solve(b, lambda, i)
+            solver.solve_screened(b, lambda, i, gram[(i, i)], ws)
         });
         let mut c = Matrix::zeros(n, n);
         for (i, code) in codes.into_iter().enumerate() {
@@ -144,7 +148,7 @@ mod tests {
         let model = SubspaceModel::random(&mut rng, 25, 3, 2);
         let ds = model.sample_dataset(&mut rng, &[18, 18], 0.01);
         let serial = Ssc::default().affinity(&ds.data).unwrap();
-        for threads in [2, 4] {
+        for threads in [2, 4, 8] {
             let mut ssc = Ssc::default();
             ssc.lasso.threads = threads;
             let par = ssc.affinity(&ds.data).unwrap();

@@ -26,6 +26,12 @@
 //!    file that touches them must arm both `set_read_timeout(Some(..))`
 //!    and `set_write_timeout(Some(..))` so no blocking socket call can
 //!    hang a round forever.
+//! 6. **Spawn confinement** — `thread::spawn` / `thread::scope` /
+//!    `thread::Builder` only inside the persistent pool
+//!    (`crates/linalg/src/par.rs`), the TCP transport's serve loops
+//!    (`transport::tcp`), and the process-wire harness (`core::wire`).
+//!    Everything else fans out through `fedsc_linalg::par`, which keeps
+//!    the `pool.workers_spawned` accounting truthful.
 //!
 //! Exit status is non-zero iff any diagnostic fired; every diagnostic is a
 //! `file:line: [rule] message` the terminal can jump to.

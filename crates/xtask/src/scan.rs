@@ -170,6 +170,21 @@ const SOCKET_TOKENS: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
 /// The one directory where raw sockets are legal.
 const SOCKET_SANCTUARY: &str = "crates/transport/src";
 
+/// Thread-creation constructs (rule 6), both profiles. Worker threads are
+/// confined to the persistent pool and the transport/server accept loops;
+/// everything else fans out through `fedsc_linalg::par`, which keeps the
+/// `pool.workers_spawned` accounting truthful and the thread-invariance
+/// guarantees centralized.
+const SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// Files allowed to create OS threads directly: the pool itself, the TCP
+/// transport's accept/serve loops, and the process-spawning wire harness.
+const SPAWN_SANCTUARY_FILES: &[&str] = &[
+    "crates/linalg/src/par.rs",
+    "crates/transport/src/tcp.rs",
+    "crates/core/src/wire.rs",
+];
+
 /// Solver/decomposition result structs that must be declared `#[must_use]`
 /// (rule 4a): ignoring one silently drops a factorization.
 const MUST_USE_STRUCTS: &[&str] = &[
@@ -205,6 +220,7 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
     let timing_sanctioned =
         label.starts_with(TIMING_SANCTUARY_DIR) || SANCTIONED_TIMING_FILES.contains(&label);
     let socket_sanctioned = label.starts_with(SOCKET_SANCTUARY);
+    let spawn_sanctioned = SPAWN_SANCTUARY_FILES.contains(&label);
     let mut socket_token_seen = false;
 
     /// A panic token is justified when an `// INVARIANT:` comment sits on the
@@ -314,6 +330,26 @@ pub fn scan_source(label: &str, text: &str, profile: Profile, allow: &Allowlist)
                          `fedsc_transport` traits"
                     ),
                 });
+            }
+        }
+
+        // Rule 6: thread creation confined to the pool and the transport
+        // serve loops (both profiles).
+        if !spawn_sanctioned {
+            for &token in SPAWN_TOKENS {
+                if code.contains(token) {
+                    out.diagnostics.push(Diagnostic {
+                        file: label.to_string(),
+                        line: line_no,
+                        rule: "spawn",
+                        message: format!(
+                            "`{token}` outside the thread sanctuaries \
+                             (`crates/linalg/src/par.rs`, `transport::tcp`, `core::wire`); \
+                             fan work out through `fedsc_linalg::par` so the persistent \
+                             pool's `pool.workers_spawned` accounting stays truthful"
+                        ),
+                    });
+                }
             }
         }
 
@@ -905,6 +941,43 @@ mod tests {
             "{:?}",
             out.diagnostics
         );
+    }
+
+    #[test]
+    fn thread_spawn_confined_to_sanctuaries() {
+        for token in [
+            "std::thread::spawn(|| {})",
+            "thread::scope(|s| {})",
+            "thread::Builder::new()",
+        ] {
+            let src = format!("fn f() {{ let _ = {token}; }}\n");
+            let out = strict("crates/federated/src/x.rs", &src);
+            assert!(
+                out.diagnostics.iter().any(|d| d.rule == "spawn"),
+                "{token} not flagged: {:?}",
+                out.diagnostics
+            );
+            // The relaxed (bench) profile gets no spawn exemption either.
+            let out = scan_source(
+                "crates/bench/src/x.rs",
+                &src,
+                Profile::Relaxed,
+                &Allowlist::default(),
+            );
+            assert!(out.diagnostics.iter().any(|d| d.rule == "spawn"));
+            for sanctioned in super::SPAWN_SANCTUARY_FILES {
+                let out = strict(sanctioned, &src);
+                assert!(
+                    !out.diagnostics.iter().any(|d| d.rule == "spawn"),
+                    "{sanctioned}: {:?}",
+                    out.diagnostics
+                );
+            }
+        }
+        // Test modules may spawn helper threads freely.
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        let out = strict("crates/obs/src/x.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
     }
 
     #[test]
