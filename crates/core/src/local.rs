@@ -111,7 +111,9 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
     // rng-free, so the partitions fan out over the kernel pool; sampling
     // stays sequential in partition order below so the rng stream — and
     // therefore every seeded run — is byte-identical to the serial path.
-    let bases: Vec<Option<Result<Matrix>>> = par::par_map(r, kernel_threads, |t| {
+    // The heavy variant: a handful of partitions, each an SVD worth far
+    // more than the pool's publish overhead.
+    let bases: Vec<Option<Result<Matrix>>> = par::par_map_heavy(r, kernel_threads, |t| {
         let idx = &members[t];
         if idx.is_empty() {
             // Spectral k-means can leave a cluster empty when r was

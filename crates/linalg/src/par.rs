@@ -21,6 +21,18 @@
 //!   never exit; `pool.workers_spawned` is therefore a high-water mark
 //!   bounded by the largest `threads` any call requested (minus the caller,
 //!   who always participates), not a per-call churn count.
+//! * A worker that runs out of claimable tickets **spins briefly before
+//!   parking** ([`SPIN_POLLS`] polls of a publish epoch): workloads that
+//!   issue bursts of back-to-back parallel calls (the per-point Lasso sweep,
+//!   the blocked kernels) would otherwise pay a futex wake on every call,
+//!   which BENCH_PR6 measured at milliseconds of added latency per small
+//!   job. An idle pool still parks — the spin is bounded and the park path
+//!   re-scans the queue under the lock, so no wakeup can be lost.
+//! * Fan-outs smaller than [`MIN_INLINE_ITEMS`] run inline on the caller
+//!   ([`par_map`] / [`par_map_with`] only): publishing a job costs more
+//!   than computing a handful of cheap items. Coarse fan-outs whose items
+//!   are individually expensive — the per-device rounds, the per-partition
+//!   SVDs — use [`par_map_heavy`], which always engages the pool.
 //! * A call with `threads = t` publishes one **job** — a type-erased
 //!   reference to its loop body — with `t - 1` helper tickets on a shared
 //!   queue, runs the body on the calling thread, then cancels any tickets no
@@ -59,7 +71,8 @@
 //! sanctioned wall-clock access (`cargo xtask check` rule 3) — and the pool
 //! reports itself to the metrics registry: `pool.tasks` (indices executed),
 //! `pool.tasks_inline` (indices executed on the caller because
-//! `threads == 1`, i.e. no job was ever published), `pool.steals` (tasks a
+//! `threads == 1` or the fan-out was below [`MIN_INLINE_ITEMS`], i.e. no
+//! job was ever published), `pool.steals` (tasks a
 //! participant executed beyond its fair share of the queue), `pool.busy_ns`
 //! (per-participant loop wall time, summed), and `pool.workers_spawned`
 //! (persistent workers ever created — bounded by the configured thread
@@ -76,8 +89,8 @@ use std::time::Duration;
 
 /// Indices executed by [`par_map`] / chunks written by [`par_chunks_mut`].
 static POOL_TASKS: LazyCounter = LazyCounter::new("pool.tasks");
-/// Indices executed inline on the caller because `threads == 1` (no job
-/// was published to the pool at all).
+/// Indices executed inline on the caller because `threads == 1` or the
+/// fan-out was below [`MIN_INLINE_ITEMS`] (no job was published at all).
 static POOL_TASKS_INLINE: LazyCounter = LazyCounter::new("pool.tasks_inline");
 /// Tasks executed beyond a participant's fair share `ceil(count / threads)`
 /// — the number of successful steals from slower participants' shares.
@@ -91,6 +104,22 @@ static POOL_WORKERS: LazyCounter = LazyCounter::new("pool.workers_spawned");
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
+
+/// Fan-outs smaller than this run inline on the caller in [`par_map`] /
+/// [`par_map_with`]: publishing a job and waking a helper costs tens of
+/// microseconds even when the pool is warm, which dwarfs a handful of
+/// cheap per-item bodies (BENCH_PR6's `pool_overhead` measured 5.1 ms per
+/// 32-item job at 2 threads against 15 µs inline). Coarse fan-outs with
+/// individually-expensive items bypass the threshold via
+/// [`par_map_heavy`].
+pub const MIN_INLINE_ITEMS: usize = 128;
+
+/// How many times an out-of-work worker polls the publish epoch before
+/// parking on the condvar. Each poll is a load plus a `spin_loop` hint, so
+/// the spin window is a few microseconds — enough to bridge the gap
+/// between back-to-back parallel calls, short enough that an idle pool
+/// parks almost immediately.
+const SPIN_POLLS: usize = 4096;
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
@@ -186,6 +215,9 @@ struct PoolShared {
     /// Workers currently parked on `work_ready` (advisory, for spawn
     /// decisions only).
     idle: AtomicUsize,
+    /// Bumped on every job publish; out-of-work workers poll it lock-free
+    /// while spinning, so a burst of small jobs never pays a futex wake.
+    epoch: AtomicUsize,
 }
 
 fn pool() -> &'static PoolShared {
@@ -195,10 +227,12 @@ fn pool() -> &'static PoolShared {
         work_ready: Condvar::new(),
         spawned: Mutex::new(0),
         idle: AtomicUsize::new(0),
+        epoch: AtomicUsize::new(0),
     })
 }
 
-/// The persistent worker loop: claim a ticket, run the body, report, park.
+/// The persistent worker loop: claim a ticket, run the body, report, and
+/// when out of work spin briefly on the publish epoch before parking.
 fn worker_loop() {
     let shared = pool();
     loop {
@@ -207,7 +241,10 @@ fn worker_loop() {
                 .queue
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
-            loop {
+            // Set once a full epoch-poll window expired without a publish;
+            // the next failed claim pass parks instead of spinning again.
+            let mut spun_out = false;
+            'claim: loop {
                 // Claim a ticket from the oldest job that still has one;
                 // drained jobs are pruned as we pass them.
                 let mut claimed = None;
@@ -224,14 +261,48 @@ fn worker_loop() {
                     q.pop_front();
                 }
                 if let Some(job) = claimed {
-                    break job;
+                    break 'claim job;
                 }
-                shared.idle.fetch_add(1, Ordering::Relaxed);
+                if spun_out {
+                    // Lost-wakeup safety: this wait happens while holding
+                    // the queue lock after an empty claim pass, and the
+                    // publisher pushes under the same lock before
+                    // notifying — a publish between our scan and the wait
+                    // is observed by the post-wake re-scan.
+                    // ORDERING: Relaxed — `idle` is an advisory gauge for
+                    // spawn decisions; the queue mutex orders all job data.
+                    shared.idle.fetch_add(1, Ordering::Relaxed);
+                    q = shared
+                        .work_ready
+                        .wait(q)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    // ORDERING: Relaxed — see the matching `fetch_add`.
+                    shared.idle.fetch_sub(1, Ordering::Relaxed);
+                    spun_out = false;
+                    continue 'claim;
+                }
+                // Nothing claimable: release the lock and watch the
+                // publish epoch for a bounded window, so the next job in a
+                // burst is claimed without a park/unpark round trip.
+                // ORDERING: Acquire — pairs with the Release bump in
+                // `run_on_pool`, so observing a new epoch also lets the
+                // re-locked claim pass observe the pushed job.
+                let seen = shared.epoch.load(Ordering::Acquire);
+                drop(q);
+                let mut polls = 0;
+                while polls < SPIN_POLLS {
+                    // ORDERING: Acquire — see `seen` above.
+                    if shared.epoch.load(Ordering::Acquire) != seen {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    polls += 1;
+                }
+                spun_out = polls >= SPIN_POLLS;
                 q = shared
-                    .work_ready
-                    .wait(q)
+                    .queue
+                    .lock()
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
-                shared.idle.fetch_sub(1, Ordering::Relaxed);
             }
         };
         job.run();
@@ -281,6 +352,10 @@ fn run_on_pool(helpers: usize, body: &(dyn Fn() + Sync)) {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         q.push_back(Arc::clone(&job));
         drop(q);
+        // ORDERING: Release — pairs with the Acquire epoch polls in
+        // `worker_loop`: a spinning worker that observes the bump is
+        // guaranteed to observe the push above once it re-locks the queue.
+        shared.epoch.fetch_add(1, Ordering::Release);
         shared.work_ready.notify_all();
     }
     // The caller is always a participant: if every worker is busy (or none
@@ -357,11 +432,42 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    par_map_with_inner(count, threads, MIN_INLINE_ITEMS, make_state, f)
+}
+
+/// [`par_map`] for coarse fan-outs whose items are individually expensive —
+/// the per-device federated rounds and the per-partition local SVDs.
+///
+/// Ignores the [`MIN_INLINE_ITEMS`] inline threshold and always engages the
+/// pool when `threads > 1`: a round of four device fits is exactly the shape
+/// the threshold would wrongly serialize.
+pub fn par_map_heavy<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_with_inner(count, threads, 0, || (), move |(), i| f(i))
+}
+
+/// Shared body of [`par_map_with`] / [`par_map_heavy`]: fan-outs smaller
+/// than `inline_below` run inline on the caller without publishing a job.
+fn par_map_with_inner<S, T, I, F>(
+    count: usize,
+    threads: usize,
+    inline_below: usize,
+    make_state: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(count.max(1));
     if count == 0 {
         return Vec::new();
     }
-    if threads == 1 {
+    if threads == 1 || count < inline_below {
         POOL_TASKS.add(count as u64);
         POOL_TASKS_INLINE.add(count as u64);
         let mut state = make_state();
@@ -377,6 +483,9 @@ where
         let mut executed = 0u64;
         let mut state = make_state();
         loop {
+            // ORDERING: Relaxed — the counter only hands out unique
+            // indices; the slot writes it guards are published to the
+            // caller by the job completion latch, not by this claim.
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= count {
                 break;
@@ -397,14 +506,18 @@ where
         .collect()
 }
 
-/// [`par_map`] that also reports each item's wall time (via the
+/// [`par_map_heavy`] that also reports each item's wall time (via the
 /// `fedsc_obs` stopwatch, so this crate never touches the clock directly).
+///
+/// Built on the heavy variant because its only callers are the per-device
+/// federated fan-outs, whose handful of items are each worth milliseconds —
+/// the [`MIN_INLINE_ITEMS`] threshold must not serialize them.
 pub fn par_map_timed<T, F>(count: usize, threads: usize, f: F) -> Vec<(T, Duration)>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    par_map(count, threads, |i| {
+    par_map_heavy(count, threads, |i| {
         let sw = Stopwatch::start();
         let r = f(i);
         (r, sw.elapsed())
@@ -469,6 +582,9 @@ where
         let sw = Stopwatch::start();
         let mut written = 0u64;
         loop {
+            // ORDERING: Relaxed — unique chunk claims only; the chunk
+            // writes are published to the caller by the job completion
+            // latch, not by this counter.
             let c = next.fetch_add(1, Ordering::Relaxed);
             if c >= n_chunks {
                 break;
@@ -509,8 +625,10 @@ mod tests {
 
     #[test]
     fn par_map_panic_preserves_payload() {
+        // `par_map_heavy` so the 16-item job actually goes through the
+        // pool's catch/re-raise path instead of the inline fast path.
         let caught = std::panic::catch_unwind(|| {
-            par_map(16, 4, |i| {
+            par_map_heavy(16, 4, |i| {
                 if i == 9 {
                     panic!("slot 9 exploded");
                 }
@@ -520,6 +638,19 @@ mod tests {
         let payload = caught.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "slot 9 exploded");
+
+        // The inline path must propagate panics too.
+        let caught = std::panic::catch_unwind(|| {
+            par_map(16, 4, |i| {
+                if i == 9 {
+                    panic!("inline slot 9 exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "inline slot 9 exploded");
     }
 
     #[test]
@@ -600,9 +731,10 @@ mod tests {
     fn nested_parallel_calls_complete() {
         // Device-over-kernel nesting: an outer fan-out whose bodies issue
         // inner fan-outs must terminate even when the pool is saturated,
-        // because every caller participates in its own job.
-        let r = par_map(4, 4, |i| {
-            let inner = par_map(8, 4, move |j| i * 10 + j);
+        // because every caller participates in its own job. Heavy variants
+        // so both layers really publish jobs.
+        let r = par_map_heavy(4, 4, |i| {
+            let inner = par_map_heavy(8, 4, move |j| i * 10 + j);
             inner.iter().sum::<usize>()
         });
         let expected: Vec<usize> = (0..4).map(|i| (0..8).map(|j| i * 10 + j).sum()).collect();
@@ -617,7 +749,7 @@ mod tests {
         // on the delta, not the absolute count).
         let before = POOL_WORKERS.get();
         for _ in 0..200 {
-            let r = par_map(16, 2, |i| i + 1);
+            let r = par_map_heavy(16, 2, |i| i + 1);
             assert_eq!(r.len(), 16);
         }
         let delta = POOL_WORKERS.get() - before;
@@ -631,7 +763,7 @@ mod tests {
         // workers on behalf of those calls.
         let before = POOL_WORKERS.get();
         for _ in 0..50 {
-            par_map(32, 4, |i| i * 2);
+            par_map_heavy(32, 4, |i| i * 2);
             let mut buf = vec![0.0f64; 64];
             par_chunks_mut(&mut buf, 8, 4, |_, chunk| {
                 for v in chunk.iter_mut() {
@@ -641,6 +773,33 @@ mod tests {
         }
         let delta = POOL_WORKERS.get() - before;
         assert!(delta <= 3, "calls at 4 threads spawned {delta} workers");
+    }
+
+    #[test]
+    fn small_fan_out_runs_inline_on_caller() {
+        // Below MIN_INLINE_ITEMS, par_map must compute every item on the
+        // calling thread — no job publish, no handoff to pool workers.
+        let caller = std::thread::current().id();
+        let ids = par_map(MIN_INLINE_ITEMS - 1, 8, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+        // At or above the threshold the call is eligible for the pool;
+        // results must stay in index order either way.
+        let r = par_map(MIN_INLINE_ITEMS + 5, 4, |i| i * 2);
+        assert_eq!(
+            r,
+            (0..MIN_INLINE_ITEMS + 5).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn burst_of_small_jobs_stays_correct() {
+        // Back-to-back publishes hit the workers' spin window (the
+        // BENCH_PR6 pathology): every job in the burst must still hand
+        // each index to exactly one participant.
+        for round in 0..300 {
+            let r = par_map_heavy(8, 2, move |i| round * 100 + i);
+            assert_eq!(r, (0..8).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct Counter {
 impl Counter {
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — statistical telemetry; counts need to be
+        // eventually visible and lost-update-free (RMW), never to order
+        // any other memory. Same for every metric cell in this module.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -35,10 +38,12 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — see `Counter::add`.
         self.value.load(Ordering::Relaxed)
     }
 
     fn reset(&self) {
+        // ORDERING: Relaxed — see `Counter::add`.
         self.value.store(0, Ordering::Relaxed);
     }
 }
@@ -52,16 +57,19 @@ pub struct Gauge {
 impl Gauge {
     /// Sets the value.
     pub fn set(&self, v: i64) {
+        // ORDERING: Relaxed — statistical telemetry; see `Counter::add`.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
     pub fn add(&self, delta: i64) {
+        // ORDERING: Relaxed — statistical telemetry; see `Counter::add`.
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // ORDERING: Relaxed — statistical telemetry; see `Counter::add`.
         self.value.load(Ordering::Relaxed)
     }
 
@@ -100,27 +108,34 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&self, v: u64) {
         let idx = self.bounds.partition_point(|&b| b < v);
+        // ORDERING: Relaxed — statistical telemetry (see `Counter::add`);
+        // bucket/count/sum need not be mutually consistent at any instant,
+        // only individually lost-update-free.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // ORDERING: as above.
+        self.sum.fetch_add(v, Ordering::Relaxed); // ORDERING: as above.
     }
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — statistical telemetry; see `Counter::add`.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
+        // ORDERING: Relaxed — statistical telemetry; see `Counter::add`.
         self.sum.load(Ordering::Relaxed)
     }
 
     fn reset(&self) {
         for b in &self.buckets {
+            // ORDERING: Relaxed — statistical telemetry; see `Counter::add`.
             b.store(0, Ordering::Relaxed);
         }
+        // ORDERING: Relaxed — statistical telemetry; see `Counter::add`.
         self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed); // ORDERING: as above.
     }
 }
 
@@ -352,6 +367,9 @@ pub fn snapshot() -> MetricsSnapshot {
                         buckets: h
                             .buckets
                             .iter()
+                            // ORDERING: Relaxed — statistical telemetry; a
+                            // snapshot racing concurrent observes is a
+                            // point-in-time approximation by design.
                             .map(|b| b.load(Ordering::Relaxed))
                             .collect(),
                         count: h.count(),

@@ -107,12 +107,16 @@ impl Ring {
     }
 
     fn push(&self, ev: SpanEvent) {
+        // ORDERING: Relaxed — `head` only hands out unique slot indices;
+        // the event payload itself is published by the slot mutex.
         let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
         let mut slot = match self.slots[i].lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
         if slot.replace(ev).is_some() {
+            // ORDERING: Relaxed — statistical loss counter; eventual
+            // visibility suffices (see `overwritten()`).
             self.overwritten.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -155,12 +159,17 @@ pub fn install_ring(capacity: usize) {
         Ok(mut g) => *g = Some(ring),
         Err(poisoned) => *poisoned.into_inner() = Some(ring),
     }
+    // ORDERING: SeqCst — deliberate on/off edges: install/uninstall are
+    // rare, and a single total order for the flag flips keeps the fast
+    // path (`is_enabled`, `span`) safely Relaxed — worst case a span near
+    // the edge is dropped, never torn, since payload flows via `RECORDER`.
     ENABLED.store(true, Ordering::SeqCst);
 }
 
 /// Disables tracing, removes the recorder, and returns everything it
 /// held (oldest first). With no recorder installed, returns empty.
 pub fn uninstall() -> Vec<SpanEvent> {
+    // ORDERING: SeqCst — see the matching store in `install_ring`.
     ENABLED.store(false, Ordering::SeqCst);
     let ring = match RECORDER.write() {
         Ok(mut g) => g.take(),
@@ -176,11 +185,15 @@ pub fn drain() -> Vec<SpanEvent> {
 
 /// Number of spans lost to ring overwrites since install.
 pub fn overwritten() -> u64 {
+    // ORDERING: Relaxed — statistical loss counter; see `Ring::push`.
     recorder().map_or(0, |r| r.overwritten.load(Ordering::Relaxed))
 }
 
 /// Whether a recorder is installed and tracing is on.
 pub fn is_enabled() -> bool {
+    // ORDERING: Relaxed — advisory gate only; no data is published through
+    // the flag (the ring travels via the `RECORDER` lock), so a stale read
+    // merely records or skips a span near an install/uninstall edge.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -197,6 +210,8 @@ pub fn thread_id() -> u64 {
         if v != 0 {
             return v;
         }
+        // ORDERING: Relaxed — the RMW alone guarantees unique ids; no
+        // other memory is ordered by the tid counter.
         let fresh = NEXT_TID.fetch_add(1, Ordering::Relaxed);
         cell.set(fresh);
         fresh
@@ -253,6 +268,8 @@ impl Drop for Span {
 /// Opens a span. When tracing is disabled this is one relaxed atomic
 /// load and returns an inert guard — no clock read, no allocation.
 pub fn span(cat: &'static str, name: &'static str) -> Span {
+    // ORDERING: Relaxed — fast-path gate; see `is_enabled` for why a
+    // stale read is harmless here.
     if !ENABLED.load(Ordering::Relaxed) {
         return Span { inner: None };
     }

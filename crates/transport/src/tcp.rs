@@ -166,6 +166,9 @@ fn accept_loop(
     pool: Arc<Mutex<Vec<JoinHandle<()>>>>,
     opts: TcpOptions,
 ) {
+    // ORDERING: Relaxed — `stop` is a standalone shutdown flag with no
+    // associated data to publish; the loop only needs eventual visibility,
+    // and the unblocking connect in `Drop` guarantees a fresh iteration.
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -267,6 +270,8 @@ impl ServerTransport for TcpServer {
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
+        // ORDERING: Relaxed — standalone flag, no data published through
+        // it; the `join` below is the real synchronization point.
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();

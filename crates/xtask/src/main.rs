@@ -1,50 +1,51 @@
 //! `cargo xtask` — workspace static-analysis driver.
 //!
-//! `cargo xtask check` walks every `crates/*/src` tree (plus the root
-//! `src/`) and enforces the domain-specific correctness rules the stock
-//! toolchain cannot express (see `DESIGN.md`, "Correctness & lint
-//! policy"):
+//! `cargo xtask audit` walks every `crates/*/src` tree (plus the root
+//! `src/`) through the token-level rule engine (`xtask::rules`) and
+//! enforces the domain-specific correctness rules the stock toolchain
+//! cannot express (see `DESIGN.md`, "Correctness & lint policy"):
 //!
 //! 1. **Panic freedom** — no `unwrap()` / `expect()` / `panic!` /
 //!    `unreachable!` / `todo!` / `unimplemented!` in non-test library
 //!    code. The few justified sites carry a `// INVARIANT:` comment and an
 //!    exact-count entry in `crates/xtask/panic-allowlist.txt`.
 //! 2. **Deterministic randomness** — no `thread_rng` / `from_entropy` /
-//!    `OsRng` / `SystemTime`-seeded generators, and no `HashMap` /
-//!    `HashSet` (nondeterministic iteration order) in the numerical
-//!    crates. All randomness flows from caller-provided seeds.
+//!    `OsRng` / `getrandom`, and no `HashMap` / `HashSet`
+//!    (nondeterministic iteration order). All randomness flows from
+//!    caller-provided seeds.
 //! 3. **Sanctioned timing** — `Instant` / `SystemTime` only inside
-//!    `crates/obs/src` (the observability crate owns the process clock)
-//!    and `transport/src/timing.rs` (socket deadlines), in **both**
-//!    profiles; everything else routes timing through
-//!    `fedsc_obs::Stopwatch`, `time_phase`, or `Deadline`.
+//!    `crates/obs/src` and `transport/src/timing.rs`.
 //! 4. **Unignorable results** — solver/decomposition result structs are
-//!    declared `#[must_use]`, and public solver entry points return
-//!    `Result` or are `#[must_use]`.
-//! 5. **Socket hygiene** — raw socket types (`TcpStream` / `TcpListener` /
-//!    `UdpSocket`) only inside `crates/transport/src`, and any transport
-//!    file that touches them must arm both `set_read_timeout(Some(..))`
-//!    and `set_write_timeout(Some(..))` so no blocking socket call can
-//!    hang a round forever.
-//! 6. **Spawn confinement** — `thread::spawn` / `thread::scope` /
-//!    `thread::Builder` only inside the persistent pool
-//!    (`crates/linalg/src/par.rs`), the TCP transport's serve loops
-//!    (`transport::tcp`), and the process-wire harness (`core::wire`).
-//!    Everything else fans out through `fedsc_linalg::par`, which keeps
-//!    the `pool.workers_spawned` accounting truthful.
+//!    `#[must_use]`; solver entry points return `Result` or `#[must_use]`.
+//! 5. **Socket hygiene** — raw socket types only inside
+//!    `crates/transport/src`, with both socket timeouts armed.
+//! 6. **Spawn confinement** — thread creation only in the persistent pool,
+//!    the TCP serve loops, and the process-wire harness.
+//! 7. **Unsafe boundaries** — every `unsafe` carries a `// SAFETY:`
+//!    comment and an exact-count entry in
+//!    `crates/xtask/unsafe-registry.txt`.
+//! 8. **Atomics orderings** — every `Ordering::*` use carries an
+//!    `// ORDERING:` justification; suspicious Release/Relaxed
+//!    publish/observe pairs are flagged.
+//! 9. **Lock order** — the static lock-acquisition graph is cycle-free and
+//!    no lock is taken inside a `run_on_pool` job closure.
 //!
-//! Exit status is non-zero iff any diagnostic fired; every diagnostic is a
-//! `file:line: [rule] message` the terminal can jump to.
+//! `--report-out <file.json>` additionally writes a SARIF 2.1.0 report for
+//! CI artifact upload. Exit status is non-zero iff any diagnostic fired;
+//! every diagnostic is a `file:line: [rule] message` the terminal can jump
+//! to.
+//!
+//! `cargo xtask check` is a thin alias running only rules 1–6 (the legacy
+//! scanner's scope), so existing CI invocations stay meaningful.
 //!
 //! `cargo xtask validate-trace <file.json>` checks that an exported Chrome
-//! trace (`--trace-out`) is well-formed `trace_event` JSON — CI runs it
-//! against the smoke-perf trace so exporter regressions fail the build.
+//! trace (`--trace-out`) is well-formed `trace_event` JSON.
 
-mod scan;
-
-use scan::{scan_source, Allowlist, Diagnostic, Profile};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xtask::rules::{audit_source, detect_lock_cycles, reconcile_exact, LockEdge, RuleSet};
+use xtask::scan::{Allowlist, Diagnostic, Profile};
 
 /// Crates scanned with the strict profile.
 const STRICT_ROOTS: &[&str] = &[
@@ -67,11 +68,32 @@ const STRICT_ROOTS: &[&str] = &[
 const RELAXED_ROOTS: &[&str] = &["crates/bench/src"];
 
 const ALLOWLIST_PATH: &str = "crates/xtask/panic-allowlist.txt";
+const UNSAFE_REGISTRY_PATH: &str = "crates/xtask/unsafe-registry.txt";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("check") => run_check(),
+        Some("audit") => {
+            let mut report_out = None;
+            loop {
+                match args.next().as_deref() {
+                    Some("--report-out") => match args.next() {
+                        Some(p) => report_out = Some(p),
+                        None => {
+                            eprintln!("usage: cargo xtask audit [--report-out <report.json>]");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Some(other) => {
+                        eprintln!("xtask audit: unknown flag `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                    None => break,
+                }
+            }
+            run_rules("audit", RuleSet::Full, report_out.as_deref())
+        }
+        Some("check") => run_rules("check", RuleSet::Core, None),
         Some("validate-trace") => match args.next() {
             Some(path) => run_validate_trace(&path),
             None => {
@@ -80,11 +102,14 @@ fn main() -> ExitCode {
             }
         },
         Some(other) => {
-            eprintln!("unknown xtask command `{other}`; available: check, validate-trace");
+            eprintln!("unknown xtask command `{other}`; available: audit, check, validate-trace");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask check | cargo xtask validate-trace <trace.json>");
+            eprintln!(
+                "usage: cargo xtask audit [--report-out <report.json>] | cargo xtask check | \
+                 cargo xtask validate-trace <trace.json>"
+            );
             ExitCode::FAILURE
         }
     }
@@ -130,7 +155,8 @@ fn workspace_root() -> Option<PathBuf> {
     }
 }
 
-fn run_check() -> ExitCode {
+/// Shared driver for `audit` (rules 1–9) and `check` (rules 1–6).
+fn run_rules(cmd: &str, rules: RuleSet, report_out: Option<&str>) -> ExitCode {
     let Some(root) = workspace_root() else {
         eprintln!("xtask: could not locate the workspace root");
         return ExitCode::FAILURE;
@@ -142,9 +168,22 @@ fn run_check() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let registry = if rules == RuleSet::Full {
+        match Allowlist::load(&root.join(UNSAFE_REGISTRY_PATH)) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("xtask: cannot read {UNSAFE_REGISTRY_PATH}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
 
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
-    let mut invariant_counts = std::collections::BTreeMap::new();
+    let mut invariant_counts = BTreeMap::new();
+    let mut unsafe_counts = BTreeMap::new();
+    let mut lock_edges: Vec<LockEdge> = Vec::new();
     let mut files_scanned = 0usize;
     for (roots, profile) in [
         (STRICT_ROOTS, Profile::Strict),
@@ -169,23 +208,64 @@ fn run_check() -> ExitCode {
                 };
                 files_scanned += 1;
                 let label = rel_label(&root, &path);
-                let outcome = scan_source(&label, &text, profile, &allowlist);
+                let outcome = audit_source(&label, &text, profile, &allowlist, rules);
                 diagnostics.extend(outcome.diagnostics);
-                invariant_counts.insert(label, outcome.invariant_sites.len());
+                invariant_counts.insert(label.clone(), outcome.invariant_sites.len());
+                unsafe_counts.insert(label, outcome.unsafe_sites.len());
+                lock_edges.extend(outcome.lock_edges);
             }
         }
     }
-    diagnostics.extend(allowlist.reconcile(&invariant_counts));
+
+    // Cross-file reconciliation. `check` keeps the legacy one-sided
+    // allowlist check; `audit` verifies both count files exactly and
+    // cycle-checks the global lock graph.
+    match &registry {
+        Some(reg) => {
+            diagnostics.extend(reconcile_exact(
+                &allowlist,
+                ALLOWLIST_PATH,
+                "allowlist",
+                "INVARIANT",
+                &invariant_counts,
+            ));
+            diagnostics.extend(reconcile_exact(
+                reg,
+                UNSAFE_REGISTRY_PATH,
+                "unsafe",
+                "unsafe",
+                &unsafe_counts,
+            ));
+            diagnostics.extend(detect_lock_cycles(&lock_edges));
+        }
+        None => diagnostics.extend(allowlist.reconcile(&invariant_counts)),
+    }
+
+    if let Some(path) = report_out {
+        let doc = xtask::report::sarif(&diagnostics);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("xtask {cmd}: cannot write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask {cmd}: SARIF report written to {path}");
+    }
 
     if diagnostics.is_empty() {
-        println!("xtask check: {files_scanned} files clean");
+        if registry.is_some() {
+            println!(
+                "xtask {cmd}: {files_scanned} files clean ({} lock edge(s), acyclic)",
+                lock_edges.len()
+            );
+        } else {
+            println!("xtask {cmd}: {files_scanned} files clean");
+        }
         ExitCode::SUCCESS
     } else {
         for d in &diagnostics {
             eprintln!("{d}");
         }
         eprintln!(
-            "xtask check: {} violation(s) in {files_scanned} files",
+            "xtask {cmd}: {} violation(s) in {files_scanned} files",
             diagnostics.len()
         );
         ExitCode::FAILURE

@@ -31,6 +31,7 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
+    /// A finding that concerns the whole file (rendered without a line).
     pub fn file_level(file: String, rule: &'static str, message: &str) -> Self {
         Diagnostic {
             file,
@@ -101,6 +102,11 @@ impl Allowlist {
         self.entries.get(file).copied().unwrap_or(0)
     }
 
+    /// The files named by entries, in sorted order.
+    pub fn files(&self) -> impl Iterator<Item = &String> {
+        self.entries.keys()
+    }
+
     /// Diagnostics for entries whose file was never visited or whose count
     /// no longer matches; call after every file has been checked in.
     pub fn reconcile(&self, seen: &BTreeMap<String, usize>) -> Vec<Diagnostic> {
@@ -157,18 +163,18 @@ const TIMING_TOKENS: &[&str] = &["Instant", "SystemTime"];
 
 /// The observability crate owns the process clock (`fedsc_obs::clock`);
 /// every file in it may observe time.
-const TIMING_SANCTUARY_DIR: &str = "crates/obs/src";
+pub const TIMING_SANCTUARY_DIR: &str = "crates/obs/src";
 
 /// Extra files allowed to observe the wall clock: the transport crate's
 /// deadline/retry module (socket budgets are inherently wall-clock).
-const SANCTIONED_TIMING_FILES: &[&str] = &["crates/transport/src/timing.rs"];
+pub const SANCTIONED_TIMING_FILES: &[&str] = &["crates/transport/src/timing.rs"];
 
 /// Raw socket types (rule 5): only the transport crate may touch them, and
 /// any transport file that does must arm both socket timeouts.
 const SOCKET_TOKENS: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
 
 /// The one directory where raw sockets are legal.
-const SOCKET_SANCTUARY: &str = "crates/transport/src";
+pub const SOCKET_SANCTUARY: &str = "crates/transport/src";
 
 /// Thread-creation constructs (rule 6), both profiles. Worker threads are
 /// confined to the persistent pool and the transport/server accept loops;
@@ -179,7 +185,7 @@ const SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Build
 
 /// Files allowed to create OS threads directly: the pool itself, the TCP
 /// transport's accept/serve loops, and the process-spawning wire harness.
-const SPAWN_SANCTUARY_FILES: &[&str] = &[
+pub const SPAWN_SANCTUARY_FILES: &[&str] = &[
     "crates/linalg/src/par.rs",
     "crates/transport/src/tcp.rs",
     "crates/core/src/wire.rs",
@@ -187,7 +193,7 @@ const SPAWN_SANCTUARY_FILES: &[&str] = &[
 
 /// Solver/decomposition result structs that must be declared `#[must_use]`
 /// (rule 4a): ignoring one silently drops a factorization.
-const MUST_USE_STRUCTS: &[&str] = &[
+pub const MUST_USE_STRUCTS: &[&str] = &[
     "Svd",
     "SymmetricEig",
     "Qr",
@@ -199,7 +205,7 @@ const MUST_USE_STRUCTS: &[&str] = &[
 
 /// `pub fn` name prefixes that are solver entry points (rule 4b): they must
 /// return `Result` or carry `#[must_use]`.
-const SOLVER_FN_PREFIXES: &[&str] = &[
+pub const SOLVER_FN_PREFIXES: &[&str] = &[
     "solve",
     "svd",
     "eigh",

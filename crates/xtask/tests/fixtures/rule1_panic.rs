@@ -1,0 +1,16 @@
+fn f(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn g(v: Option<u32>) -> u32 {
+    v.expect("missing")
+}
+
+fn h() {
+    panic!("boom");
+}
+
+fn justified(v: Option<u32>) -> u32 {
+    // INVARIANT: caller checked `v` is Some above.
+    v.unwrap()
+}

@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+
+fn f() -> u64 {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let rng = thread_rng();
+    rng.next_u64()
+}

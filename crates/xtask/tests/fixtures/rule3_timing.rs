@@ -1,0 +1,8 @@
+fn f() -> u64 {
+    let t = Instant::now();
+    elapsed(t)
+}
+
+fn g() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,7 @@
+pub struct Svd {
+    pub u: u8,
+}
+
+pub fn solve_panel(b: &[f64]) -> f64 {
+    b[0]
+}

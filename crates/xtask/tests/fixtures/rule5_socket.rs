@@ -1,0 +1,4 @@
+fn f(addr: &str) -> std::io::Result<()> {
+    let s = std::net::TcpStream::connect(addr)?;
+    s.shutdown(std::net::Shutdown::Both)
+}

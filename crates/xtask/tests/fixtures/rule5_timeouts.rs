@@ -1,0 +1,4 @@
+fn f(s: &std::net::TcpStream, d: std::time::Duration) -> std::io::Result<()> {
+    s.set_read_timeout(Some(d))?;
+    Ok(())
+}

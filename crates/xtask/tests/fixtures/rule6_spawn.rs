@@ -1,0 +1,4 @@
+fn f() {
+    let h = std::thread::spawn(|| {});
+    let _ = h.join();
+}

@@ -1,0 +1,8 @@
+fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn g(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+fn publish(a: &AtomicUsize) {
+    a.store(1, Ordering::Release);
+}
+
+fn probe(a: &AtomicUsize) -> usize {
+    // ORDERING: probe only, no data read through the flag.
+    a.load(Ordering::Relaxed)
+}

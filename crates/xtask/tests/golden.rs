@@ -1,0 +1,225 @@
+//! Golden-file tests for `cargo xtask audit`.
+//!
+//! Each fixture under `tests/fixtures/` seeds violations of one rule
+//! family; its `.expected` sibling holds the `file:line: [rule]` output the
+//! engine must produce (file-level findings render without a line). The
+//! fixtures are never compiled — they live outside `src/`, so the audit's
+//! own workspace walk never sees them either.
+//!
+//! The differential property test at the bottom checks that the token-level
+//! engine (`RuleSet::Core`) and the legacy line scanner agree on rules 1–6
+//! over the *real* workspace: same diagnostic `(line, rule)` sites and same
+//! `// INVARIANT:` site lists, file by file.
+
+use proptest::prelude::*;
+use xtask::rules::{audit_source, detect_lock_cycles, RuleSet};
+use xtask::scan::{scan_source, Allowlist, Diagnostic, Profile};
+
+/// Audits fixture `source` as `label` and renders every diagnostic —
+/// including global lock-cycle findings — as `file[:line]: [rule]`.
+fn run_fixture(label: &str, source: &str, allow: &Allowlist) -> Vec<String> {
+    let out = audit_source(label, source, Profile::Strict, allow, RuleSet::Full);
+    let mut diags = out.diagnostics;
+    diags.extend(detect_lock_cycles(&out.lock_edges));
+    diags.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    diags.iter().map(render).collect()
+}
+
+fn render(d: &Diagnostic) -> String {
+    if d.line == 0 {
+        format!("{}: [{}]", d.file, d.rule)
+    } else {
+        format!("{}:{}: [{}]", d.file, d.line, d.rule)
+    }
+}
+
+fn check_fixture(name: &str, label: &str, source: &str, expected: &str, allow: &Allowlist) {
+    let got = run_fixture(label, source, allow);
+    let want: Vec<String> = expected
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    assert_eq!(got, want, "fixture `{name}` diverged from its .expected");
+}
+
+macro_rules! golden {
+    ($test:ident, $name:literal, $label:literal) => {
+        golden!($test, $name, $label, Allowlist::default());
+    };
+    ($test:ident, $name:literal, $label:literal, $allow:expr) => {
+        #[test]
+        fn $test() {
+            check_fixture(
+                $name,
+                $label,
+                include_str!(concat!("fixtures/", $name, ".rs")),
+                include_str!(concat!("fixtures/", $name, ".expected")),
+                &$allow,
+            );
+        }
+    };
+}
+
+golden!(
+    rule1_panic_fixture,
+    "rule1_panic",
+    "crates/linalg/src/fixture.rs",
+    // One entry: the fixture's final `.unwrap()` carries an INVARIANT
+    // justification and must reconcile cleanly, not fire.
+    Allowlist::parse("crates/linalg/src/fixture.rs 1\n")
+);
+golden!(
+    rule2_rng_fixture,
+    "rule2_rng",
+    "crates/linalg/src/fixture.rs"
+);
+golden!(
+    rule3_timing_fixture,
+    "rule3_timing",
+    "crates/subspace/src/fixture.rs"
+);
+golden!(
+    rule4_must_use_fixture,
+    "rule4_must_use",
+    "crates/linalg/src/fixture.rs"
+);
+golden!(
+    rule5_socket_fixture,
+    "rule5_socket",
+    "crates/core/src/fixture.rs"
+);
+golden!(
+    rule5_timeouts_fixture,
+    "rule5_timeouts",
+    "crates/transport/src/fixture.rs"
+);
+golden!(
+    rule6_spawn_fixture,
+    "rule6_spawn",
+    "crates/federated/src/fixture.rs"
+);
+golden!(
+    rule7_unsafe_fixture,
+    "rule7_unsafe",
+    "crates/linalg/src/fixture.rs"
+);
+golden!(
+    rule8_ordering_fixture,
+    "rule8_ordering",
+    "crates/obs/src/fixture.rs"
+);
+golden!(
+    rule9_lock_fixture,
+    "rule9_lock",
+    "crates/linalg/src/fixture.rs"
+);
+
+/// The rule-7 fixture's justified site still counts toward the registry:
+/// both unsafe tokens are reported as sites, only the bare one diagnosed.
+#[test]
+fn rule7_fixture_counts_both_sites() {
+    let out = audit_source(
+        "crates/linalg/src/fixture.rs",
+        include_str!("fixtures/rule7_unsafe.rs"),
+        Profile::Strict,
+        &Allowlist::default(),
+        RuleSet::Full,
+    );
+    assert_eq!(out.unsafe_sites, vec![2, 7]);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property test: token engine vs legacy line scanner.
+
+/// Workspace-relative `.rs` files under every scanned root, with contents.
+fn workspace_files() -> Vec<(String, String, Profile)> {
+    let root = {
+        let mut d = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        d.pop();
+        d.pop();
+        d
+    };
+    let mut out = Vec::new();
+    let roots: &[(&str, Profile)] = &[
+        ("crates/linalg/src", Profile::Strict),
+        ("crates/sparse/src", Profile::Strict),
+        ("crates/graph/src", Profile::Strict),
+        ("crates/clustering/src", Profile::Strict),
+        ("crates/subspace/src", Profile::Strict),
+        ("crates/federated/src", Profile::Strict),
+        ("crates/data/src", Profile::Strict),
+        ("crates/core/src", Profile::Strict),
+        ("crates/transport/src", Profile::Strict),
+        ("crates/obs/src", Profile::Strict),
+        ("crates/xtask/src", Profile::Strict),
+        ("src", Profile::Strict),
+        ("crates/bench/src", Profile::Relaxed),
+    ];
+    for &(rel, profile) in roots {
+        let dir = root.join(rel);
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&d) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let Ok(text) = std::fs::read_to_string(&p) else {
+                        continue;
+                    };
+                    let label = p
+                        .strip_prefix(&root)
+                        .map(|q| q.to_string_lossy().replace('\\', "/"))
+                        .unwrap_or_default();
+                    out.push((label, text, profile));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// `(line, rule)` sites of rule 1–6 diagnostics, sorted — the comparable
+/// core both engines must agree on (messages differ only in phrasing).
+fn sites(diags: &[Diagnostic]) -> Vec<(usize, &'static str)> {
+    let mut v: Vec<(usize, &'static str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// On every real workspace file the strategy lands on, the token-level
+    /// Core rules and the legacy line scanner report identical diagnostic
+    /// sites and identical INVARIANT-site lists.
+    #[test]
+    fn token_engine_agrees_with_line_scanner(pick in 0usize..4096) {
+        let files = workspace_files();
+        prop_assert!(!files.is_empty());
+        let (label, text, profile) = &files[pick % files.len()];
+        let allow = Allowlist::default();
+        let old = scan_source(label, text, *profile, &allow);
+        let new = audit_source(label, text, *profile, &allow, RuleSet::Core);
+        prop_assert_eq!(
+            sites(&old.diagnostics),
+            sites(&new.diagnostics),
+            "diagnostics diverged on {}",
+            label
+        );
+        let mut old_inv = old.invariant_sites.clone();
+        old_inv.sort_unstable();
+        prop_assert_eq!(
+            old_inv,
+            new.invariant_sites.clone(),
+            "INVARIANT sites diverged on {}",
+            label
+        );
+    }
+}
