@@ -6,8 +6,10 @@
 
 use crate::kmeans::{kmeans, KMeansOptions};
 use fedsc_graph::laplacian::normalized_laplacian;
-use fedsc_graph::AffinityGraph;
-use fedsc_linalg::eigh::k_smallest;
+use fedsc_graph::sparse::sparse_normalized_laplacian;
+use fedsc_graph::{AffinityGraph, SparseAffinity};
+use fedsc_linalg::eigh::{k_smallest, SymmetricEig};
+use fedsc_linalg::lanczos::lanczos_smallest_op;
 use fedsc_linalg::{vector, Matrix, Result};
 use rand::Rng;
 
@@ -49,9 +51,49 @@ pub fn spectral_clustering<R: Rng + ?Sized>(
     let k = opts.k.clamp(1, n);
     let lap = normalized_laplacian(g);
     let eig = k_smallest(&lap, k)?;
-    // Embedding: rows of the eigenvector matrix, row-normalized (NJW).
-    // Our k-means consumes columns, so build the transposed embedding
-    // (`k x n`, one column per node).
+    embed_and_cluster(&eig, n, k, opts, rng)
+}
+
+/// [`spectral_clustering`] over a CSR affinity — the subquadratic pipeline's
+/// segmentation step. The Laplacian stays in CSR and the eigenpairs come
+/// from the matrix-free Lanczos solver, so no `n x n` dense array is ever
+/// materialized at scale.
+///
+/// Below the dense eigensolver cutover (where `k_smallest` would run the
+/// full `tred2`/`tql2` factorization anyway) the graph is densified and the
+/// call is **bitwise** the dense [`spectral_clustering`] — the CSR
+/// round trip and Laplacian mirror the dense arithmetic exactly. Above the
+/// cutover both representations run the same deflated Lanczos with the same
+/// parameters.
+pub fn spectral_clustering_sparse<R: Rng + ?Sized>(
+    w: &SparseAffinity,
+    opts: &SpectralOptions,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    let n = w.len();
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    let k = opts.k.clamp(1, n);
+    // Mirror the `k_smallest` backend cutover: small graphs take the dense
+    // path verbatim (bitwise parity), large graphs stay sparse end to end.
+    if !(n > 400 && k.saturating_mul(8) < n) {
+        return spectral_clustering(&w.to_graph(), opts, rng);
+    }
+    let lap = sparse_normalized_laplacian(w);
+    let eig = lanczos_smallest_op(&lap, k, k + 40)?;
+    embed_and_cluster(&eig, n, k, opts, rng)
+}
+
+/// Shared NJW tail: transpose the `k` smallest eigenvectors into a `k x n`
+/// embedding (one column per node), row-normalize, k-means the columns.
+fn embed_and_cluster<R: Rng + ?Sized>(
+    eig: &SymmetricEig,
+    n: usize,
+    k: usize,
+    opts: &SpectralOptions,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
     let mut emb = Matrix::zeros(k, n);
     for node in 0..n {
         for c in 0..k {
@@ -132,6 +174,76 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let labels = spectral_clustering(&g, &SpectralOptions::new(30), &mut rng).unwrap();
         // Every block must be pure and blocks must be separated.
+        let mut block_label = Vec::new();
+        for b in 0..30 {
+            let base = labels[b * 17];
+            assert!(
+                labels[b * 17..(b + 1) * 17].iter().all(|&l| l == base),
+                "block {b} is split"
+            );
+            block_label.push(base);
+        }
+        block_label.sort_unstable();
+        block_label.dedup();
+        assert_eq!(block_label.len(), 30, "blocks were merged");
+    }
+
+    /// Sparse affinity and the bitwise-equal dense graph for a block
+    /// structure: coefficient `0.5` in both directions makes each
+    /// within-block weight exactly `1.0` under `|C| + |C|^T`.
+    fn block_codes(sizes: &[usize]) -> (fedsc_graph::SparseAffinity, AffinityGraph) {
+        use fedsc_sparse::SparseVec;
+        let n: usize = sizes.iter().sum();
+        let mut block = vec![0usize; n];
+        let mut idx = 0;
+        for (b, &s) in sizes.iter().enumerate() {
+            for _ in 0..s {
+                block[idx] = b;
+                idx += 1;
+            }
+        }
+        let mut dense = Matrix::zeros(n, n);
+        let mut codes = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut ind = Vec::new();
+            let mut val = Vec::new();
+            for j in 0..n {
+                if j != i && block[j] == block[i] {
+                    dense[(j, i)] = 0.5;
+                    ind.push(j);
+                    val.push(0.5);
+                }
+            }
+            codes.push(SparseVec::from_parts(n, ind, val));
+        }
+        (
+            fedsc_graph::SparseAffinity::from_codes(&codes),
+            AffinityGraph::from_coefficients(&dense),
+        )
+    }
+
+    #[test]
+    fn sparse_path_is_bitwise_dense_below_cutover() {
+        // Satellite (3b): below the Lanczos cutover the CSR spectral path
+        // must produce bit-for-bit the dense labels — same affinity, same
+        // Laplacian, same eigensolver, same seeded k-means draws.
+        let (sparse, dense) = block_codes(&[5, 6, 4]);
+        let opts = SpectralOptions::new(3);
+        let labels_dense =
+            spectral_clustering(&dense, &opts, &mut StdRng::seed_from_u64(11)).unwrap();
+        let labels_sparse =
+            spectral_clustering_sparse(&sparse, &opts, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(labels_dense, labels_sparse);
+    }
+
+    #[test]
+    fn sparse_path_recovers_blocks_above_cutover() {
+        // 30 blocks of 17 nodes = 510 > 400: the CSR Laplacian drives the
+        // matrix-free deflated Lanczos solver end to end.
+        let (sparse, _) = block_codes(&vec![17; 30]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let labels =
+            spectral_clustering_sparse(&sparse, &SpectralOptions::new(30), &mut rng).unwrap();
         let mut block_label = Vec::new();
         for b in 0..30 {
             let base = labels[b * 17];

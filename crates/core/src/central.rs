@@ -8,9 +8,10 @@
 
 use crate::config::CentralBackend;
 use fedsc_clustering::spectral::{spectral_clustering, SpectralOptions};
+use fedsc_clustering::spectral_clustering_sparse;
 use fedsc_graph::AffinityGraph;
 use fedsc_linalg::{Matrix, Result};
-use fedsc_subspace::{Ssc, SubspaceClusterer, Tsc};
+use fedsc_subspace::{CandidateOptions, Ssc, SubspaceClusterer, Tsc};
 use rand::Rng;
 
 /// Result of the central clustering step.
@@ -26,21 +27,48 @@ pub struct CentralOutput {
 /// Clusters the pooled samples into `l` global clusters.
 ///
 /// `num_devices` feeds the TSC `q` rule; it is ignored by the SSC backend.
+/// `candidate_threshold` is the pooled-sample count at or above which the
+/// SSC backend switches to the subquadratic sketched-candidate pipeline:
+/// sparse CSR affinity straight from the certified codes, spectral
+/// clustering through the CSR Lanczos path. Below it (and for TSC) the
+/// dense path runs bitwise-unchanged.
 pub fn central_cluster<R: Rng + ?Sized>(
     samples: &Matrix,
     l: usize,
     num_devices: usize,
     backend: CentralBackend,
+    candidate_threshold: usize,
     rng: &mut R,
 ) -> Result<CentralOutput> {
+    let opts = SpectralOptions::new(l);
     let graph = match backend {
-        CentralBackend::Ssc => Ssc::default().affinity(samples)?,
+        CentralBackend::Ssc => {
+            let ssc = Ssc {
+                candidates: Some(CandidateOptions {
+                    min_points: candidate_threshold,
+                    ..CandidateOptions::default()
+                }),
+                ..Ssc::default()
+            };
+            if ssc.uses_candidates(samples.cols()) {
+                // Subquadratic route: certified sparse codes -> CSR
+                // affinity -> CSR spectral. The dense graph is kept only
+                // for the CONN diagnostics downstream.
+                let w = ssc.sparse_affinity(samples)?;
+                let assignments = spectral_clustering_sparse(&w, &opts, rng)?;
+                return Ok(CentralOutput {
+                    assignments,
+                    graph: w.to_graph(),
+                });
+            }
+            ssc.affinity(samples)?
+        }
         CentralBackend::Tsc { q } => {
             let q = q.unwrap_or_else(|| Tsc::fed_sc_q(num_devices, l));
             Tsc::new(q).affinity(samples)?
         }
     };
-    let assignments = spectral_clustering(&graph, &SpectralOptions::new(l), rng)?;
+    let assignments = spectral_clustering(&graph, &opts, rng)?;
     Ok(CentralOutput { assignments, graph })
 }
 
@@ -80,7 +108,7 @@ mod tests {
     fn ssc_backend_clusters_semi_random_samples() {
         let mut rng = StdRng::seed_from_u64(1);
         let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 3, 15);
-        let out = central_cluster(&samples, 3, 45, CentralBackend::Ssc, &mut rng).unwrap();
+        let out = central_cluster(&samples, 3, 45, CentralBackend::Ssc, 2048, &mut rng).unwrap();
         let acc = clustering_accuracy(&truth, &out.assignments);
         assert!(acc > 95.0, "accuracy {acc}");
     }
@@ -89,8 +117,15 @@ mod tests {
     fn tsc_backend_clusters_semi_random_samples() {
         let mut rng = StdRng::seed_from_u64(1);
         let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 3, 20);
-        let out =
-            central_cluster(&samples, 3, 60, CentralBackend::Tsc { q: None }, &mut rng).unwrap();
+        let out = central_cluster(
+            &samples,
+            3,
+            60,
+            CentralBackend::Tsc { q: None },
+            2048,
+            &mut rng,
+        )
+        .unwrap();
         let acc = clustering_accuracy(&truth, &out.assignments);
         assert!(acc > 90.0, "accuracy {acc}");
     }
@@ -104,6 +139,7 @@ mod tests {
             2,
             30,
             CentralBackend::Tsc { q: Some(5) },
+            2048,
             &mut rng,
         )
         .unwrap();
@@ -112,10 +148,42 @@ mod tests {
     }
 
     #[test]
+    fn candidate_route_matches_dense_central_clustering() {
+        // Drop the threshold so the pooled samples route through the
+        // sketched-candidate pipeline; the certified codes and the dense
+        // cutover inside the sparse spectral path must reproduce the dense
+        // run exactly on a seeded problem.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 3, 15);
+        let mut dense_rng = StdRng::seed_from_u64(77);
+        let dense = central_cluster(
+            &samples,
+            3,
+            45,
+            CentralBackend::Ssc,
+            usize::MAX,
+            &mut dense_rng,
+        )
+        .unwrap();
+        let mut cand_rng = StdRng::seed_from_u64(77);
+        let cand = central_cluster(&samples, 3, 45, CentralBackend::Ssc, 2, &mut cand_rng).unwrap();
+        assert_eq!(cand.assignments, dense.assignments);
+        let acc = clustering_accuracy(&truth, &cand.assignments);
+        assert!(acc > 95.0, "accuracy {acc}");
+        let n = dense.graph.len();
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (dense.graph.weight(i, j), cand.graph.weight(i, j));
+                assert!((a - b).abs() < 1e-6, "weight ({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn graph_is_returned_for_diagnostics() {
         let mut rng = StdRng::seed_from_u64(4);
         let (samples, _) = semi_random_samples(&mut rng, 10, 2, 2, 5);
-        let out = central_cluster(&samples, 2, 10, CentralBackend::Ssc, &mut rng).unwrap();
+        let out = central_cluster(&samples, 2, 10, CentralBackend::Ssc, 2048, &mut rng).unwrap();
         assert_eq!(out.graph.len(), 10);
         assert_eq!(out.assignments.len(), 10);
     }

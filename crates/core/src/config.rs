@@ -107,6 +107,12 @@ pub struct FedScConfig {
     pub kernel_threads: usize,
     /// Base seed; device `z` derives `seed + z`.
     pub seed: u64,
+    /// Point count at or above which SSC (local and central) routes
+    /// through the subquadratic sketched-candidate pipeline instead of the
+    /// dense all-pairs Lasso. Below the threshold the classic dense path
+    /// runs bitwise-unchanged. The certificate-plus-escalation design keeps
+    /// the codes exact either way; this knob only trades constant factors.
+    pub candidate_threshold: usize,
 }
 
 impl FedScConfig {
@@ -134,6 +140,7 @@ impl FedScConfig {
             threads: fedsc_federated::parallel::default_threads(),
             kernel_threads: 1,
             seed: 0xfed5c,
+            candidate_threshold: fedsc_subspace::CandidateOptions::default().min_points,
         }
     }
 

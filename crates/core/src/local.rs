@@ -17,7 +17,7 @@ use fedsc_graph::laplacian::{
 use fedsc_linalg::random::sample_on_subspace;
 use fedsc_linalg::svd::truncated_svd;
 use fedsc_linalg::{par, Matrix, Result};
-use fedsc_subspace::{Ssc, SubspaceClusterer as _, Tsc};
+use fedsc_subspace::{CandidateOptions, Ssc, SubspaceClusterer as _, Tsc};
 use rand::Rng;
 
 /// Output of Algorithm 2 on one device.
@@ -69,6 +69,10 @@ pub fn local_cluster_and_sample<R: Rng + ?Sized>(
                 alpha: cfg.ssc_alpha,
                 lasso,
                 normalize: true,
+                candidates: Some(CandidateOptions {
+                    min_points: cfg.candidate_threshold,
+                    ..CandidateOptions::default()
+                }),
             };
             ssc.affinity(data)?
         }

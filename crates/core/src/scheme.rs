@@ -172,6 +172,7 @@ impl FedSc {
                 cfg.num_clusters,
                 z_count,
                 cfg.central,
+                cfg.candidate_threshold,
                 &mut server_rng,
             )
         });

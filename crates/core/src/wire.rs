@@ -264,6 +264,7 @@ pub fn server_round<S: ServerTransport>(
         cfg.num_clusters,
         included.len(),
         cfg.central,
+        cfg.candidate_threshold,
         &mut server_rng,
     )?;
     drop(central_span);

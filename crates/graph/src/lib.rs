@@ -8,6 +8,9 @@
 //! * [`laplacian`] — normalized/unnormalized Laplacians, spectra, the
 //!   paper's Eq. (3) eigengap cluster-count estimate, and algebraic
 //!   connectivity for the CONN metric.
+//! * [`sparse`] — CSR affinity graphs ([`sparse::SparseAffinity`]) and the
+//!   CSR normalized Laplacian for the subquadratic pipeline, bitwise
+//!   mirrors of the dense constructors.
 
 #![warn(missing_docs)]
 // Indexed loops over matrix dimensions are the idiom in numerical kernels
@@ -16,5 +19,7 @@
 
 pub mod affinity;
 pub mod laplacian;
+pub mod sparse;
 
 pub use affinity::AffinityGraph;
+pub use sparse::SparseAffinity;

@@ -1,0 +1,272 @@
+//! Sparse (CSR) affinity graphs and Laplacians.
+//!
+//! The dense [`AffinityGraph`](crate::affinity::AffinityGraph) stores all
+//! `n^2` weights, which caps the spectral pipeline around a few thousand
+//! nodes. Candidate-restricted SSC codes have `O(k)` nonzeros per column, so
+//! at `n = 16k` the affinity is ~99.7% zeros — this module keeps it in CSR
+//! end to end: build from sparse codes (or a k-NN similarity scan), take
+//! degrees from row sums, and assemble the normalized Laplacian as a CSR
+//! matrix that the Lanczos solver consumes matrix-free (`SymOp` impl in
+//! `fedsc-sparse`), never materializing an `n x n` dense array.
+//!
+//! Every constructor mirrors the dense arithmetic operation for operation
+//! (same products, same association, same accumulation order), so on graphs
+//! where both representations are affordable the sparse path is **bitwise**
+//! the dense path — the parity tests below pin that down.
+
+use crate::affinity::AffinityGraph;
+use fedsc_linalg::par;
+use fedsc_sparse::{CsrMatrix, SparseVec};
+
+/// A non-negative symmetric affinity matrix with zero diagonal, stored in
+/// CSR. The sparse counterpart of [`AffinityGraph`].
+#[derive(Debug, Clone)]
+pub struct SparseAffinity {
+    w: CsrMatrix,
+}
+
+impl SparseAffinity {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.w.rows() == 0
+    }
+
+    /// The CSR affinity matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.w
+    }
+
+    /// Edge weight between `i` and `j`.
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        self.w.get(i, j)
+    }
+
+    /// Builds `W = |C| + |C|^T` (zero diagonal) from per-point
+    /// self-expression codes, where `codes[i]` is column `i` of `C` — the
+    /// sparse counterpart of `AffinityGraph::from_coefficients`, bitwise
+    /// equal entry for entry (IEEE addition is commutative, and each entry
+    /// is the same single `|c_ij| + |c_ji|` sum).
+    pub fn from_codes(codes: &[SparseVec]) -> Self {
+        Self {
+            w: CsrMatrix::symmetrized_affinity(codes),
+        }
+    }
+
+    /// Sparse counterpart of `AffinityGraph::from_knn_similarity_threaded`:
+    /// node `i` keeps edges to its `q` most similar peers, symmetrized by
+    /// max, stored in CSR. The per-node scans fan out over `threads`; the
+    /// max-merge runs sequentially in node order, so the edge set and
+    /// weights are bitwise the dense constructor's for every thread count.
+    pub fn from_knn_similarity_threaded<F>(
+        n: usize,
+        q: usize,
+        threads: usize,
+        similarity: F,
+    ) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        let q = q.min(n.saturating_sub(1));
+        let top: Vec<Vec<(f64, usize)>> = par::par_map(n, threads, |i| {
+            let mut sims: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (similarity(i, j), j))
+                .collect();
+            sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+            sims.truncate(q);
+            sims
+        });
+        // Max-symmetrize into per-row sorted adjacency (duplicate-summing
+        // triplets can't express "max", so merge explicitly).
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let put_max = |rows: &mut Vec<Vec<(usize, f64)>>, i: usize, j: usize, s: f64| {
+            let row = &mut rows[i];
+            match row.binary_search_by_key(&j, |&(c, _)| c) {
+                Ok(k) => {
+                    if s > row[k].1 {
+                        row[k].1 = s;
+                    }
+                }
+                Err(k) => row.insert(k, (j, s)),
+            }
+        };
+        for (i, sims) in top.iter().enumerate() {
+            for &(s, j) in sims {
+                if s > 0.0 {
+                    let current = rows[i]
+                        .binary_search_by_key(&j, |&(c, _)| c)
+                        .map(|k| rows[i][k].1)
+                        .unwrap_or(0.0);
+                    if s > current {
+                        put_max(&mut rows, i, j, s);
+                        put_max(&mut rows, j, i, s);
+                    }
+                }
+            }
+        }
+        let mut triplets = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, s) in row {
+                triplets.push((i, j, s));
+            }
+        }
+        Self {
+            w: CsrMatrix::from_triplets(n, n, &triplets),
+        }
+    }
+
+    /// Node degrees (row sums). Bitwise the dense `AffinityGraph::degrees`:
+    /// stored entries sum in ascending column order and absent zeros would
+    /// contribute `+0.0`, a bitwise no-op on these non-negative partials.
+    pub fn degrees(&self) -> Vec<f64> {
+        self.w.row_sums()
+    }
+
+    /// Densifies into an [`AffinityGraph`] (diagnostics / small graphs).
+    /// `from_symmetric`'s `0.5 * (v + v)` is exact for finite weights, so
+    /// the round trip is bitwise lossless.
+    pub fn to_graph(&self) -> AffinityGraph {
+        AffinityGraph::from_symmetric(&self.w.to_dense())
+    }
+}
+
+/// Builds the normalized Laplacian `I - D^{-1/2} W D^{-1/2}` in CSR,
+/// mirroring the dense `normalized_laplacian` arithmetic exactly: same
+/// `1/sqrt(d)` scalings, same `(inv_i * w) * inv_j` product order, diagonal
+/// exactly `1.0` (isolated nodes keep their identity row).
+pub fn sparse_normalized_laplacian(g: &SparseAffinity) -> CsrMatrix {
+    let n = g.len();
+    let deg = g.degrees();
+    let inv_sqrt: Vec<f64> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let mut triplets = Vec::with_capacity(n + g.matrix().nnz());
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+        for (j, w) in g.matrix().row(i) {
+            if i != j && w != 0.0 {
+                triplets.push((i, j, -(inv_sqrt[i] * w * inv_sqrt[j])));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::normalized_laplacian;
+    use fedsc_linalg::Matrix;
+
+    /// Sparse codes and the equivalent dense coefficient matrix.
+    fn sample_codes() -> (Vec<SparseVec>, Matrix) {
+        let n = 6;
+        let entries: [&[(usize, f64)]; 6] = [
+            &[(1, 0.8), (2, -0.3)],
+            &[(0, 0.7), (3, 0.1)],
+            &[(0, -0.4), (4, 0.9)],
+            &[(1, 0.2), (5, -0.6)],
+            &[(2, 0.5)],
+            &[(3, -0.75), (4, 0.05)],
+        ];
+        let mut dense = Matrix::zeros(n, n);
+        let codes = entries
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut idx = Vec::new();
+                let mut val = Vec::new();
+                for &(j, v) in row.iter() {
+                    dense[(j, i)] = v;
+                    idx.push(j);
+                    val.push(v);
+                }
+                SparseVec::from_parts(n, idx, val)
+            })
+            .collect();
+        (codes, dense)
+    }
+
+    #[test]
+    fn from_codes_matches_dense_affinity_bitwise() {
+        let (codes, dense) = sample_codes();
+        let sparse = SparseAffinity::from_codes(&codes);
+        let g = AffinityGraph::from_coefficients(&dense);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(
+                    sparse.weight(i, j).to_bits(),
+                    g.weight(i, j).to_bits(),
+                    "entry ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(sparse.degrees(), g.degrees());
+    }
+
+    #[test]
+    fn sparse_laplacian_matches_dense_bitwise() {
+        let (codes, dense) = sample_codes();
+        let sparse = SparseAffinity::from_codes(&codes);
+        let lap_sparse = sparse_normalized_laplacian(&sparse);
+        let lap_dense = normalized_laplacian(&AffinityGraph::from_coefficients(&dense));
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(
+                    lap_sparse.get(i, j).to_bits(),
+                    lap_dense[(i, j)].to_bits(),
+                    "Laplacian entry ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_graph_round_trips_bitwise() {
+        let (codes, _) = sample_codes();
+        let sparse = SparseAffinity::from_codes(&codes);
+        let g = sparse.to_graph();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(g.weight(i, j).to_bits(), sparse.weight(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_keeps_identity_row() {
+        let codes = vec![
+            SparseVec::from_parts(3, vec![1], vec![0.5]),
+            SparseVec::from_parts(3, vec![0], vec![0.5]),
+            SparseVec::from_parts(3, vec![], vec![]),
+        ];
+        let sparse = SparseAffinity::from_codes(&codes);
+        let lap = sparse_normalized_laplacian(&sparse);
+        assert_eq!(lap.get(2, 2), 1.0);
+        assert_eq!(lap.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn sparse_knn_matches_dense_knn_bitwise() {
+        let sim = |i: usize, j: usize| 1.0 / (1.0 + (i as f64 - j as f64).abs());
+        for threads in [1usize, 4] {
+            let sparse = SparseAffinity::from_knn_similarity_threaded(7, 2, threads, sim);
+            let dense = AffinityGraph::from_knn_similarity_threaded(7, 2, threads, sim);
+            for i in 0..7 {
+                for j in 0..7 {
+                    assert_eq!(
+                        sparse.weight(i, j).to_bits(),
+                        dense.weight(i, j).to_bits(),
+                        "knn entry ({i},{j}), {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -24,6 +24,49 @@ use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 use crate::vector;
 
+/// A symmetric linear operator — everything the Lanczos iteration actually
+/// touches. Implemented by dense [`Matrix`] here and by the CSR matrix in
+/// `fedsc-sparse`, so the spectral stage can consume sparse Laplacians
+/// without densifying.
+pub trait SymOp {
+    /// Operator dimension `n` (the operator is `n x n`).
+    fn dim(&self) -> usize;
+
+    /// `A x` for a length-`dim` vector.
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>>;
+
+    /// `(sigma, scale)`: a Gershgorin upper bound on the spectrum
+    /// (`max_i (a_ii + sum_{j != i} |a_ij|)`) and the largest absolute
+    /// entry (for residual tolerances).
+    fn gershgorin(&self) -> (f64, f64);
+}
+
+impl SymOp for Matrix {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.matvec(x)
+    }
+
+    fn gershgorin(&self) -> (f64, f64) {
+        let n = self.rows();
+        let mut sigma = f64::NEG_INFINITY;
+        let mut scale = 0.0f64;
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                let v = self[(i, j)];
+                row_sum += if i == j { v } else { v.abs() };
+                scale = scale.max(v.abs());
+            }
+            sigma = sigma.max(row_sum);
+        }
+        (sigma, scale)
+    }
+}
+
 /// Computes the `k` smallest eigenpairs of symmetric `a` via deflated
 /// Lanczos with full reorthogonalization. Returns eigenvalues ascending.
 ///
@@ -38,6 +81,19 @@ pub fn lanczos_smallest(a: &Matrix, k: usize, extra: usize) -> Result<SymmetricE
             got: (n, nc),
         });
     }
+    lanczos_smallest_op(a, k, extra)
+}
+
+/// [`lanczos_smallest`] over any [`SymOp`] — the matrix-free entry point
+/// the CSR spectral path uses. The iteration only ever calls
+/// [`SymOp::apply`] and [`SymOp::gershgorin`], and for a dense [`Matrix`]
+/// this computes bitwise the same result as [`lanczos_smallest`].
+pub fn lanczos_smallest_op<A: SymOp + ?Sized>(
+    a: &A,
+    k: usize,
+    extra: usize,
+) -> Result<SymmetricEig> {
+    let n = a.dim();
     if k == 0 || n == 0 {
         return Ok(SymmetricEig {
             eigenvalues: vec![],
@@ -47,17 +103,7 @@ pub fn lanczos_smallest(a: &Matrix, k: usize, extra: usize) -> Result<SymmetricE
     let k = k.min(n);
 
     // Gershgorin bound: sigma >= lambda_max(A).
-    let mut sigma = f64::NEG_INFINITY;
-    let mut scale = 0.0f64;
-    for i in 0..n {
-        let mut row_sum = 0.0;
-        for j in 0..n {
-            let v = a[(i, j)];
-            row_sum += if i == j { v } else { v.abs() };
-            scale = scale.max(v.abs());
-        }
-        sigma = sigma.max(row_sum);
-    }
+    let (mut sigma, scale) = a.gershgorin();
     if !sigma.is_finite() {
         return Err(LinalgError::InvalidArgument(
             "matrix entries must be finite",
@@ -94,7 +140,7 @@ pub fn lanczos_smallest(a: &Matrix, k: usize, extra: usize) -> Result<SymmetricE
                 break;
             }
             let lambda = sigma - theta;
-            let ay = a.matvec(&y)?;
+            let ay = a.apply(&y)?;
             let resid = ay
                 .iter()
                 .zip(&y)
@@ -150,14 +196,14 @@ fn lock(vals: &mut Vec<f64>, vecs: &mut Vec<Vec<f64>>, lambda: f64, mut y: Vec<f
 /// One Lanczos run on `B = sigma I - A`, deflated against `locked`.
 /// Returns the Ritz values of `B` (descending, i.e. best candidates for
 /// `A`'s smallest first) and their Ritz vectors.
-fn lanczos_run(
-    a: &Matrix,
+fn lanczos_run<A: SymOp + ?Sized>(
+    a: &A,
     sigma: f64,
     m: usize,
     locked: &[Vec<f64>],
     restart: usize,
 ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
-    let n = a.rows();
+    let n = a.dim();
     let mut q: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut alpha: Vec<f64> = Vec::with_capacity(m);
     let mut beta: Vec<f64> = Vec::with_capacity(m);
@@ -171,7 +217,7 @@ fn lanczos_run(
 
     for j in 0..m {
         let qj = &q[j];
-        let aq = a.matvec(qj)?;
+        let aq = a.apply(qj)?;
         let mut w: Vec<f64> = qj.iter().zip(&aq).map(|(&x, &ax)| sigma * x - ax).collect();
         let aj = vector::dot(&w, qj);
         alpha.push(aj);

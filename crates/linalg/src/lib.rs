@@ -24,6 +24,8 @@
 //! * [`solve`] — LU and Cholesky direct solvers.
 //! * [`random`] — Gaussian/Stiefel sampling, including the paper's Eq. (5)
 //!   uniform-on-subspace sampler.
+//! * [`sketch`] — seeded Johnson–Lindenstrauss sign sketch for candidate
+//!   pre-selection in the subquadratic SSC pipeline.
 //! * [`angles`] — principal angles and the paper's Definition 5 subspace
 //!   affinity.
 
@@ -41,6 +43,7 @@ pub mod matrix;
 pub mod par;
 pub mod qr;
 pub mod random;
+pub mod sketch;
 pub mod solve;
 pub mod svd;
 pub mod vector;

@@ -28,6 +28,12 @@
 //!   which BENCH_PR6 measured at milliseconds of added latency per small
 //!   job. An idle pool still parks — the spin is bounded and the park path
 //!   re-scans the queue under the lock, so no wakeup can be lost.
+//! * Requested thread counts are capped at [`default_threads`] (available
+//!   parallelism): a helper beyond the core count can only time-slice
+//!   against the caller, so on a saturated (or single-core) machine the
+//!   call degrades to a smaller fan-out — or straight to the inline path —
+//!   instead of paying wake latency for negative-value helpers. Results are
+//!   unaffected (per-index arithmetic is thread-count independent).
 //! * Fan-outs smaller than [`MIN_INLINE_ITEMS`] run inline on the caller
 //!   ([`par_map`] / [`par_map_with`] only): publishing a job costs more
 //!   than computing a handful of cheap items. Coarse fan-outs whose items
@@ -102,7 +108,13 @@ static POOL_WORKERS: LazyCounter = LazyCounter::new("pool.workers_spawned");
 
 /// Default worker count: available parallelism, floor 1.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    // Cached: `available_parallelism` costs a syscall plus cgroup-quota
+    // file reads on Linux (~17 us), and the inline-dispatch path calls
+    // this per fan-out — uncached it multiplied `pool_overhead`'s
+    // per-call cost ~400x. The pool is process-global and never resizes,
+    // so a process-lifetime snapshot is the consistent choice anyway.
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Fan-outs smaller than this run inline on the caller in [`par_map`] /
@@ -120,6 +132,30 @@ pub const MIN_INLINE_ITEMS: usize = 128;
 /// between back-to-back parallel calls, short enough that an idle pool
 /// parks almost immediately.
 const SPIN_POLLS: usize = 4096;
+
+/// Upper bound of the adaptive spin window. A worker that keeps finding
+/// work inside its spin window doubles the window (up to this cap) and a
+/// worker woken from a park re-arms straight to the cap — BENCH_PR7's
+/// `pool_wake` scenario showed the first post-idle job paying the full
+/// park/unpark round trip (17 µs → 2.5 ms); staying hot through a burst
+/// amortizes that wake across the whole burst. A worker that spins out
+/// resets to [`SPIN_POLLS`], so an idle pool still parks quickly.
+const MAX_SPIN_POLLS: usize = 8 * SPIN_POLLS;
+
+/// Indices claimed per `fetch_add` in the fan-out loops. Claiming blocks
+/// instead of single indices cuts contention on the shared claim counter by
+/// 8x and makes each participant's result-slot writes mostly contiguous, so
+/// participants stop invalidating each other's cache lines through the
+/// `Slots` vector (the false-sharing component of BENCH_PR7's `lasso_batch`
+/// 2-thread regression). Small enough that a 128-item fan-out (the
+/// [`MIN_INLINE_ITEMS`] floor) still splits into 16 stealable blocks.
+const CLAIM_BLOCK: usize = 8;
+
+/// A cache-line-isolated atomic claim counter. 128-byte alignment keeps the
+/// hot `fetch_add` line out of the adjacent-line prefetcher's reach of any
+/// neighboring shared state (the slots vector, the job latch).
+#[repr(align(128))]
+struct PaddedCounter(AtomicUsize);
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
@@ -235,6 +271,11 @@ fn pool() -> &'static PoolShared {
 /// when out of work spin briefly on the publish epoch before parking.
 fn worker_loop() {
     let shared = pool();
+    // Adaptive spin window: doubles (up to [`MAX_SPIN_POLLS`]) every time a
+    // publish lands inside it, re-arms to the cap after a park/unpark round
+    // trip (the burst has clearly started — stay hot for the rest of it),
+    // and resets to [`SPIN_POLLS`] when a full window expires unused.
+    let mut spin_window = SPIN_POLLS;
     loop {
         let job: Arc<Job> = {
             let mut q = shared
@@ -279,6 +320,10 @@ fn worker_loop() {
                     // ORDERING: Relaxed — see the matching `fetch_add`.
                     shared.idle.fetch_sub(1, Ordering::Relaxed);
                     spun_out = false;
+                    // Re-arm after wake: the park/unpark latency was just
+                    // paid once; a wide window keeps this worker hot for
+                    // the burst that woke it.
+                    spin_window = MAX_SPIN_POLLS;
                     continue 'claim;
                 }
                 // Nothing claimable: release the lock and watch the
@@ -290,7 +335,7 @@ fn worker_loop() {
                 let seen = shared.epoch.load(Ordering::Acquire);
                 drop(q);
                 let mut polls = 0;
-                while polls < SPIN_POLLS {
+                while polls < spin_window {
                     // ORDERING: Acquire — see `seen` above.
                     if shared.epoch.load(Ordering::Acquire) != seen {
                         break;
@@ -298,7 +343,12 @@ fn worker_loop() {
                     std::hint::spin_loop();
                     polls += 1;
                 }
-                spun_out = polls >= SPIN_POLLS;
+                spun_out = polls >= spin_window;
+                spin_window = if spun_out {
+                    SPIN_POLLS
+                } else {
+                    (spin_window * 2).min(MAX_SPIN_POLLS)
+                };
                 q = shared
                     .queue
                     .lock()
@@ -463,7 +513,11 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    let threads = threads.max(1).min(count.max(1));
+    // Cap at the machine's parallelism: helpers beyond the core count can
+    // only time-slice against the caller (on the 1-core bench container the
+    // uncapped 2-thread `pool_wake` path cost 147x the inline path), so the
+    // surplus request degrades to the inline/smaller fan-out instead.
+    let threads = threads.max(1).min(count.max(1)).min(default_threads());
     if count == 0 {
         return Vec::new();
     }
@@ -473,7 +527,7 @@ where
         let mut state = make_state();
         return (0..count).map(|i| f(&mut state, i)).collect();
     }
-    let next = AtomicUsize::new(0);
+    let next = PaddedCounter(AtomicUsize::new(0));
     let slots = Slots::new(count);
     // Fair share per participant; anything executed past it was stolen from
     // a slower participant's share of the queue.
@@ -484,14 +538,16 @@ where
         let mut state = make_state();
         loop {
             // ORDERING: Relaxed — the counter only hands out unique
-            // indices; the slot writes it guards are published to the
+            // index blocks; the slot writes it guards are published to the
             // caller by the job completion latch, not by this claim.
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= count {
+            let start = next.0.fetch_add(CLAIM_BLOCK, Ordering::Relaxed);
+            if start >= count {
                 break;
             }
-            slots.put(i, f(&mut state, i));
-            executed += 1;
+            for i in start..(start + CLAIM_BLOCK).min(count) {
+                slots.put(i, f(&mut state, i));
+                executed += 1;
+            }
         }
         POOL_TASKS.add(executed);
         POOL_STEALS.add(executed.saturating_sub(fair));
@@ -565,7 +621,9 @@ where
         return;
     }
     let n_chunks = data.len().div_ceil(chunk_len);
-    let threads = threads.max(1).min(n_chunks);
+    // Same parallelism cap as `par_map_with_inner`: surplus helpers on a
+    // saturated machine only add wake/contention latency.
+    let threads = threads.max(1).min(n_chunks).min(default_threads());
     if threads == 1 {
         POOL_TASKS.add(n_chunks as u64);
         POOL_TASKS_INLINE.add(n_chunks as u64);
@@ -576,7 +634,7 @@ where
     }
     let len = data.len();
     let base = ChunkBase(data.as_mut_ptr());
-    let next = AtomicUsize::new(0);
+    let next = PaddedCounter(AtomicUsize::new(0));
     let fair = (n_chunks as u64).div_ceil(threads as u64);
     run_on_pool(threads - 1, &|| {
         let sw = Stopwatch::start();
@@ -585,7 +643,7 @@ where
             // ORDERING: Relaxed — unique chunk claims only; the chunk
             // writes are published to the caller by the job completion
             // latch, not by this counter.
-            let c = next.fetch_add(1, Ordering::Relaxed);
+            let c = next.0.fetch_add(1, Ordering::Relaxed);
             if c >= n_chunks {
                 break;
             }

@@ -11,6 +11,9 @@
 //! * [`omp`] — Orthogonal Matching Pursuit for SSC-OMP.
 //! * [`elastic_net`] — elastic-net coordinate descent with ORGEN-style
 //!   oracle active sets for EnSC.
+//! * [`restricted`] — candidate-restricted SSC Lasso with an exact
+//!   full-dictionary certificate and deterministic escalation (the solver
+//!   half of the subquadratic pipeline).
 
 #![warn(missing_docs)]
 // Indexed loops over matrix dimensions are the idiom in numerical kernels
@@ -22,6 +25,7 @@ pub mod csr;
 pub mod elastic_net;
 pub mod lasso;
 pub mod omp;
+pub mod restricted;
 pub mod vec;
 
 pub use csr::CsrMatrix;

@@ -4,7 +4,7 @@
 
 use crate::algo::{normalize_data, SubspaceClusterer};
 use fedsc_graph::AffinityGraph;
-use fedsc_linalg::{Matrix, Result};
+use fedsc_linalg::{par, Matrix, Result};
 use fedsc_sparse::elastic_net::{ElasticNetOptions, ElasticNetSolver};
 
 /// EnSC configuration.
@@ -15,6 +15,9 @@ pub struct Ensc {
     pub elastic: ElasticNetOptions,
     /// Normalize columns before coding.
     pub normalize: bool,
+    /// Worker threads for the Gram product and the per-point elastic-net
+    /// solves. The coefficients are bitwise identical for every value.
+    pub threads: usize,
 }
 
 impl Default for Ensc {
@@ -22,12 +25,17 @@ impl Default for Ensc {
         Self {
             elastic: ElasticNetOptions::default(),
             normalize: true,
+            threads: 1,
         }
     }
 }
 
 impl Ensc {
     /// Computes the elastic-net self-expression coefficient matrix.
+    ///
+    /// The per-point ORGEN solves are independent, so like SSC's they fan
+    /// out over the worker pool; assembly is sequential in point order, so
+    /// the matrix is bitwise identical for every thread count.
     pub fn coefficients(&self, data: &Matrix) -> Result<Matrix> {
         let x = if self.normalize {
             normalize_data(data)
@@ -35,12 +43,13 @@ impl Ensc {
             data.clone()
         };
         let n = x.cols();
-        let gram = x.gram();
+        let threads = self.threads.max(1);
+        let gram = x.gram_threaded(threads);
         let solver = ElasticNetSolver::new(&gram, self.elastic.clone());
+        let codes = par::par_map(n, threads, |i| solver.solve(gram.col(i), i));
         let mut c = Matrix::zeros(n, n);
-        for i in 0..n {
-            let code = solver.solve(gram.col(i), i)?;
-            for (j, v) in code.iter() {
+        for (i, code) in codes.into_iter().enumerate() {
+            for (j, v) in code?.iter() {
                 c[(j, i)] = v;
             }
         }
@@ -102,11 +111,27 @@ mod tests {
                 gamma: 50.0,
                 ..Default::default()
             },
-            normalize: true,
+            ..Default::default()
         };
         let e_en = count_edges(&en.affinity(&ds.data).unwrap());
         let e_ssc = count_edges(&Ssc::default().affinity(&ds.data).unwrap());
         assert!(e_en >= e_ssc, "EnSC edges {e_en} vs SSC edges {e_ssc}");
+    }
+
+    #[test]
+    fn coefficients_bitwise_invariant_to_thread_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = SubspaceModel::random(&mut rng, 20, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[14, 14], 0.01);
+        let serial = Ensc::default().coefficients(&ds.data).unwrap();
+        for threads in [2usize, 8] {
+            let en = Ensc {
+                threads,
+                ..Default::default()
+            };
+            let par = en.coefficients(&ds.data).unwrap();
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads = {threads}");
+        }
     }
 
     #[test]

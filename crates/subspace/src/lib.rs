@@ -13,6 +13,10 @@
 //! * [`sscomp`] — SSC by Orthogonal Matching Pursuit.
 //! * [`ensc`] — Elastic-net SC with oracle active sets.
 //! * [`nsn`] — greedy Nearest Subspace Neighbor.
+//! * [`neighbors`] — deterministic total-order top-`k` selection shared by
+//!   the neighborhood methods and the candidate pipeline.
+//! * [`candidates`] — sketched candidate neighborhoods for subquadratic SSC
+//!   (selection stage; solving/certification lives in `fedsc-sparse`).
 //! * [`theory`] — SEP / exact-clustering checkers, active sets,
 //!   heterogeneity summaries, inradius and incoherence estimators, and the
 //!   closed-form affinity bounds of Corollaries 1–2.
@@ -20,8 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod candidates;
 pub mod ensc;
 pub mod model;
+pub mod neighbors;
 pub mod nsn;
 pub mod ssc;
 pub mod sscomp;
@@ -29,6 +35,7 @@ pub mod theory;
 pub mod tsc;
 
 pub use algo::SubspaceClusterer;
+pub use candidates::CandidateOptions;
 pub use ensc::Ensc;
 pub use model::{LabeledData, SubspaceModel};
 pub use nsn::Nsn;

@@ -1,0 +1,101 @@
+//! Deterministic neighbor selection shared by the candidate pipeline and
+//! the neighborhood-based clusterers (TSC's spherical q-NN, NSN's greedy
+//! sets).
+//!
+//! All selection here is by **total order**: scores compare with
+//! `f64::total_cmp` and ties break on the smaller index, so the chosen sets
+//! are independent of thread count, sort stability, and NaN quirks —
+//! the property the subquadratic pipeline's bitwise-reproducibility
+//! guarantees rest on.
+
+/// Indices of the `k` largest scores among `0..n`, excluding `exclude`
+/// (pass `usize::MAX` to keep everything), returned **ascending**.
+///
+/// Ranking is descending by `score(j)` under `total_cmp` with ascending-
+/// index tie-break; the cut is therefore unique and deterministic even with
+/// duplicated scores.
+pub fn top_k_indices<F: Fn(usize) -> f64>(
+    n: usize,
+    k: usize,
+    exclude: usize,
+    score: F,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).filter(|&j| j != exclude).collect();
+    let k = k.min(order.len());
+    if k == 0 {
+        return vec![];
+    }
+    // The comparator is a strict total order, so the top-k *set* is unique —
+    // an O(n) partition selects exactly the same set the previous full sort
+    // did, which matters at candidate-pipeline sizes (n in the tens of
+    // thousands, selection once per point).
+    if k < order.len() {
+        order.select_nth_unstable_by(k - 1, |&a, &b| {
+            score(b).total_cmp(&score(a)).then(a.cmp(&b))
+        });
+        order.truncate(k);
+    }
+    order.sort_unstable();
+    order
+}
+
+/// The `q` largest `(score, index)` pairs among `0..n` excluding `i`,
+/// descending — the TSC-style neighbor list (same ranking as
+/// [`top_k_indices`], but keeping the scores and the ranked order for
+/// weighted-affinity construction).
+pub fn ranked_neighbors<F: Fn(usize) -> f64>(
+    n: usize,
+    q: usize,
+    i: usize,
+    score: F,
+) -> Vec<(f64, usize)> {
+    let mut sims: Vec<(f64, usize)> = (0..n).filter(|&j| j != i).map(|j| (score(j), j)).collect();
+    sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+    sims.truncate(q.min(n.saturating_sub(1)));
+    sims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_picks_largest_and_sorts_ascending() {
+        let scores = [0.1, 0.9, 0.4, 0.9, 0.2];
+        let top = top_k_indices(5, 2, usize::MAX, |j| scores[j]);
+        assert_eq!(top, vec![1, 3]); // tie at 0.9 broken by index
+        let top = top_k_indices(5, 3, usize::MAX, |j| scores[j]);
+        assert_eq!(top, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn exclusion_and_clamping() {
+        let scores = [0.5, 0.6, 0.7];
+        assert_eq!(top_k_indices(3, 10, 2, |j| scores[j]), vec![0, 1]);
+        assert_eq!(
+            top_k_indices(3, 0, usize::MAX, |j| scores[j]),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn ranked_neighbors_descending_with_index_tiebreak() {
+        let scores = [0.3, 0.8, 0.8, 0.1];
+        let r = ranked_neighbors(4, 3, 3, |j| scores[j]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].1, 1);
+        assert_eq!(r[1].1, 2);
+        assert_eq!(r[2].1, 0);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_deterministically() {
+        // total_cmp puts NaN above +inf in descending order? No: descending
+        // by total_cmp ranks +NaN first, -NaN last — either way the order is
+        // total and reproducible. Pin the behavior.
+        let scores = [f64::NAN, 1.0, 2.0];
+        let a = top_k_indices(3, 2, usize::MAX, |j| scores[j]);
+        let b = top_k_indices(3, 2, usize::MAX, |j| scores[j]);
+        assert_eq!(a, b);
+    }
+}

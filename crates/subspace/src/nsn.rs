@@ -59,12 +59,32 @@ impl SubspaceClusterer for Nsn {
             data.clone()
         };
         let n = x.cols();
+        let picks = self.neighbor_sets(&x);
+        let mut w = Matrix::zeros(n, n);
+        for (i, chosen) in picks.iter().enumerate() {
+            for &j in chosen {
+                w[(i, j)] = 1.0;
+            }
+        }
+        Ok(AffinityGraph::from_symmetric(&w))
+    }
+}
+
+impl Nsn {
+    /// The greedy neighbor set of every column of `x` (assumed already
+    /// normalized if desired) — the selection stage of [`Self::affinity`],
+    /// exposed so pipelines can reuse NSN's search without building the
+    /// dense graph.
+    ///
+    /// Per-point greedy searches are independent, so they fan out over the
+    /// worker pool; each worker carries its own basis/projection workspace
+    /// and reports the point's picks for sequential assembly, keeping the
+    /// result bitwise identical for every thread count.
+    pub fn neighbor_sets(&self, x: &Matrix) -> Vec<Vec<usize>> {
+        let n = x.cols();
         let dim = x.rows();
         let k = self.num_neighbors.min(n.saturating_sub(1));
-        // Per-point greedy searches are independent, so they fan out over
-        // the worker pool; each worker carries its own basis/projection
-        // workspace and reports the point's picks for sequential assembly.
-        let picks: Vec<Vec<usize>> = par::par_map(n, self.threads.max(1), |i| {
+        par::par_map(n, self.threads.max(1), |i| {
             // Orthonormal basis vectors of the greedy subspace.
             let mut basis: Vec<Vec<f64>> = Vec::with_capacity(self.max_subspace_dim);
             // Squared projection norms onto the current span, updated
@@ -74,7 +94,7 @@ impl SubspaceClusterer for Nsn {
             selected[i] = true;
             let mut chosen = Vec::with_capacity(k);
             // Seed the basis with the point itself.
-            push_orthonormalized(&mut basis, x.col(i), dim, &x, &mut proj_sq);
+            push_orthonormalized(&mut basis, x.col(i), dim, x, &mut proj_sq);
             for _ in 0..k {
                 // Point with the largest projection norm onto span(basis).
                 let mut best = usize::MAX;
@@ -91,18 +111,11 @@ impl SubspaceClusterer for Nsn {
                 selected[best] = true;
                 chosen.push(best);
                 if basis.len() < self.max_subspace_dim {
-                    push_orthonormalized(&mut basis, x.col(best), dim, &x, &mut proj_sq);
+                    push_orthonormalized(&mut basis, x.col(best), dim, x, &mut proj_sq);
                 }
             }
             chosen
-        });
-        let mut w = Matrix::zeros(n, n);
-        for (i, chosen) in picks.iter().enumerate() {
-            for &j in chosen {
-                w[(i, j)] = 1.0;
-            }
-        }
-        Ok(AffinityGraph::from_symmetric(&w))
+        })
     }
 }
 

@@ -6,9 +6,12 @@
 //! `alpha = 50`); the affinity graph is `|C| + |C|^T`.
 
 use crate::algo::{normalize_data, SubspaceClusterer};
-use fedsc_graph::AffinityGraph;
+use crate::candidates::{select_candidates, CandidateOptions};
+use fedsc_graph::{AffinityGraph, SparseAffinity};
 use fedsc_linalg::{par, Matrix, Result};
 use fedsc_sparse::lasso::{ssc_lambda, LassoOptions, LassoSolver, LassoWorkspace};
+use fedsc_sparse::restricted::{solve_candidates, CandidateOutcome};
+use fedsc_sparse::SparseVec;
 
 /// SSC configuration.
 ///
@@ -31,6 +34,12 @@ pub struct Ssc {
     pub lasso: LassoOptions,
     /// Normalize columns to unit norm before coding (paper's convention).
     pub normalize: bool,
+    /// Subquadratic candidate pipeline (sketch → restricted solve → exact
+    /// certificate). Engages only at `min_points` and above, so small
+    /// problems keep the dense path bit for bit; `None` disables it
+    /// entirely. Candidate codes are certified/escalated against the full
+    /// dictionary, so accuracy matches the dense path either way.
+    pub candidates: Option<CandidateOptions>,
 }
 
 impl Default for Ssc {
@@ -39,6 +48,7 @@ impl Default for Ssc {
             alpha: 50.0,
             lasso: LassoOptions::default(),
             normalize: true,
+            candidates: Some(CandidateOptions::default()),
         }
     }
 }
@@ -79,6 +89,45 @@ impl Ssc {
         }
         Ok(c)
     }
+
+    /// `true` when the candidate pipeline would handle `n` points.
+    pub fn uses_candidates(&self, n: usize) -> bool {
+        self.candidates
+            .as_ref()
+            .is_some_and(|c| n >= c.min_points.max(2))
+    }
+
+    /// Runs the full subquadratic pipeline — sketch, candidate selection,
+    /// restricted solves, and (when `CandidateOptions::verify` is on, the
+    /// default) exact certification/escalation — and returns the per-point
+    /// codes plus certification stats. Ignores `min_points`: this is the
+    /// explicit entry point (used by benches and the parity tests);
+    /// [`Self::affinity`] applies the threshold.
+    pub fn candidate_codes(&self, data: &Matrix) -> Result<CandidateOutcome> {
+        let x = if self.normalize {
+            normalize_data(data)
+        } else {
+            data.clone()
+        };
+        let threads = self.lasso.threads.max(1);
+        let copts = self.candidates.clone().unwrap_or_default();
+        let cands = select_candidates(&x, &copts, threads)?;
+        solve_candidates(&x, &cands, self.alpha, &self.lasso, copts.verify)
+    }
+
+    /// Per-point sparse self-expression codes (column `i` of `C`) via the
+    /// candidate pipeline.
+    pub fn sparse_codes(&self, data: &Matrix) -> Result<Vec<SparseVec>> {
+        Ok(self.candidate_codes(data)?.codes)
+    }
+
+    /// CSR affinity `|C| + |C|^T` via the candidate pipeline — the
+    /// subquadratic counterpart of [`SubspaceClusterer::affinity`], feeding
+    /// `fedsc_clustering::spectral_clustering_sparse` without ever
+    /// materializing an `n x n` dense matrix.
+    pub fn sparse_affinity(&self, data: &Matrix) -> Result<SparseAffinity> {
+        Ok(SparseAffinity::from_codes(&self.sparse_codes(data)?))
+    }
 }
 
 impl SubspaceClusterer for Ssc {
@@ -87,6 +136,13 @@ impl SubspaceClusterer for Ssc {
     }
 
     fn affinity(&self, data: &Matrix) -> Result<AffinityGraph> {
+        // Above the candidate threshold the subquadratic pipeline produces
+        // the (exact, certified) codes; `to_graph` is bitwise lossless, so
+        // consumers of the dense graph see the same affinity the CSR path
+        // serves. Below it, the dense path is bitwise what it always was.
+        if self.uses_candidates(data.cols()) {
+            return Ok(self.sparse_affinity(data)?.to_graph());
+        }
         Ok(AffinityGraph::from_coefficients(&self.coefficients(data)?))
     }
 }
@@ -161,6 +217,45 @@ mod tests {
     }
 
     #[test]
+    fn candidate_affinity_routes_above_threshold() {
+        // With the threshold lowered below n, `affinity` must route through
+        // the sketch → candidates → certify pipeline and land on the dense
+        // path's codes (the certificate guarantees it).
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = SubspaceModel::random(&mut rng, 25, 3, 2);
+        let ds = model.sample_dataset(&mut rng, &[16, 16], 0.01);
+        let cand_ssc = Ssc {
+            candidates: Some(crate::candidates::CandidateOptions {
+                k: 8,
+                min_points: 4,
+                ..Default::default()
+            }),
+            ..Ssc::default()
+        };
+        assert!(cand_ssc.uses_candidates(32));
+        let dense_ssc = Ssc {
+            candidates: None,
+            ..Ssc::default()
+        };
+        let g_cand = cand_ssc.affinity(&ds.data).unwrap();
+        let g_dense = dense_ssc.affinity(&ds.data).unwrap();
+        for i in 0..32 {
+            for j in 0..32 {
+                let (a, b) = (g_cand.weight(i, j), g_dense.weight(i, j));
+                assert!((a - b).abs() < 1e-4, "affinity ({i},{j}): {a} vs {b}");
+            }
+        }
+        // The dense graph served above the threshold is exactly the CSR
+        // affinity, densified.
+        let sparse = cand_ssc.sparse_affinity(&ds.data).unwrap();
+        for i in 0..32 {
+            for j in 0..32 {
+                assert_eq!(g_cand.weight(i, j).to_bits(), sparse.weight(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn tolerates_mild_noise() {
         let mut rng = StdRng::seed_from_u64(4);
         let model = SubspaceModel::random(&mut rng, 30, 3, 2);
@@ -168,5 +263,72 @@ mod tests {
         let labels = Ssc::default().cluster(&ds.data, 2, &mut rng).unwrap();
         let acc = clustering_accuracy(&ds.labels, &labels);
         assert!(acc > 90.0, "accuracy {acc}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        // Satellite (3a): over seeded subspace mixtures, the sketched-
+        // candidate pipeline must reproduce the dense path. Certified points
+        // must match coefficient for coefficient. Escalated points satisfy
+        // the same full-dictionary KKT conditions, but highly correlated
+        // same-subspace atoms can make the Lasso optimum *non-unique* —
+        // coordinate descent over the restricted vs. full dictionary may
+        // then land on different vertices of the solution set. What IS
+        // unique at a shared lambda is the fitted vector `X c` (the strictly
+        // convex part of the objective), so that is the parity asserted for
+        // every point.
+        #[test]
+        fn candidate_codes_match_dense_on_subspace_mixtures(
+            seed in 0u64..1024,
+            per in 10usize..18,
+            k in 5usize..12,
+            noise in 0usize..3,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = SubspaceModel::random(&mut rng, 24, 3, 2);
+            let ds = model.sample_dataset(&mut rng, &[per, per], noise as f64 * 0.01);
+            let n = 2 * per;
+            let mut ssc = Ssc::default();
+            // Both paths converge coordinates to `tol`; parity can only be
+            // asserted above that noise floor, so tighten it well below the
+            // 1e-4 comparison (same-subspace atoms are highly correlated and
+            // CD stopping error is a multiple of `tol` there).
+            ssc.lasso.tol = 1e-9;
+            ssc.candidates = Some(crate::candidates::CandidateOptions {
+                k,
+                sketch_dim: 24,
+                seed,
+                min_points: 0,
+                verify: true,
+            });
+            let out = ssc.candidate_codes(&ds.data).unwrap();
+            proptest::prelude::prop_assert_eq!(out.certified.len(), n);
+            let dense = ssc.coefficients(&ds.data).unwrap();
+            let x = crate::algo::normalize_data(&ds.data);
+            for (i, code) in out.codes.iter().enumerate() {
+                let col = code.to_dense();
+                if out.certified[i] {
+                    for j in 0..n {
+                        let (a, b) = (col[j], dense[(j, i)]);
+                        proptest::prelude::prop_assert!(
+                            (a - b).abs() < 1e-4,
+                            "certified code ({}, {}): {} vs {}", j, i, a, b
+                        );
+                    }
+                }
+                // Fitted-vector parity for every point (unique even when the
+                // coefficients are not).
+                let fit_cand = x.matvec(&col).unwrap();
+                let dense_col: Vec<f64> = (0..n).map(|j| dense[(j, i)]).collect();
+                let fit_dense = x.matvec(&dense_col).unwrap();
+                for (r, (a, b)) in fit_cand.iter().zip(&fit_dense).enumerate() {
+                    proptest::prelude::prop_assert!(
+                        (a - b).abs() < 1e-4,
+                        "fitted[{}] of point {}: {} vs {} (certified: {})",
+                        r, i, a, b, out.certified[i]
+                    );
+                }
+            }
+        }
     }
 }

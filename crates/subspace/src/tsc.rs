@@ -7,8 +7,9 @@
 //! TSC at the central server over its uniformly-sampled `theta`s.
 
 use crate::algo::{normalize_data, SubspaceClusterer};
+use crate::neighbors::ranked_neighbors;
 use fedsc_graph::AffinityGraph;
-use fedsc_linalg::{vector, Matrix, Result};
+use fedsc_linalg::{par, vector, Matrix, Result};
 
 /// TSC configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +42,27 @@ impl Tsc {
     /// …and `q = max(3, ceil(N / (100 L)))` for the centralized baseline.
     pub fn centralized_q(num_points: usize, num_clusters: usize) -> usize {
         3usize.max(num_points.div_ceil(100 * num_clusters.max(1)))
+    }
+
+    /// The `q` nearest spherical neighbors of every column (descending
+    /// similarity) — TSC's selection stage via the shared deterministic
+    /// ranking in [`crate::neighbors`], exposed so pipelines can reuse the
+    /// search without building the dense affinity. The per-point scans fan
+    /// out over `self.threads`; results are identical for every value.
+    pub fn neighbor_sets(&self, data: &Matrix) -> Vec<Vec<usize>> {
+        let x = if self.normalize {
+            normalize_data(data)
+        } else {
+            data.clone()
+        };
+        let n = x.cols();
+        let gram = x.gram_threaded(self.threads.max(1));
+        par::par_map(n, self.threads.max(1), |i| {
+            ranked_neighbors(n, self.q, i, |j| gram[(i, j)].abs().min(1.0))
+                .into_iter()
+                .map(|(_, j)| j)
+                .collect()
+        })
     }
 }
 
@@ -142,6 +164,28 @@ mod tests {
         assert!((d - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
         // Antipodal points are spherically identical (|cos| symmetry).
         assert!(spherical_distance(&[1.0, 0.0], &[-1.0, 0.0]) < 1e-9);
+    }
+
+    #[test]
+    fn neighbor_sets_agree_with_affinity_edges() {
+        // The extracted selection stage must pick exactly the outgoing
+        // edges the affinity constructor keeps (before max-symmetrization).
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = SubspaceModel::random(&mut rng, 20, 2, 2);
+        let ds = model.sample_dataset(&mut rng, &[12, 12], 0.0);
+        let tsc = Tsc::new(4);
+        let sets = tsc.neighbor_sets(&ds.data);
+        let g = tsc.affinity(&ds.data).unwrap();
+        for (i, set) in sets.iter().enumerate() {
+            assert_eq!(set.len(), 4);
+            for &j in set {
+                assert!(g.weight(i, j) > 0.0, "pick ({i},{j}) missing from graph");
+            }
+        }
+        // Thread fan-out must not change the picks.
+        let mut threaded = Tsc::new(4);
+        threaded.threads = 4;
+        assert_eq!(threaded.neighbor_sets(&ds.data), sets);
     }
 
     #[test]
