@@ -9,6 +9,7 @@
 use crate::config::CentralBackend;
 use fedsc_clustering::spectral::{spectral_clustering, SpectralOptions};
 use fedsc_clustering::spectral_clustering_sparse;
+use fedsc_graph::laplacian::{laplacian_spectrum, relative_eigengap_cluster_count};
 use fedsc_graph::AffinityGraph;
 use fedsc_linalg::{Matrix, Result};
 use fedsc_subspace::{CandidateOptions, Ssc, SubspaceClusterer, Tsc};
@@ -70,6 +71,69 @@ pub fn central_cluster<R: Rng + ?Sized>(
     };
     let assignments = spectral_clustering(&graph, &opts, rng)?;
     Ok(CentralOutput { assignments, graph })
+}
+
+/// Like [`central_cluster`], but **estimates** the cluster count by the
+/// relative eigengap of the affinity Laplacian, capped at `l_max`,
+/// instead of taking it as given. This is the aggregation-tree variant:
+/// an intermediate aggregator's subtree may cover only a subset of the
+/// `L` global clusters, and forcing `L` partitions onto fewer natural
+/// groups makes spectral k-means split — and worse, mix — subspaces.
+///
+/// Returns the output together with the estimated count. Above
+/// `candidate_threshold` the subquadratic route runs with `l_max`
+/// directly: the dense spectrum the eigengap needs is exactly what that
+/// route avoids, and tiers pooling thousands of samples cover nearly
+/// every cluster anyway.
+pub fn central_cluster_auto<R: Rng + ?Sized>(
+    samples: &Matrix,
+    l_max: usize,
+    num_devices: usize,
+    backend: CentralBackend,
+    candidate_threshold: usize,
+    rng: &mut R,
+) -> Result<(CentralOutput, usize)> {
+    let graph = match backend {
+        CentralBackend::Ssc => {
+            let ssc = Ssc {
+                candidates: Some(CandidateOptions {
+                    min_points: candidate_threshold,
+                    ..CandidateOptions::default()
+                }),
+                ..Ssc::default()
+            };
+            if ssc.uses_candidates(samples.cols()) {
+                let out = central_cluster(
+                    samples,
+                    l_max,
+                    num_devices,
+                    backend,
+                    candidate_threshold,
+                    rng,
+                )?;
+                return Ok((out, l_max));
+            }
+            ssc.affinity(samples)?
+        }
+        CentralBackend::Tsc { q } => {
+            let q = q.unwrap_or_else(|| Tsc::fed_sc_q(num_devices, l_max));
+            Tsc::new(q).affinity(samples)?
+        }
+    };
+    let spec = laplacian_spectrum(&graph)?;
+    let gap = relative_eigengap_cluster_count(&spec.eigenvalues, Some(l_max));
+    // Floor the estimate at the affinity's connected-component count: the
+    // components are a hard lower bound on the natural cluster count, and
+    // under-estimating merges subspaces — unrecoverable downstream, while
+    // over-splitting merely costs the parent an extra representative.
+    let comps = graph
+        .connected_components(1e-9)
+        .iter()
+        .max()
+        .map_or(1, |&m| m + 1);
+    let l = gap.max(comps).clamp(1, l_max.min(samples.cols()).max(1));
+    let assignments = spectral_clustering(&graph, &SpectralOptions::new(l), rng)?;
+    Ok((CentralOutput { assignments, graph }, l))
 }
 
 #[cfg(test)]
@@ -177,6 +241,29 @@ mod tests {
                 assert!((a - b).abs() < 1e-6, "weight ({i},{j}): {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn threshold_boundary_routes_agree() {
+        // The dense/CSR cutover fires at `n >= candidate_threshold`.
+        // Straddle the boundary with the same n-sample pool: threshold
+        // n+1 keeps the dense path, n and n-1 take the sketched-candidate
+        // path, and all three must agree sample for sample.
+        let mut rng = StdRng::seed_from_u64(21);
+        let (samples, truth) = semi_random_samples(&mut rng, 25, 3, 3, 15);
+        let n = samples.cols();
+        let route = |threshold: usize| {
+            let mut rng = StdRng::seed_from_u64(55);
+            central_cluster(&samples, 3, 45, CentralBackend::Ssc, threshold, &mut rng)
+                .expect("central clustering at the threshold boundary")
+        };
+        let dense = route(n + 1);
+        let at = route(n);
+        let below = route(n - 1);
+        assert_eq!(at.assignments, dense.assignments, "threshold == n");
+        assert_eq!(below.assignments, dense.assignments, "threshold == n - 1");
+        let acc = clustering_accuracy(&truth, &dense.assignments);
+        assert!(acc > 95.0, "accuracy {acc}");
     }
 
     #[test]

@@ -53,4 +53,7 @@ pub mod wire;
 pub use assign::ClusterAssigner;
 pub use config::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig, LocalBackend};
 pub use scheme::{FedSc, FedScOutput};
-pub use wire::{device_round, run_over_wire, run_round, server_round, RoundPolicy, WireRunOutput};
+pub use wire::{
+    collect_uplinks, device_local_output, device_round, majority_relabel, pool_uplinks,
+    run_over_wire, run_round, server_round, wire_err, RoundPolicy, WireRunOutput, SERVER_RNG_SALT,
+};

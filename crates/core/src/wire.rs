@@ -26,7 +26,7 @@
 
 use crate::central::central_cluster;
 use crate::config::FedScConfig;
-use crate::local::local_cluster_and_sample;
+use crate::local::{local_cluster_and_sample, LocalOutput};
 use fedsc_federated::channel::{DownlinkMessage, UplinkMessage};
 use fedsc_federated::partition::FederatedDataset;
 use fedsc_linalg::{LinalgError, Matrix, Result};
@@ -52,6 +52,13 @@ static WIRE_DEVICE_ROUND_MS: LazyHistogram = LazyHistogram::new(
         1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 30_000, 60_000,
     ],
 );
+
+/// Salt XORed into [`FedScConfig::seed`] to derive the server's
+/// central-clustering rng stream. Exported so the hierarchical aggregation
+/// tree (`fedsc-hier`) can seed its root *exactly* like [`server_round`]
+/// does — the degenerate single-tier tree is bit-identical to
+/// [`run_over_wire`] only because both sides share this constant.
+pub const SERVER_RNG_SALT: u64 = 0x0ce2_74a1;
 
 /// Server-side straggler and reliability policy for one round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,7 +94,9 @@ impl RoundPolicy {
         self.deadline.saturating_add(Duration::from_secs(60))
     }
 
-    fn required(&self, z_count: usize) -> usize {
+    /// Devices that must report for a round over `z_count` children to
+    /// proceed: the quorum, clamped to `[1, z_count]` (`None` = all).
+    pub fn required(&self, z_count: usize) -> usize {
         self.quorum.unwrap_or(z_count).min(z_count).max(1)
     }
 }
@@ -110,8 +119,9 @@ pub struct WireRunOutput {
 }
 
 /// Maps a link failure into the workspace error type, preserving the
-/// failure class in the message.
-fn wire_err(e: TransportError) -> LinalgError {
+/// failure class in the message. Public so the hierarchical tree driver
+/// (`fedsc-hier`) reports link failures with the same vocabulary.
+pub fn wire_err(e: TransportError) -> LinalgError {
     LinalgError::InvalidArgument(match e {
         TransportError::Closed(_) => "transport closed before the round completed",
         TransportError::Timeout(_) => "transport deadline expired",
@@ -125,6 +135,43 @@ fn wire_err(e: TransportError) -> LinalgError {
         }
         TransportError::Io { .. } => "socket failure",
     })
+}
+
+/// Runs Algorithm 2 for device `z` under the round's deterministic seeding
+/// (`cfg.seed + z`). This is the *computation* half of [`device_round`],
+/// shared with the hierarchical tree driver so both execution shapes derive
+/// the same local clusters and uplink samples bit for bit.
+pub fn device_local_output(data: &Matrix, z: usize, cfg: &FedScConfig) -> Result<LocalOutput> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
+    local_cluster_and_sample(data, cfg, &mut rng)
+}
+
+/// Phase 3 vote: maps each of `num_local_clusters` local clusters to the
+/// majority global assignment of its uploaded samples (ties break toward
+/// the lower global id; clusters whose samples were all dropped keep the
+/// fallback label 0). Mirrors `FedSc::run` exactly.
+pub fn majority_relabel(
+    sample_cluster: &[usize],
+    num_local_clusters: usize,
+    assignments: &[u32],
+    num_global: usize,
+) -> Vec<usize> {
+    let mut cluster_to_global = vec![0usize; num_local_clusters.max(1)];
+    let mut votes = vec![vec![0usize; num_global.max(1)]; num_local_clusters.max(1)];
+    for (s, &t) in sample_cluster.iter().enumerate() {
+        votes[t][assignments[s] as usize] += 1;
+    }
+    for (t, vote) in votes.iter().enumerate() {
+        if let Some((best, _)) = vote
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .filter(|&(_, &c)| c > 0)
+        {
+            cluster_to_global[t] = best;
+        }
+    }
+    cluster_to_global
 }
 
 /// Runs one device's side of the round over `link`: Algorithm 2 on `data`,
@@ -142,8 +189,7 @@ pub fn device_round<D: DeviceTransport>(
 ) -> Result<Vec<usize>> {
     let _span = fedsc_obs::span("wire", "wire.device_round").field("device", z);
     let sw = Stopwatch::start();
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(z as u64));
-    let out = local_cluster_and_sample(data, cfg, &mut rng)?;
+    let out = device_local_output(data, z, cfg)?;
     let msg = UplinkMessage {
         dim: out.samples.rows(),
         samples: out.samples.clone(),
@@ -165,21 +211,12 @@ pub fn device_round<D: DeviceTransport>(
     }
     // Phase 3: relabel local clusters by their samples' majority global
     // assignment, mirroring FedSc::run.
-    let mut cluster_to_global = vec![0usize; out.num_local_clusters.max(1)];
-    let mut votes = vec![vec![0usize; cfg.num_clusters.max(1)]; out.num_local_clusters.max(1)];
-    for (s, &t) in out.sample_cluster.iter().enumerate() {
-        votes[t][down.assignments[s] as usize] += 1;
-    }
-    for (t, vote) in votes.iter().enumerate() {
-        if let Some((best, _)) = vote
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .filter(|&(_, &c)| c > 0)
-        {
-            cluster_to_global[t] = best;
-        }
-    }
+    let cluster_to_global = majority_relabel(
+        &out.sample_cluster,
+        out.num_local_clusters,
+        &down.assignments,
+        cfg.num_clusters,
+    );
     WIRE_DEVICE_ROUNDS.inc();
     WIRE_DEVICE_ROUND_MS.observe(sw.elapsed_ns() / 1_000_000);
     Ok(out
@@ -202,35 +239,8 @@ pub fn server_round<S: ServerTransport>(
     policy: &RoundPolicy,
 ) -> Result<Vec<usize>> {
     let _span = fedsc_obs::span("wire", "wire.server_round").field("devices", z_count);
-    let mut payloads: Vec<Option<UplinkMessage>> = (0..z_count).map(|_| None).collect();
-    let deadline = Deadline::after(policy.deadline);
-    let mut received = 0usize;
-    // Server-side view of Phase 1: the window in which the devices' local
-    // clustering results arrive.
-    let collect_span = fedsc_obs::span("fedsc", "phase1.collect").field("devices", z_count);
-    while received < z_count {
-        let remaining = deadline.remaining();
-        if remaining.is_zero() {
-            break;
-        }
-        match link.recv_uplink(remaining) {
-            Ok((z, bytes)) => {
-                // Stray device ids and duplicate deliveries (a retrying
-                // link may deliver the same upload twice) are ignored.
-                if z >= z_count || payloads[z].is_some() {
-                    continue;
-                }
-                let _uplink_span = fedsc_obs::span("wire", "wire.uplink").field("device", z);
-                let msg = UplinkMessage::decode(bytes)
-                    .ok_or(LinalgError::InvalidArgument("malformed uplink"))?;
-                payloads[z] = Some(msg);
-                received += 1;
-            }
-            Err(TransportError::Timeout(_)) => break,
-            Err(e) => return Err(wire_err(e)),
-        }
-    }
-    drop(collect_span.field("received", received));
+    let payloads = collect_uplinks(link, z_count, policy.deadline)?;
+    let received = payloads.iter().filter(|p| p.is_some()).count();
 
     let excluded: Vec<usize> = payloads
         .iter()
@@ -243,22 +253,9 @@ pub fn server_round<S: ServerTransport>(
         ));
     }
 
-    // Pool included devices' samples in ascending device order — the same
-    // order FedSc::run pools in, which keeps clean runs bit-identical.
-    let mut included = Vec::with_capacity(received);
-    let mut mats = Vec::with_capacity(received);
-    let mut counts = Vec::with_capacity(received);
-    for (z, p) in payloads.into_iter().enumerate() {
-        if let Some(msg) = p {
-            included.push(z);
-            counts.push(msg.samples.cols());
-            mats.push(msg.samples);
-        }
-    }
-    let refs: Vec<&Matrix> = mats.iter().collect();
-    let pooled = Matrix::hcat(&refs)?;
+    let (included, counts, pooled) = pool_uplinks(payloads)?;
     let central_span = fedsc_obs::span("fedsc", "phase2.central").field("samples", pooled.cols());
-    let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0ce2_74a1);
+    let mut server_rng = StdRng::seed_from_u64(cfg.seed ^ SERVER_RNG_SALT);
     let central = central_cluster(
         &pooled,
         cfg.num_clusters,
@@ -288,6 +285,72 @@ pub fn server_round<S: ServerTransport>(
     WIRE_SERVER_ROUNDS.inc();
     WIRE_STRAGGLERS.add(excluded.len() as u64);
     Ok(excluded)
+}
+
+/// Collects uplinks from `expected` children over `link` until all report
+/// or `deadline` expires, decoding each payload. Slot `z` of the returned
+/// vector holds child `z`'s message, `None` if it never arrived — quorum
+/// policy is the *caller's* decision, so the hierarchical tree can treat a
+/// failed aggregator as a straggler where the flat round treats it as
+/// fatal. Stray child ids and duplicate deliveries are ignored, exactly as
+/// in [`server_round`].
+pub fn collect_uplinks<S: ServerTransport>(
+    link: &mut S,
+    expected: usize,
+    deadline: Duration,
+) -> Result<Vec<Option<UplinkMessage>>> {
+    let mut payloads: Vec<Option<UplinkMessage>> = (0..expected).map(|_| None).collect();
+    let deadline = Deadline::after(deadline);
+    let mut received = 0usize;
+    // Server-side view of Phase 1: the window in which the children's local
+    // clustering results arrive.
+    let collect_span = fedsc_obs::span("fedsc", "phase1.collect").field("devices", expected);
+    while received < expected {
+        let remaining = deadline.remaining();
+        if remaining.is_zero() {
+            break;
+        }
+        match link.recv_uplink(remaining) {
+            Ok((z, bytes)) => {
+                // Stray device ids and duplicate deliveries (a retrying
+                // link may deliver the same upload twice) are ignored.
+                if z >= expected || payloads[z].is_some() {
+                    continue;
+                }
+                let _uplink_span = fedsc_obs::span("wire", "wire.uplink").field("device", z);
+                let msg = UplinkMessage::decode(bytes)
+                    .ok_or(LinalgError::InvalidArgument("malformed uplink"))?;
+                payloads[z] = Some(msg);
+                received += 1;
+            }
+            Err(TransportError::Timeout(_)) => break,
+            Err(e) => return Err(wire_err(e)),
+        }
+    }
+    drop(collect_span.field("received", received));
+    Ok(payloads)
+}
+
+/// Pools the children that reported, in ascending child order — the same
+/// order `FedSc::run` pools in, which keeps clean runs bit-identical.
+/// Returns the included child ids, each included child's sample count (in
+/// that order), and the pooled sample matrix.
+pub fn pool_uplinks(
+    payloads: Vec<Option<UplinkMessage>>,
+) -> Result<(Vec<usize>, Vec<usize>, Matrix)> {
+    let mut included = Vec::new();
+    let mut mats = Vec::new();
+    let mut counts = Vec::new();
+    for (z, p) in payloads.into_iter().enumerate() {
+        if let Some(msg) = p {
+            included.push(z);
+            counts.push(msg.samples.cols());
+            mats.push(msg.samples);
+        }
+    }
+    let refs: Vec<&Matrix> = mats.iter().collect();
+    let pooled = Matrix::hcat(&refs)?;
+    Ok((included, counts, pooled))
 }
 
 /// Runs the Fed-SC round over `transport` with per-device threads and
@@ -395,8 +458,10 @@ mod tests {
     #[test]
     fn wire_run_matches_in_process_run_exactly() {
         let (fed, cfg) = fixture(1);
-        let in_process = FedSc::new(cfg.clone()).run(&fed).unwrap();
-        let wire = run_over_wire(&fed, &cfg).unwrap();
+        let in_process = FedSc::new(cfg.clone())
+            .run(&fed)
+            .expect("in-process FedSc run on the seed-1 fixture");
+        let wire = run_over_wire(&fed, &cfg).expect("lossless wire round on the seed-1 fixture");
         // Same seeds, lossless channel: the two execution shapes must agree
         // bit for bit.
         assert_eq!(wire.predictions, in_process.predictions);
@@ -406,8 +471,10 @@ mod tests {
     #[test]
     fn wire_byte_counts_match_payload_sizes() {
         let (fed, cfg) = fixture(2);
-        let wire = run_over_wire(&fed, &cfg).unwrap();
-        let in_process = FedSc::new(cfg).run(&fed).unwrap();
+        let wire = run_over_wire(&fed, &cfg).expect("lossless wire round on the seed-2 fixture");
+        let in_process = FedSc::new(cfg)
+            .run(&fed)
+            .expect("in-process FedSc run on the seed-2 fixture");
         let samples = in_process.samples.cols();
         // Uplink: per device 16-byte header + 8 bytes per entry.
         assert_eq!(wire.uplink_bytes, 16 * fed.devices.len() + 8 * 20 * samples);
@@ -418,7 +485,7 @@ mod tests {
     #[test]
     fn wire_run_clusters_correctly() {
         let (fed, cfg) = fixture(3);
-        let wire = run_over_wire(&fed, &cfg).unwrap();
+        let wire = run_over_wire(&fed, &cfg).expect("lossless wire round on the seed-3 fixture");
         let acc = fedsc_clustering::clustering_accuracy(&fed.global_truth(), &wire.predictions);
         assert!(acc > 90.0, "accuracy {acc}");
     }
@@ -426,7 +493,7 @@ mod tests {
     #[test]
     fn faulty_link_below_retry_budget_still_matches_exactly() {
         let (fed, cfg) = fixture(1);
-        let clean = run_over_wire(&fed, &cfg).unwrap();
+        let clean = run_over_wire(&fed, &cfg).expect("clean reference round (seed-1 fixture)");
         let transport = FaultyInMemoryTransport::new(FaultConfig {
             seed: 99,
             drop: 0.2,
@@ -442,7 +509,8 @@ mod tests {
             retry_backoff: Duration::ZERO,
             ..RoundPolicy::default()
         };
-        let faulty = run_round(&fed, &cfg, &transport, &policy).unwrap();
+        let faulty = run_round(&fed, &cfg, &transport, &policy)
+            .expect("faulty round (fault seed 99) should survive the 25-retry budget");
         // Retries and duplicates are invisible to the clustering: the
         // payload bytes that survive are the payload bytes that were sent.
         assert_eq!(faulty.predictions, clean.predictions);
@@ -456,14 +524,14 @@ mod tests {
     #[test]
     fn tcp_round_matches_in_memory_round_exactly() {
         let (fed, cfg) = fixture(4);
-        let clean = run_over_wire(&fed, &cfg).unwrap();
+        let clean = run_over_wire(&fed, &cfg).expect("clean in-memory round (seed-4 fixture)");
         let tcp = run_round(
             &fed,
             &cfg,
             &TcpTransport::loopback(),
             &RoundPolicy::default(),
         )
-        .unwrap();
+        .expect("TCP loopback round (seed-4 fixture)");
         assert_eq!(tcp.predictions, clean.predictions);
         assert!(tcp.excluded.is_empty());
         // TCP accounting includes handshakes and framing: strictly more
@@ -482,7 +550,9 @@ mod tests {
         // with a transport whose open() drops one endpoint — simplest here:
         // run server/device halves manually.
         let transport = InMemoryTransport;
-        let (mut server_link, mut device_links) = transport.open(z_count).unwrap();
+        let (mut server_link, mut device_links) = transport
+            .open(z_count)
+            .expect("open in-memory links for the quorum round");
         let policy = RoundPolicy {
             quorum: Some(z_count - 1),
             deadline: Duration::from_millis(800),
@@ -504,18 +574,26 @@ mod tests {
                     scope.spawn(move |_| device_round(&device.data, z, cfg, &mut link, policy)),
                 ));
             }
-            excluded = server_round(&mut server_link, z_count, &cfg, &policy).unwrap();
+            excluded = server_round(&mut server_link, z_count, &cfg, &policy)
+                .expect("server round should proceed at quorum Z-1 with one straggler");
             drop(server_link);
             for (z, h) in handles {
-                results[z] = Some(h.join().unwrap().unwrap());
+                let round = h
+                    .join()
+                    .unwrap_or_else(|_| panic!("device {z} thread panicked"));
+                results[z] = Some(
+                    round.unwrap_or_else(|e| panic!("healthy device {z} failed its round: {e:?}")),
+                );
             }
         })
-        .unwrap();
+        .expect("wire test scope should not leak a panic");
         assert_eq!(excluded, vec![dead]);
         // Every healthy device got a full labelling of its shard.
         for (z, r) in results.iter().enumerate() {
             if z != dead {
-                let r = r.as_ref().unwrap();
+                let r = r
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("device {z} produced no result"));
                 assert_eq!(r.len(), fed.devices[z].data.cols());
             }
         }
@@ -525,12 +603,173 @@ mod tests {
     fn missing_quorum_fails_the_round() {
         let (fed, cfg) = fixture(6);
         let z_count = fed.devices.len();
-        let (mut server_link, _device_links) = InMemoryTransport.open(z_count).unwrap();
+        let (mut server_link, _device_links) = InMemoryTransport
+            .open(z_count)
+            .expect("open in-memory links for the no-quorum round");
         let policy = RoundPolicy {
             quorum: Some(z_count), // all required, none will come
             deadline: Duration::from_millis(50),
             ..RoundPolicy::default()
         };
         assert!(server_round(&mut server_link, z_count, &cfg, &policy).is_err());
+    }
+
+    /// A device's label vector (or round error); `None` for dead devices.
+    type DeviceResult = Option<Result<Vec<usize>>>;
+
+    /// Runs one round over `transport` with the devices in `dead` never
+    /// speaking: the server half runs on this thread, every healthy device
+    /// on its own. Returns the server result (excluded stragglers on
+    /// success) and each healthy device's round result.
+    fn round_with_dead<T: Transport>(
+        transport: &T,
+        fed: &FederatedDataset,
+        cfg: &FedScConfig,
+        policy: &RoundPolicy,
+        dead: &[usize],
+    ) -> (Result<Vec<usize>>, Vec<DeviceResult>) {
+        let z_count = fed.devices.len();
+        let (mut server_link, mut device_links) = transport
+            .open(z_count)
+            .expect("open links for the straggler round");
+        let mut results: Vec<DeviceResult> = (0..z_count).map(|_| None).collect();
+        let mut server_out: Option<Result<Vec<usize>>> = None;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (z, mut link) in device_links.drain(..).enumerate() {
+                if dead.contains(&z) {
+                    continue; // killed before it ever speaks
+                }
+                let device = &fed.devices[z];
+                let (cfg, policy) = (&cfg, &policy);
+                handles.push((
+                    z,
+                    scope.spawn(move |_| device_round(&device.data, z, cfg, &mut link, policy)),
+                ));
+            }
+            server_out = Some(server_round(&mut server_link, z_count, cfg, policy));
+            // Closing the server links unblocks devices a failed round
+            // never answered.
+            drop(server_link);
+            for (z, h) in handles {
+                results[z] = Some(
+                    h.join()
+                        .unwrap_or_else(|_| panic!("device {z} thread panicked")),
+                );
+            }
+        })
+        .expect("straggler-round scope should not leak a panic");
+        (
+            server_out.expect("server round ran on this thread"),
+            results,
+        )
+    }
+
+    /// The two transports the RoundPolicy edge cases are asserted over: the
+    /// payload-only reference link and the framed fault-injection link with
+    /// a clean fault plan (framing and CRC active, no injected faults).
+    fn edge_case_transports() -> (InMemoryTransport, FaultyInMemoryTransport) {
+        (
+            InMemoryTransport,
+            FaultyInMemoryTransport::new(FaultConfig {
+                seed: 7,
+                ..FaultConfig::default()
+            }),
+        )
+    }
+
+    #[test]
+    fn quorum_equal_to_z_with_one_straggler_fails() {
+        // Edge case: quorum == Z leaves no straggler allowance at all, so a
+        // single dead device must fail the round on every transport.
+        let (fed, cfg) = fixture(7);
+        let z_count = fed.devices.len();
+        let policy = RoundPolicy {
+            quorum: Some(z_count),
+            deadline: Duration::from_millis(400),
+            ..RoundPolicy::default()
+        };
+        let (mem, faulty) = edge_case_transports();
+        let (mem_server, _) = round_with_dead(&mem, &fed, &cfg, &policy, &[5]);
+        assert!(
+            mem_server.is_err(),
+            "in-memory round met quorum Z despite a dead device"
+        );
+        let (faulty_server, _) = round_with_dead(&faulty, &fed, &cfg, &policy, &[5]);
+        assert!(
+            faulty_server.is_err(),
+            "faulty-link round met quorum Z despite a dead device"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_fails_even_with_healthy_devices() {
+        // Edge case: a zero collection deadline expires before the first
+        // recv, so even an all-healthy fleet cannot reach quorum.
+        let (fed, cfg) = fixture(8);
+        let policy = RoundPolicy {
+            quorum: Some(1),
+            deadline: Duration::ZERO,
+            ..RoundPolicy::default()
+        };
+        let (mem, faulty) = edge_case_transports();
+        let (mem_server, _) = round_with_dead(&mem, &fed, &cfg, &policy, &[]);
+        assert!(
+            mem_server.is_err(),
+            "in-memory round proceeded under a zero deadline"
+        );
+        let (faulty_server, _) = round_with_dead(&faulty, &fed, &cfg, &policy, &[]);
+        assert!(
+            faulty_server.is_err(),
+            "faulty-link round proceeded under a zero deadline"
+        );
+    }
+
+    #[test]
+    fn quorum_met_on_last_permissible_uplink() {
+        // Edge case: exactly quorum-many devices are alive, so the round
+        // proceeds only if the final permissible uplink is counted — and
+        // the dead devices are reported as the excluded stragglers.
+        let (fed, cfg) = fixture(9);
+        let z_count = fed.devices.len();
+        let dead = [2usize, 9usize];
+        let policy = RoundPolicy {
+            quorum: Some(z_count - dead.len()),
+            deadline: Duration::from_millis(1_500),
+            ..RoundPolicy::default()
+        };
+        let (mem, faulty) = edge_case_transports();
+        for (name, server_out, results) in [
+            (
+                "in-memory",
+                round_with_dead(&mem, &fed, &cfg, &policy, &dead),
+            ),
+            (
+                "faulty",
+                round_with_dead(&faulty, &fed, &cfg, &policy, &dead),
+            ),
+        ]
+        .map(|(n, (s, r))| (n, s, r))
+        {
+            let excluded = server_out
+                .unwrap_or_else(|e| panic!("{name} round failed at exactly-met quorum: {e:?}"));
+            assert_eq!(excluded, dead.to_vec(), "{name} excluded set");
+            for (z, r) in results.iter().enumerate() {
+                if dead.contains(&z) {
+                    assert!(r.is_none(), "{name}: dead device {z} somehow ran");
+                    continue;
+                }
+                let labels = r
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{name}: healthy device {z} produced no result"))
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{name}: healthy device {z} failed: {e:?}"));
+                assert_eq!(
+                    labels.len(),
+                    fed.devices[z].data.cols(),
+                    "{name} device {z}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,60 @@
+//! Result of a hierarchical round: the flat-round output plus a per-tier
+//! traffic breakdown.
+
+use fedsc::WireRunOutput;
+
+/// Wire accounting for one link tier, summed over every parent endpoint
+/// at that tier — byte-exact against the transport's own
+/// [`fedsc_transport::LinkStats`] (the lossless in-memory link counts
+/// payload bytes; framed links count framing and handshake too).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierTraffic {
+    /// Parent nodes at this tier (aggregators, or 1 for the root tier).
+    pub parents: usize,
+    /// Child nodes at this tier (devices at tier 0).
+    pub children: usize,
+    /// Bytes the tier's parents took off the wire (children's uplinks).
+    pub uplink_bytes: usize,
+    /// Bytes the tier's parents put on the wire (downlink broadcasts).
+    pub downlink_bytes: usize,
+    /// Uplink messages the tier's parents received.
+    pub uplink_messages: u64,
+    /// Downlink messages the tier's parents sent.
+    pub downlink_messages: u64,
+    /// Children whose uplink never arrived at this tier — stragglers, or
+    /// roots of failed subtrees below. Indices are node ids at the
+    /// tier's child level (device ids at tier 0).
+    pub excluded_children: Vec<usize>,
+}
+
+/// Result of a hierarchical run: the flat [`WireRunOutput`] view (the
+/// `uplink_bytes`/`downlink_bytes` fields are the **root's** accounting,
+/// matching what the flat round reports for its single server) plus the
+/// per-tier breakdown, bottom-up.
+#[derive(Debug, Clone)]
+pub struct HierRunOutput {
+    /// Flat-round view: predictions in global-point order, root-tier
+    /// byte accounting, and the devices that fell back to cluster 0.
+    pub wire: WireRunOutput,
+    /// Per-tier traffic, `tiers[0]` = device→first-parent links,
+    /// `tiers.last()` = top-tier→root links (the same tier when flat).
+    pub tiers: Vec<TierTraffic>,
+}
+
+impl HierRunOutput {
+    /// Uplink bytes the root took off the wire — the quantity that must
+    /// scale with the cluster count, not the device count.
+    pub fn root_uplink_bytes(&self) -> usize {
+        self.tiers.last().map_or(0, |t| t.uplink_bytes)
+    }
+
+    /// Uplink bytes summed over every tier (total tree ingress).
+    pub fn total_uplink_bytes(&self) -> usize {
+        self.tiers.iter().map(|t| t.uplink_bytes).sum()
+    }
+
+    /// Downlink bytes summed over every tier (total tree egress).
+    pub fn total_downlink_bytes(&self) -> usize {
+        self.tiers.iter().map(|t| t.downlink_bytes).sum()
+    }
+}

@@ -1,0 +1,434 @@
+//! The staged, single-threaded tree driver.
+//!
+//! One hierarchical round is two sweeps over the tree:
+//!
+//! 1. **Uplink sweep (bottom-up).** Every device runs Algorithm 2 and
+//!    sends its encoded samples; then tier by tier each parent collects
+//!    its children's uplinks under the tier's [`RoundPolicy`], pools them
+//!    in ascending child order, runs the Phase-2 central clustering on the
+//!    pooled samples (into `min(L, pooled)` merged clusters), and — unless
+//!    it is the root — forwards one representative sample per non-empty
+//!    merged cluster to its own parent.
+//! 2. **Downlink sweep (top-down).** The root broadcasts global
+//!    assignments for the top tier's representatives; each aggregator
+//!    receives the labels of *its* representatives, composes them through
+//!    its merged-cluster assignment (`child sample → merged cluster →
+//!    global label`), and relays one downlink per included child. Devices
+//!    finish with the flat round's majority relabel.
+//!
+//! The sweeps are sequential on the calling thread: every send at tier
+//! `t` completes before any tier-`t` parent starts collecting, which all
+//! three transports support (unbounded in-process buffering; TCP
+//! handshake/uplink handled by the endpoint's own background threads).
+//! This crate spawns no threads and opens no sockets of its own.
+//!
+//! Failure semantics: a child whose uplink misses the tier deadline is a
+//! straggler; a parent that misses its quorum (or cannot reach its own
+//! parent within the retry budget) fails its whole subtree — those
+//! devices keep the fallback label 0 and are reported in
+//! [`WireRunOutput::excluded`]. A quorum miss *at the root* fails the
+//! round, exactly like the flat server.
+
+use crate::output::{HierRunOutput, TierTraffic};
+use crate::topology::{HierPolicy, HierTopology};
+use fedsc::central::{central_cluster, central_cluster_auto};
+use fedsc::local::LocalOutput;
+use fedsc::{
+    collect_uplinks, device_local_output, majority_relabel, pool_uplinks, wire_err, FedScConfig,
+    SERVER_RNG_SALT,
+};
+use fedsc_federated::channel::{DownlinkMessage, UplinkMessage};
+use fedsc_federated::partition::FederatedDataset;
+use fedsc_linalg::{LinalgError, Matrix, Result};
+use fedsc_obs::LazyCounter;
+use fedsc_transport::{with_retry, DeviceTransport, LinkStats, ServerTransport, Transport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Device rounds completed (uplink sent, downlink applied).
+static HIER_DEVICE_ROUNDS: LazyCounter = LazyCounter::new("hier.device_rounds");
+/// Aggregator rounds completed (children pooled, representatives sent up).
+static HIER_AGG_ROUNDS: LazyCounter = LazyCounter::new("hier.agg_rounds");
+/// Root rounds completed.
+static HIER_ROOT_ROUNDS: LazyCounter = LazyCounter::new("hier.root_rounds");
+/// Children excluded as stragglers across all tiers.
+static HIER_STRAGGLERS: LazyCounter = LazyCounter::new("hier.stragglers_excluded");
+/// Aggregators that failed their subtree (quorum miss or unreachable parent).
+static HIER_SUBTREES_FAILED: LazyCounter = LazyCounter::new("hier.subtrees_failed");
+/// Uplink bytes observed by parents, summed over every tier.
+static HIER_UPLINK_BYTES: LazyCounter = LazyCounter::new("hier.uplink_bytes");
+/// Downlink bytes sent by parents, summed over every tier.
+static HIER_DOWNLINK_BYTES: LazyCounter = LazyCounter::new("hier.downlink_bytes");
+
+/// Rng seed for the aggregator at tier `t`, node `p` — the root's salt
+/// stream mixed with a per-node offset so sibling aggregators draw
+/// independent spectral-clustering initializations. The root itself uses
+/// the unmixed `seed ^ SERVER_RNG_SALT`, which is what keeps the
+/// degenerate tree bit-identical to the flat round.
+fn agg_seed(seed: u64, tier: usize, node: usize) -> u64 {
+    (seed ^ SERVER_RNG_SALT)
+        ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul((((tier as u64) + 1) << 32) | ((node as u64) + 1))
+}
+
+/// What an aggregator remembers between the uplink and downlink sweeps.
+struct AggState {
+    /// Local (in-group) indices of the children that reported.
+    included: Vec<usize>,
+    /// Sample count per included child, in `included` order.
+    counts: Vec<usize>,
+    /// Merged-cluster assignment per pooled sample.
+    assignments: Vec<usize>,
+    /// Merged cluster → upload slot of its representative.
+    rep_slot: Vec<usize>,
+    /// Number of representatives uploaded.
+    reps: usize,
+}
+
+/// Runs one hierarchical Fed-SC round over `transport` with the given
+/// tree shape and per-tier policy. See the module docs for the staged
+/// execution model and failure semantics.
+pub fn run_hier_round<T: Transport>(
+    fed: &FederatedDataset,
+    cfg: &FedScConfig,
+    topology: &HierTopology,
+    transport: &T,
+    policy: &HierPolicy,
+) -> Result<HierRunOutput> {
+    run_hier_round_with_dead(fed, cfg, topology, transport, policy, &[])
+}
+
+/// [`run_hier_round`] with the devices in `dead_devices` never speaking —
+/// the deterministic straggler model the quorum tests and the perf
+/// harness drive (a dead device neither computes nor sends, exactly like
+/// a crashed client).
+pub fn run_hier_round_with_dead<T: Transport>(
+    fed: &FederatedDataset,
+    cfg: &FedScConfig,
+    topology: &HierTopology,
+    transport: &T,
+    policy: &HierPolicy,
+    dead_devices: &[usize],
+) -> Result<HierRunOutput> {
+    let z_count = fed.devices.len();
+    topology.validate()?;
+    if topology.devices != z_count {
+        return Err(LinalgError::InvalidArgument(
+            "hier topology device count does not match the dataset",
+        ));
+    }
+    let widths = topology.widths();
+    let num_tiers = topology.num_tiers();
+    let _span = fedsc_obs::span("hier", "hier.run")
+        .field("devices", z_count)
+        .field("tiers", num_tiers);
+
+    // Open every tier's fan-ins: one (server, children) group per parent.
+    // Child endpoints land in a flat per-tier vector (group ranges are
+    // contiguous and ascending), parent endpoints in per-tier vectors.
+    let mut servers: Vec<Vec<T::Server>> = Vec::with_capacity(num_tiers);
+    let mut child_links: Vec<Vec<T::Device>> = Vec::with_capacity(num_tiers);
+    for t in 0..num_tiers {
+        let parents = widths[t + 1];
+        let mut tier_servers = Vec::with_capacity(parents);
+        let mut tier_children = Vec::with_capacity(widths[t]);
+        for p in 0..parents {
+            let range = topology.children_range(t, p);
+            let (server, children) = transport.open(range.len()).map_err(wire_err)?;
+            tier_servers.push(server);
+            tier_children.extend(children);
+        }
+        servers.push(tier_servers);
+        child_links.push(tier_children);
+    }
+
+    // ---- Uplink sweep, stage 0: every live device computes and sends. ----
+    let mut is_dead = vec![false; z_count];
+    for &d in dead_devices {
+        if d < z_count {
+            is_dead[d] = true;
+        }
+    }
+    let device_policy = policy.tier(0);
+    let mut local_outs: Vec<Option<LocalOutput>> = (0..z_count).map(|_| None).collect();
+    for z in 0..z_count {
+        if is_dead[z] {
+            continue;
+        }
+        let out = device_local_output(&fed.devices[z].data, z, cfg)?;
+        let payload = UplinkMessage {
+            dim: out.samples.rows(),
+            samples: out.samples.clone(),
+        }
+        .encode();
+        let link = &mut child_links[0][z];
+        if with_retry(
+            device_policy.max_retries,
+            device_policy.retry_backoff,
+            || link.send_uplink(&payload),
+        )
+        .is_err()
+        {
+            // Retry budget exhausted: the device becomes a straggler its
+            // parent's quorum policy will account for, not a fatal error.
+            continue;
+        }
+        local_outs[z] = Some(out);
+    }
+
+    // ---- Uplink sweep, stages 1..: tier-by-tier aggregation. ----
+    // `agg_states[t][p]`: what parent `p` of tier `t` remembers for the
+    // downlink sweep (None = failed subtree, or the root which needs none).
+    let mut agg_states: Vec<Vec<Option<AggState>>> = (0..num_tiers)
+        .map(|t| (0..widths[t + 1]).map(|_| None).collect())
+        .collect();
+    // `answered[t][c]`: node `c` at level `t` was sent a downlink.
+    let mut answered: Vec<Vec<bool>> = widths[..num_tiers]
+        .iter()
+        .map(|&w| vec![false; w])
+        .collect();
+    let mut excluded_at: Vec<Vec<usize>> = (0..num_tiers).map(|_| Vec::new()).collect();
+
+    for t in 0..num_tiers {
+        let is_root = t + 1 == num_tiers;
+        let tier_policy = policy.tier(t);
+        for p in 0..widths[t + 1] {
+            let range = topology.children_range(t, p);
+            let n_children = range.len();
+            let agg_span = fedsc_obs::span(
+                "hier",
+                if is_root {
+                    "hier.root_uplink"
+                } else {
+                    "hier.agg_uplink"
+                },
+            )
+            .field("tier", t)
+            .field("node", p)
+            .field("children", n_children);
+            let payloads = collect_uplinks(&mut servers[t][p], n_children, tier_policy.deadline)?;
+            let received = payloads.iter().filter(|m| m.is_some()).count();
+            for (local, m) in payloads.iter().enumerate() {
+                if m.is_none() {
+                    excluded_at[t].push(range.start + local);
+                }
+            }
+            drop(agg_span.field("received", received));
+            if received < tier_policy.required(n_children) {
+                if is_root {
+                    return Err(LinalgError::InvalidArgument(
+                        "root quorum not met before the round deadline",
+                    ));
+                }
+                HIER_SUBTREES_FAILED.inc();
+                continue;
+            }
+            let (included, counts, pooled) = pool_uplinks(payloads)?;
+            if pooled.cols() == 0 {
+                // Quorum of empty uploads (all included devices hold zero
+                // points): nothing to cluster, nothing to forward.
+                if is_root {
+                    return Err(LinalgError::InvalidArgument(
+                        "root received no samples to cluster",
+                    ));
+                }
+                HIER_SUBTREES_FAILED.inc();
+                continue;
+            }
+
+            if is_root {
+                // The root is the flat server: cluster into L under the
+                // flat rng stream, answer every included child.
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ SERVER_RNG_SALT);
+                let central = central_cluster(
+                    &pooled,
+                    cfg.num_clusters,
+                    included.len(),
+                    cfg.central,
+                    cfg.candidate_threshold,
+                    &mut rng,
+                )?;
+                let mut offset = 0usize;
+                for (&c, &r) in included.iter().zip(counts.iter()) {
+                    let assignments: Vec<u32> = central.assignments[offset..offset + r]
+                        .iter()
+                        .map(|&a| a as u32)
+                        .collect();
+                    offset += r;
+                    let reply = DownlinkMessage { assignments }.encode();
+                    with_retry(tier_policy.max_retries, tier_policy.retry_backoff, || {
+                        servers[t][p].send_downlink(c, &reply)
+                    })
+                    .map_err(wire_err)?;
+                    answered[t][range.start + c] = true;
+                }
+                HIER_ROOT_ROUNDS.inc();
+            } else {
+                // Merge the children's clusters and forward one
+                // representative per non-empty merged cluster. The merged
+                // count is eigengap-estimated (capped at L): a subtree
+                // may cover only a few of the global clusters, and
+                // forcing L partitions onto fewer natural groups makes
+                // spectral k-means mix subspaces.
+                let mut rng = StdRng::seed_from_u64(agg_seed(cfg.seed, t, p));
+                let (central, l_merge) = central_cluster_auto(
+                    &pooled,
+                    cfg.num_clusters.min(pooled.cols()),
+                    included.len(),
+                    cfg.central,
+                    cfg.candidate_threshold,
+                    &mut rng,
+                )?;
+                let mut rep_slot = vec![usize::MAX; l_merge];
+                let mut rep_cols: Vec<&[f64]> = Vec::with_capacity(l_merge);
+                for (s, &m) in central.assignments.iter().enumerate() {
+                    if rep_slot[m] == usize::MAX {
+                        rep_slot[m] = rep_cols.len();
+                        rep_cols.push(pooled.col(s));
+                    }
+                }
+                let reps = Matrix::from_columns(&rep_cols)?;
+                let payload = UplinkMessage {
+                    dim: reps.rows(),
+                    samples: reps,
+                }
+                .encode();
+                let up_policy = policy.tier(t + 1);
+                let link = &mut child_links[t + 1][p];
+                if with_retry(up_policy.max_retries, up_policy.retry_backoff, || {
+                    link.send_uplink(&payload)
+                })
+                .is_err()
+                {
+                    // Unreachable parent: the subtree fails as a unit.
+                    HIER_SUBTREES_FAILED.inc();
+                    continue;
+                }
+                HIER_AGG_ROUNDS.inc();
+                agg_states[t][p] = Some(AggState {
+                    reps: rep_cols.len(),
+                    included,
+                    counts,
+                    assignments: central.assignments,
+                    rep_slot,
+                });
+            }
+        }
+    }
+
+    // ---- Downlink sweep: relay composed labels tier by tier. ----
+    for t in (0..num_tiers.saturating_sub(1)).rev() {
+        let tier_policy = policy.tier(t);
+        let parent_policy = policy.tier(t + 1);
+        for p in 0..widths[t + 1] {
+            let Some(state) = agg_states[t][p].take() else {
+                continue; // failed subtree: children stay unanswered
+            };
+            if !answered[t + 1][p] {
+                continue; // our own parent excluded or failed us
+            }
+            let _span = fedsc_obs::span("hier", "hier.agg_downlink")
+                .field("tier", t)
+                .field("node", p)
+                .field("children", state.included.len());
+            let reply = child_links[t + 1][p]
+                .recv_downlink(parent_policy.downlink_wait())
+                .map_err(wire_err)?;
+            let down = DownlinkMessage::decode(reply)
+                .ok_or(LinalgError::InvalidArgument("malformed downlink"))?;
+            if down.assignments.len() != state.reps {
+                return Err(LinalgError::InvalidArgument(
+                    "downlink assignment count mismatch at an aggregator",
+                ));
+            }
+            // Compose: child sample → merged cluster → representative
+            // slot → global label.
+            let range = topology.children_range(t, p);
+            let mut offset = 0usize;
+            for (&c, &r) in state.included.iter().zip(state.counts.iter()) {
+                let assignments: Vec<u32> = state.assignments[offset..offset + r]
+                    .iter()
+                    .map(|&m| down.assignments[state.rep_slot[m]])
+                    .collect();
+                offset += r;
+                let child_reply = DownlinkMessage { assignments }.encode();
+                if with_retry(tier_policy.max_retries, tier_policy.retry_backoff, || {
+                    servers[t][p].send_downlink(c, &child_reply)
+                })
+                .is_ok()
+                {
+                    answered[t][range.start + c] = true;
+                }
+            }
+        }
+    }
+
+    // ---- Device finish: flat Phase 3 on every answered device. ----
+    let mut gathered: Vec<Vec<usize>> = Vec::with_capacity(z_count);
+    let mut excluded_devices = Vec::new();
+    for z in 0..z_count {
+        if !answered[0][z] {
+            gathered.push(vec![0usize; fed.devices[z].data.cols()]);
+            excluded_devices.push(z);
+            continue;
+        }
+        let reply = child_links[0][z]
+            .recv_downlink(device_policy.downlink_wait())
+            .map_err(wire_err)?;
+        let down = DownlinkMessage::decode(reply)
+            .ok_or(LinalgError::InvalidArgument("malformed downlink"))?;
+        let out = local_outs[z]
+            .take()
+            .ok_or(LinalgError::InvalidArgument("answered device never ran"))?;
+        if down.assignments.len() != out.sample_cluster.len() {
+            return Err(LinalgError::InvalidArgument(
+                "downlink assignment count mismatch",
+            ));
+        }
+        let cluster_to_global = majority_relabel(
+            &out.sample_cluster,
+            out.num_local_clusters,
+            &down.assignments,
+            cfg.num_clusters,
+        );
+        gathered.push(
+            out.local_labels
+                .iter()
+                .map(|&c| cluster_to_global[c])
+                .collect(),
+        );
+        HIER_DEVICE_ROUNDS.inc();
+    }
+
+    // ---- Per-tier accounting from the endpoints' own stats. ----
+    let mut tiers = Vec::with_capacity(num_tiers);
+    for (t, tier_servers) in servers.iter().enumerate() {
+        let mut stats = LinkStats::default();
+        for s in tier_servers {
+            stats.merge(&s.stats());
+        }
+        HIER_UPLINK_BYTES.add(stats.bytes_received as u64);
+        HIER_DOWNLINK_BYTES.add(stats.bytes_sent as u64);
+        HIER_STRAGGLERS.add(excluded_at[t].len() as u64);
+        tiers.push(TierTraffic {
+            parents: widths[t + 1],
+            children: widths[t],
+            uplink_bytes: stats.bytes_received,
+            downlink_bytes: stats.bytes_sent,
+            uplink_messages: stats.messages_received,
+            downlink_messages: stats.messages_sent,
+            excluded_children: std::mem::take(&mut excluded_at[t]),
+        });
+    }
+
+    let root_uplink = tiers.last().map_or(0, |t| t.uplink_bytes);
+    let root_downlink = tiers.last().map_or(0, |t| t.downlink_bytes);
+    Ok(HierRunOutput {
+        wire: fedsc::WireRunOutput {
+            predictions: fed.scatter_predictions(&gathered),
+            uplink_bytes: root_uplink,
+            downlink_bytes: root_downlink,
+            excluded: excluded_devices,
+        },
+        tiers,
+    })
+}

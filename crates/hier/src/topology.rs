@@ -1,0 +1,180 @@
+//! Tree shape and per-tier policy for the hierarchical round.
+//!
+//! Levels are numbered bottom-up: level 0 holds the `Z` leaf devices,
+//! levels `1..=A` the aggregator tiers, and the implicit top level the
+//! single root. **Tier `t`** names the link layer between level-`t`
+//! children and their level-`t+1` parents, so a tree with `A` aggregator
+//! tiers has `A + 1` link tiers; a flat topology (`A = 0`) has exactly one
+//! — the shape of `fedsc::run_over_wire`.
+//!
+//! Children are assigned to parents in contiguous balanced chunks: parent
+//! `p` of `P` at a tier with `C` children owns `[C*p/P, C*(p+1)/P)`.
+//! Widths must be non-increasing so every parent owns at least one child.
+
+use fedsc::RoundPolicy;
+use fedsc_linalg::{LinalgError, Result};
+use std::ops::Range;
+
+/// The shape of the aggregation tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierTopology {
+    /// Number of leaf devices `Z` (level 0).
+    pub devices: usize,
+    /// Width of each aggregator tier, bottom-up. Empty means the devices
+    /// talk straight to the root — the degenerate tree bit-identical to
+    /// the flat round.
+    pub aggregators: Vec<usize>,
+}
+
+impl HierTopology {
+    /// A validated tree: `devices` leaves, then one aggregator tier per
+    /// entry of `aggregators` (bottom-up), then the root.
+    pub fn new(devices: usize, aggregators: Vec<usize>) -> Result<Self> {
+        let topo = HierTopology {
+            devices,
+            aggregators,
+        };
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    /// The degenerate tree: every device is a direct child of the root.
+    pub fn flat(devices: usize) -> Self {
+        HierTopology {
+            devices,
+            aggregators: Vec::new(),
+        }
+    }
+
+    /// Checks the shape invariants: at least one device, no empty tier,
+    /// and non-increasing widths (so every parent owns ≥ 1 child).
+    pub fn validate(&self) -> Result<()> {
+        if self.devices == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "hier topology needs at least one device",
+            ));
+        }
+        let mut below = self.devices;
+        for &w in &self.aggregators {
+            if w == 0 {
+                return Err(LinalgError::InvalidArgument(
+                    "hier topology has an empty aggregator tier",
+                ));
+            }
+            if w > below {
+                return Err(LinalgError::InvalidArgument(
+                    "hier topology tier is wider than the tier below it",
+                ));
+            }
+            below = w;
+        }
+        Ok(())
+    }
+
+    /// Node count per level, bottom-up: `[Z, a_1, …, a_A, 1]`.
+    pub fn widths(&self) -> Vec<usize> {
+        let mut w = Vec::with_capacity(self.aggregators.len() + 2);
+        w.push(self.devices);
+        w.extend_from_slice(&self.aggregators);
+        w.push(1);
+        w
+    }
+
+    /// Number of link tiers (`aggregators.len() + 1`).
+    pub fn num_tiers(&self) -> usize {
+        self.aggregators.len() + 1
+    }
+
+    /// The level-`tier` children owned by parent `parent` at level
+    /// `tier + 1`: the contiguous balanced chunk `[C*p/P, C*(p+1)/P)`.
+    pub fn children_range(&self, tier: usize, parent: usize) -> Range<usize> {
+        let widths = self.widths();
+        let children = widths[tier];
+        let parents = widths[tier + 1];
+        (children * parent / parents)..(children * (parent + 1) / parents)
+    }
+}
+
+/// Per-tier straggler and reliability policy: `tiers[t]` governs link
+/// tier `t` (bottom-up); the last entry repeats for any deeper tier, so a
+/// single-entry policy is uniform across the whole tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HierPolicy {
+    /// Bottom-up per-tier policies. May be empty: every tier then runs
+    /// under `RoundPolicy::default()`.
+    pub tiers: Vec<RoundPolicy>,
+}
+
+impl HierPolicy {
+    /// The same policy at every tier.
+    pub fn uniform(policy: RoundPolicy) -> Self {
+        HierPolicy {
+            tiers: vec![policy],
+        }
+    }
+
+    /// The policy governing link tier `t` (last entry repeats; defaults
+    /// when no entry was given at all).
+    pub fn tier(&self, t: usize) -> RoundPolicy {
+        self.tiers
+            .get(t)
+            .or(self.tiers.last())
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_tiers() {
+        let topo = HierTopology::new(12, vec![4, 2]).expect("valid 12→4→2→root tree");
+        assert_eq!(topo.widths(), vec![12, 4, 2, 1]);
+        assert_eq!(topo.num_tiers(), 3);
+        assert_eq!(HierTopology::flat(7).num_tiers(), 1);
+    }
+
+    #[test]
+    fn children_ranges_partition_each_tier() {
+        let topo = HierTopology::new(10, vec![3]).expect("valid 10→3→root tree");
+        for t in 0..topo.num_tiers() {
+            let widths = topo.widths();
+            let mut covered = 0usize;
+            for p in 0..widths[t + 1] {
+                let r = topo.children_range(t, p);
+                assert_eq!(r.start, covered, "tier {t} parent {p} is contiguous");
+                assert!(!r.is_empty(), "tier {t} parent {p} owns no child");
+                covered = r.end;
+            }
+            assert_eq!(covered, widths[t], "tier {t} covers every child");
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert!(HierTopology::new(0, vec![]).is_err(), "zero devices");
+        assert!(HierTopology::new(4, vec![0]).is_err(), "empty tier");
+        assert!(HierTopology::new(4, vec![8]).is_err(), "widening tier");
+        assert!(
+            HierTopology::new(4, vec![4, 2]).is_ok(),
+            "equal width is fine"
+        );
+    }
+
+    #[test]
+    fn policy_last_entry_repeats() {
+        let strict = RoundPolicy {
+            quorum: Some(1),
+            ..RoundPolicy::default()
+        };
+        let p = HierPolicy {
+            tiers: vec![RoundPolicy::default(), strict.clone()],
+        };
+        assert_eq!(p.tier(0), RoundPolicy::default());
+        assert_eq!(p.tier(1), strict);
+        assert_eq!(p.tier(5), strict, "last entry repeats upward");
+        assert_eq!(HierPolicy::default().tier(2), RoundPolicy::default());
+    }
+}

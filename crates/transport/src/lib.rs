@@ -64,6 +64,16 @@ pub struct LinkStats {
 }
 
 impl LinkStats {
+    /// Folds another endpoint's accounting into this one — how the
+    /// hierarchical tree sums one tier's per-parent endpoints into the
+    /// tier total.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+    }
+
     /// Records `n` bytes put on the wire, mirrored to the global
     /// `transport.bytes_sent` counter.
     pub(crate) fn on_bytes_sent(&mut self, n: usize) {

@@ -185,6 +185,8 @@ const SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Build
 
 /// Files allowed to create OS threads directly: the pool itself, the TCP
 /// transport's accept/serve loops, and the process-spawning wire harness.
+/// `crates/hier` is deliberately absent: the aggregation-tree driver is
+/// single-threaded by design (staged tier sweeps on the caller's thread).
 pub const SPAWN_SANCTUARY_FILES: &[&str] = &[
     "crates/linalg/src/par.rs",
     "crates/transport/src/tcp.rs",
@@ -984,6 +986,37 @@ mod tests {
         let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
         let out = strict("crates/obs/src/x.rs", src);
         assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn hier_crate_is_not_a_socket_or_spawn_sanctuary() {
+        // The aggregation-tree crate is deliberately thread- and
+        // socket-free: its staged driver sequences every tier on the
+        // caller's thread and reaches the network only through the
+        // transport traits. Rules 5/6 must therefore flag any direct
+        // socket or spawn that creeps in — pin the sanctuary lists so a
+        // future edit cannot quietly exempt the crate.
+        assert!(!super::SOCKET_SANCTUARY.starts_with("crates/hier"));
+        for sanctioned in super::SPAWN_SANCTUARY_FILES {
+            assert!(
+                !sanctioned.starts_with("crates/hier"),
+                "crates/hier must stay out of the spawn sanctuary: {sanctioned}"
+            );
+        }
+        let socket = "fn f() { let _ = std::net::TcpStream; }\n";
+        let out = strict("crates/hier/src/run.rs", socket);
+        assert!(
+            out.diagnostics.iter().any(|d| d.rule == "socket"),
+            "{:?}",
+            out.diagnostics
+        );
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        let out = strict("crates/hier/src/run.rs", spawn);
+        assert!(
+            out.diagnostics.iter().any(|d| d.rule == "spawn"),
+            "{:?}",
+            out.diagnostics
+        );
     }
 
     #[test]
