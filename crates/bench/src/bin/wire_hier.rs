@@ -170,21 +170,27 @@ fn main() {
             ),
         });
         for (t, tier) in out.tiers.iter().enumerate() {
+            // A completed tier always did work (collection, clustering,
+            // and downlink relay at minimum): a zero here means the
+            // driver stopped timing the tier, not that it was free.
+            assert!(tier.wall_ns > 0, "tier {t} reported zero wall time");
             entries.push(Entry {
                 kernel: "wire_hier_tier",
                 size: format!("Z={z},tier={t}"),
-                median_ns: 0,
+                median_ns: u128::from(tier.wall_ns),
                 extra: format!(
                     ", \"tier\": {t}, \"parents\": {}, \"children\": {}, \
                      \"uplink_bytes\": {}, \"downlink_bytes\": {}, \
-                     \"uplink_messages\": {}, \"downlink_messages\": {}, \"excluded\": {}",
+                     \"uplink_messages\": {}, \"downlink_messages\": {}, \"excluded\": {}, \
+                     \"envelope_bytes\": {}",
                     tier.parents,
                     tier.children,
                     tier.uplink_bytes,
                     tier.downlink_bytes,
                     tier.uplink_messages,
                     tier.downlink_messages,
-                    tier.excluded_children.len()
+                    tier.excluded_children.len(),
+                    tier.envelope_bytes
                 ),
             });
         }
@@ -208,6 +214,44 @@ fn main() {
         large.root_uplink_bytes(),
         small.root_uplink_bytes()
     );
+
+    // Telemetry leg: the small fleet again with tracing on. The traced
+    // round must be bitwise-identical in its labels, byte-identical in
+    // payload accounting modulo the declared envelope bytes, and its
+    // merged trace must pass the cross-process validator CI runs over
+    // the written artifact.
+    fedsc_obs::trace::install_ring(1 << 16);
+    let (traced, _, _) = run_fleet(z_small, &aggs);
+    let events = fedsc_obs::trace::uninstall();
+    assert_eq!(
+        traced.wire.predictions, small.wire.predictions,
+        "telemetry perturbed the fleet's clustering"
+    );
+    for (t, (tr, un)) in traced.tiers.iter().zip(small.tiers.iter()).enumerate() {
+        assert!(
+            tr.envelope_bytes > 0,
+            "traced tier {t} declared no envelope bytes"
+        );
+        assert_eq!(
+            tr.uplink_bytes,
+            un.uplink_bytes + tr.envelope_bytes,
+            "tier {t} uplink delta is not the declared envelope bytes"
+        );
+    }
+    let mut fleet = fedsc_obs::FleetCollector::new();
+    fleet.add_local_events(&events, 1);
+    let trace =
+        fedsc_obs::export::fleet_chrome_trace_json(&fleet.spans, &[(1, "hier".to_string())]);
+    let (span_count, edges) =
+        fedsc_obs::export::validate_cross_process(&trace).expect("merged trace validates");
+    eprintln!("wire_hier trace Z={z_small}: {span_count} spans, {edges} parent edges");
+    let trace_file = if smoke {
+        "trace_hier_smoke.json"
+    } else {
+        "trace_hier.json"
+    };
+    let trace_path = workspace_root().join(trace_file);
+    std::fs::write(&trace_path, &trace).expect("write merged trace JSON");
 
     // Metrics contract: the hierarchical counters must have been exported
     // (CI's bench-smoke job checks the same keys in the written JSON).
@@ -240,4 +284,5 @@ fn main() {
     let path = workspace_root().join(file);
     std::fs::write(&path, &json).expect("write benchmark JSON");
     println!("wrote {}", path.display());
+    println!("wrote {}", trace_path.display());
 }

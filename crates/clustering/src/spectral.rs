@@ -82,8 +82,38 @@ pub fn spectral_clustering_sparse<R: Rng + ?Sized>(
     }
     let lap = sparse_normalized_laplacian(w);
     let eig = lanczos_smallest_op(&lap, k, k + 40)?;
+    // Disconnection guard. A graph with `c` edged components carries an
+    // exact `c`-fold zero eigenvalue (isolated nodes instead keep
+    // identity rows, eigenvalue 1), and the deflated restarts are not
+    // guaranteed to dig out every copy before the restart budget runs
+    // out — on weakly-coupled chains the stagnation path can lock a
+    // near-zero bulk eigenvalue from one component instead of the exact
+    // zero of another, which silently splits/merges clusters. Fewer
+    // zeros than components is therefore a provable miss: fail loudly
+    // instead of returning a wrong labelling.
+    let isolated = w.degrees().iter().filter(|&&d| d == 0.0).count();
+    let zero_mult = (w.connected_components(0.0) - isolated).min(k);
+    let zeros_found = eig
+        .eigenvalues
+        .iter()
+        .filter(|&&v| v.abs() <= ZERO_EIGENVALUE_TOL)
+        .count();
+    if zeros_found < zero_mult {
+        return Err(fedsc_linalg::LinalgError::InvalidArgument(
+            "deflated Lanczos missed zero eigenvalues of a disconnected Laplacian \
+             (fewer zeros than connected components); densify the graph or cluster \
+             the components independently",
+        ));
+    }
     embed_and_cluster(&eig, n, k, opts, rng)
 }
+
+/// Exact zero eigenvalues of the normalized Laplacian come back from the
+/// Lanczos path at roundoff scale (`~1e-12`); the smallest *nonzero*
+/// eigenvalue of any weakly-connected component this pipeline meets (a
+/// hundreds-long path chain has `lambda_2 ~ 1e-4`) sits orders of
+/// magnitude above this threshold.
+const ZERO_EIGENVALUE_TOL: f64 = 1e-8;
 
 /// Shared NJW tail: transpose the `k` smallest eigenvectors into a `k x n`
 /// embedding (one column per node), row-normalize, k-means the columns.
@@ -256,6 +286,79 @@ mod tests {
         block_label.sort_unstable();
         block_label.dedup();
         assert_eq!(block_label.len(), 30, "blocks were merged");
+    }
+
+    /// `chains` disconnected path graphs of `len` nodes each, weight
+    /// exactly `1.0` per edge (`0.5` coefficients in both directions).
+    /// The normalized Laplacian has an exact `chains`-fold zero
+    /// eigenvalue, and each chain's spectrum fills `[0, 2]` near-densely
+    /// (lambda_2 ~ (pi / len)^2 / 2), the adversarial regime for a
+    /// restarted solver chasing a degenerate smallest cluster.
+    fn path_chains(chains: usize, len: usize) -> fedsc_graph::SparseAffinity {
+        use fedsc_sparse::SparseVec;
+        let n = chains * len;
+        let mut codes = Vec::with_capacity(n);
+        for c in 0..chains {
+            for p in 0..len {
+                let i = c * len + p;
+                let mut ind = Vec::new();
+                let mut val = Vec::new();
+                if p > 0 {
+                    ind.push(i - 1);
+                    val.push(0.5);
+                }
+                if p + 1 < len {
+                    ind.push(i + 1);
+                    val.push(0.5);
+                }
+                codes.push(SparseVec::from_parts(n, ind, val));
+            }
+        }
+        fedsc_graph::SparseAffinity::from_codes(&codes)
+    }
+
+    /// Failing-by-design witness for the deflated-Lanczos miss on
+    /// disconnected Laplacians past the `n > 400` dense cutover: 5
+    /// disconnected path chains of 100 nodes carry an exact 5-fold zero
+    /// eigenvalue, but the restarted solver stagnation-locks five ~2e-4
+    /// Ritz values instead (measured: zero exact zeros found on every
+    /// probed chain configuration). The correct behavior asserted here —
+    /// each chain recovered as one pure cluster — fails today with the
+    /// guard's `InvalidArgument`; un-ignore once the solver digs out
+    /// degenerate zero clusters (e.g. component-wise deflation seeds).
+    #[test]
+    #[ignore = "known deflated-Lanczos miss on disconnected Laplacians; guarded at the cutover"]
+    fn disconnected_chains_above_cutover_recover_components() {
+        let w = path_chains(5, 100);
+        let mut rng = StdRng::seed_from_u64(9);
+        let labels = spectral_clustering_sparse(&w, &SpectralOptions::new(5), &mut rng).unwrap();
+        let mut chain_label = Vec::new();
+        for c in 0..5 {
+            let base = labels[c * 100];
+            assert!(
+                labels[c * 100..(c + 1) * 100].iter().all(|&l| l == base),
+                "chain {c} is split"
+            );
+            chain_label.push(base);
+        }
+        chain_label.sort_unstable();
+        chain_label.dedup();
+        assert_eq!(chain_label.len(), 5, "chains were merged");
+    }
+
+    #[test]
+    fn disconnection_guard_rejects_missed_zero_cluster() {
+        // Companion to the ignored witness above: until the solver handles
+        // degenerate zeros of disconnected graphs, the pipeline must refuse
+        // to return a silently wrong labelling.
+        let w = path_chains(5, 100);
+        let mut rng = StdRng::seed_from_u64(9);
+        let err = spectral_clustering_sparse(&w, &SpectralOptions::new(5), &mut rng).unwrap_err();
+        assert!(
+            matches!(err, fedsc_linalg::LinalgError::InvalidArgument(msg)
+                if msg.contains("disconnected")),
+            "expected the disconnection guard, got {err:?}"
+        );
     }
 
     #[test]

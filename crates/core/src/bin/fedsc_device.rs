@@ -15,9 +15,18 @@
 //! Observability: `--trace-out <path>` records this device's spans (local
 //! SSC phases plus the wire round) as Chrome `trace_event` JSON;
 //! `--metrics-out <path>` writes the flat `fedsc_obs` metrics snapshot.
+//!
+//! Fleet telemetry: with `--telemetry` the device estimates its clock
+//! offset to the server (timed handshake), then ships its completed
+//! spans and metrics snapshot **in-band** on the uplink, shifted into
+//! the server's clock, under process lane `1000 + --device`. `--link-id`
+//! is this endpoint's child index on the link it dials (defaults to
+//! `--device`; they differ when dialing a `fedsc-agg` mid-tier), and
+//! `--parent` names that parent node in the trace context.
 
-use fedsc::demo::demo_fixture;
-use fedsc::{device_round, RoundPolicy};
+use fedsc::demo::{demo_fixture, demo_hier_fixture};
+use fedsc::{device_round_traced, RoundPolicy, WireTelemetry};
+use fedsc_obs::TraceContext;
 use fedsc_transport::{TcpDevice, TcpOptions};
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -25,16 +34,20 @@ use std::process::ExitCode;
 struct Args {
     addr: SocketAddr,
     device: usize,
+    link_id: Option<usize>,
+    parent: u64,
     devices: usize,
     clusters: usize,
     seed: u64,
+    hier: bool,
+    telemetry: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
 
 const USAGE: &str = "usage: fedsc-device --addr HOST:PORT --device Z \
-[--devices 12] [--clusters 3] [--seed 1] \
-[--trace-out trace.json] [--metrics-out metrics.json]";
+[--link-id N] [--parent P] [--devices 12] [--clusters 3] [--seed 1] \
+[--hier] [--telemetry] [--trace-out trace.json] [--metrics-out metrics.json]";
 
 fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
     let mut it = args.iter();
@@ -69,9 +82,18 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     Ok(Args {
         addr: required(args, "--addr")?,
         device: required(args, "--device")?,
+        link_id: flag_value(args, "--link-id")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid value for --link-id: {v}\n{USAGE}"))
+            })
+            .transpose()?,
+        parent: parsed(args, "--parent", 0)?,
         devices: parsed(args, "--devices", 12)?,
         clusters: parsed(args, "--clusters", 3)?,
         seed: parsed(args, "--seed", 1)?,
+        hier: args.iter().any(|a| a == "--hier"),
+        telemetry: args.iter().any(|a| a == "--telemetry"),
         trace_out: flag_value(args, "--trace-out")?,
         metrics_out: flag_value(args, "--metrics-out")?,
     })
@@ -98,17 +120,44 @@ fn run(args: &Args) -> Result<(), String> {
             args.device, args.devices
         ));
     }
-    if args.trace_out.is_some() {
+    if args.telemetry || args.trace_out.is_some() {
         fedsc_obs::trace::install_ring(1 << 16);
     }
-    let (fed, cfg) = demo_fixture(args.seed, args.devices, args.clusters);
-    let mut link = TcpDevice::new(args.addr, args.device, TcpOptions::default());
-    let predictions = device_round(
+    // `--hier` selects the aggregation-friendly fixture shared by a
+    // fleet with `fedsc-agg` mid-tiers (see `fedsc::demo`).
+    let fixture = if args.hier {
+        demo_hier_fixture
+    } else {
+        demo_fixture
+    };
+    let (fed, cfg) = fixture(args.seed, args.devices, args.clusters);
+    let link_id = args.link_id.unwrap_or(args.device);
+    let pid = 1000 + args.device as u64;
+    let telemetry = if args.telemetry {
+        WireTelemetry {
+            ctx: Some(TraceContext {
+                run_id: args.seed,
+                round: 0,
+                tier: 0,
+                node: link_id as u64,
+                parent: args.parent,
+                pid,
+                parent_span: 0,
+            }),
+            ship: true,
+            pid,
+        }
+    } else {
+        WireTelemetry::default()
+    };
+    let mut link = TcpDevice::new(args.addr, link_id, TcpOptions::default());
+    let predictions = device_round_traced(
         &fed.devices[args.device].data,
         args.device,
         &cfg,
         &mut link,
         &RoundPolicy::default(),
+        &telemetry,
     )
     .map_err(|e| format!("{e}"))?;
     let list: Vec<String> = predictions.iter().map(usize::to_string).collect();

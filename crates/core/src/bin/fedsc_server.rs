@@ -9,6 +9,7 @@
 //! listening 127.0.0.1:40123
 //! excluded 3
 //! uplink_bytes 5664 downlink_bytes 1248
+//! envelope_bytes 0
 //! ```
 //!
 //! `excluded -` means no device missed the deadline. The dataset/config
@@ -20,9 +21,19 @@
 //! round and writes them as Chrome `trace_event` JSON (load in Perfetto or
 //! `chrome://tracing`); `--metrics-out <path>` writes the flat
 //! `fedsc_obs` metrics snapshot (wire/transport counters) as JSON.
+//!
+//! Fleet telemetry: with `--telemetry` the server absorbs the in-band
+//! envelopes its children attached (`--telemetry` on `fedsc-device` /
+//! `fedsc-agg`). `--fleet-trace-out <path>` writes ONE merged Chrome
+//! trace with a `pid` lane per process, all timestamps in this root's
+//! clock; `--fleet-metrics-out <path>` writes the fleet-wide merged
+//! metrics snapshot. `envelope_bytes` in the summary is the exact uplink
+//! payload overhead the telemetry added (always 0 when children ship
+//! nothing).
 
-use fedsc::demo::demo_fixture;
-use fedsc::{server_round, RoundPolicy};
+use fedsc::demo::{demo_fixture, demo_hier_fixture};
+use fedsc::{server_round_fleet, RoundPolicy};
+use fedsc_obs::FleetCollector;
 use fedsc_transport::{ServerTransport, TcpOptions, TcpServer};
 use std::io::Write;
 use std::net::SocketAddr;
@@ -36,13 +47,18 @@ struct Args {
     seed: u64,
     quorum: Option<usize>,
     deadline_ms: u64,
+    hier: bool,
+    telemetry: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    fleet_trace_out: Option<String>,
+    fleet_metrics_out: Option<String>,
 }
 
 const USAGE: &str = "usage: fedsc-server [--addr 127.0.0.1:0] [--devices 12] \
-[--clusters 3] [--seed 1] [--quorum N] [--deadline-ms 300000] \
-[--trace-out trace.json] [--metrics-out metrics.json]";
+[--clusters 3] [--seed 1] [--quorum N] [--deadline-ms 300000] [--hier] [--telemetry] \
+[--trace-out trace.json] [--metrics-out metrics.json] \
+[--fleet-trace-out fleet.json] [--fleet-metrics-out fleet-metrics.json]";
 
 fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
     let mut it = args.iter();
@@ -79,20 +95,55 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             })
             .transpose()?,
         deadline_ms: parsed(args, "--deadline-ms", 300_000)?,
+        hier: args.iter().any(|a| a == "--hier"),
+        telemetry: args.iter().any(|a| a == "--telemetry"),
         trace_out: flag_value(args, "--trace-out")?,
         metrics_out: flag_value(args, "--metrics-out")?,
+        fleet_trace_out: flag_value(args, "--fleet-trace-out")?,
+        fleet_metrics_out: flag_value(args, "--fleet-metrics-out")?,
     })
 }
 
-/// Exports the recorded spans / metrics snapshot to the requested paths.
-fn write_observability(args: &Args) -> Result<(), String> {
+/// Human-readable lane name for the fleet trace's process metadata.
+fn lane_name(pid: u64) -> String {
+    match pid {
+        1 => "root".to_string(),
+        p if p >= 1000 => format!("device-{}", p - 1000),
+        p if p >= 100 => format!("agg-{}", p - 100),
+        p => format!("proc-{p}"),
+    }
+}
+
+/// Exports local and fleet-merged observability to the requested paths.
+fn write_observability(args: &Args, mut fleet: FleetCollector) -> Result<(), String> {
+    let tracing = args.telemetry || args.trace_out.is_some();
+    let events = if tracing {
+        fedsc_obs::trace::uninstall()
+    } else {
+        Vec::new()
+    };
     if let Some(path) = &args.trace_out {
-        let events = fedsc_obs::trace::uninstall();
         let trace = fedsc_obs::export::chrome_trace_json(&events);
         std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if let Some(path) = &args.metrics_out {
         let metrics = fedsc_obs::export::metrics_json(&fedsc_obs::metrics::snapshot());
+        std::fs::write(path, metrics).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if args.fleet_trace_out.is_none() && args.fleet_metrics_out.is_none() {
+        return Ok(());
+    }
+    // The root's own lane and registry join the absorbed subtree before
+    // the merged exports; timestamps are already in this clock.
+    fleet.add_local_events(&events, 1);
+    fleet.merge_metrics(&fedsc_obs::metrics::snapshot());
+    if let Some(path) = &args.fleet_trace_out {
+        let names: Vec<(u64, String)> = fleet.pids().iter().map(|&p| (p, lane_name(p))).collect();
+        let trace = fedsc_obs::export::fleet_chrome_trace_json(&fleet.spans, &names);
+        std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &args.fleet_metrics_out {
+        let metrics = fedsc_obs::export::metrics_json(&fleet.metrics);
         std::fs::write(path, metrics).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     Ok(())
@@ -102,12 +153,19 @@ fn run(args: &Args) -> Result<(), String> {
     if args.devices == 0 {
         return Err("--devices must be positive".into());
     }
-    if args.trace_out.is_some() {
+    if args.telemetry || args.trace_out.is_some() {
         fedsc_obs::trace::install_ring(1 << 16);
     }
     // Only the config matters server-side; regenerating the full fixture
     // guarantees it cannot drift from what the device processes use.
-    let (_fed, cfg) = demo_fixture(args.seed, args.devices, args.clusters);
+    // `--hier` selects the aggregation-friendly fixture a fleet of
+    // `fedsc-agg` mid-tiers shares (see `fedsc::demo`).
+    let fixture = if args.hier {
+        demo_hier_fixture
+    } else {
+        demo_fixture
+    };
+    let (_fed, cfg) = fixture(args.seed, args.devices, args.clusters);
     let policy = RoundPolicy {
         quorum: args.quorum,
         deadline: Duration::from_millis(args.deadline_ms),
@@ -122,8 +180,9 @@ fn run(args: &Args) -> Result<(), String> {
         .flush()
         .map_err(|e| format!("stdout flush failed: {e}"))?;
 
-    let excluded =
-        server_round(&mut server, args.devices, &cfg, &policy).map_err(|e| format!("{e}"))?;
+    let mut fleet = FleetCollector::new();
+    let excluded = server_round_fleet(&mut server, args.devices, &cfg, &policy, Some(&mut fleet))
+        .map_err(|e| format!("{e}"))?;
     let stats = server.stats();
     drop(server); // closes links so excluded devices stop waiting
     if excluded.is_empty() {
@@ -136,7 +195,8 @@ fn run(args: &Args) -> Result<(), String> {
         "uplink_bytes {} downlink_bytes {}",
         stats.bytes_received, stats.bytes_sent
     );
-    write_observability(args)?;
+    println!("envelope_bytes {}", fleet.envelope_bytes);
+    write_observability(args, fleet)?;
     Ok(())
 }
 

@@ -54,6 +54,7 @@ pub use assign::ClusterAssigner;
 pub use config::{BasisDim, CentralBackend, ClusterCountPolicy, FedScConfig, LocalBackend};
 pub use scheme::{FedSc, FedScOutput};
 pub use wire::{
-    collect_uplinks, device_local_output, device_round, majority_relabel, pool_uplinks,
-    run_over_wire, run_round, server_round, wire_err, RoundPolicy, WireRunOutput, SERVER_RNG_SALT,
+    agg_seed, collect_uplinks, collect_uplinks_fleet, device_local_output, device_round,
+    device_round_traced, majority_relabel, pool_uplinks, run_over_wire, run_round, server_round,
+    server_round_fleet, wire_err, RoundPolicy, WireRunOutput, WireTelemetry, SERVER_RNG_SALT,
 };

@@ -27,10 +27,11 @@
 use crate::central::central_cluster;
 use crate::config::FedScConfig;
 use crate::local::{local_cluster_and_sample, LocalOutput};
+use bytes::Bytes;
 use fedsc_federated::channel::{DownlinkMessage, UplinkMessage};
 use fedsc_federated::partition::FederatedDataset;
 use fedsc_linalg::{LinalgError, Matrix, Result};
-use fedsc_obs::{LazyCounter, LazyHistogram, Stopwatch};
+use fedsc_obs::{Envelope, FleetCollector, LazyCounter, LazyHistogram, Stopwatch, TraceContext};
 use fedsc_transport::{
     with_retry, Deadline, DeviceTransport, InMemoryTransport, LinkStats, ServerTransport,
     Transport, TransportError,
@@ -59,6 +60,39 @@ static WIRE_DEVICE_ROUND_MS: LazyHistogram = LazyHistogram::new(
 /// does — the degenerate single-tier tree is bit-identical to
 /// [`run_over_wire`] only because both sides share this constant.
 pub const SERVER_RNG_SALT: u64 = 0x0ce2_74a1;
+
+/// Rng seed for the aggregator at tier `tier`, node `node` of an
+/// aggregation tree — the root's salt stream mixed with a per-node offset
+/// so sibling aggregators draw independent spectral-clustering
+/// initializations. The root itself uses the unmixed
+/// `seed ^ SERVER_RNG_SALT`, which is what keeps the degenerate
+/// single-tier tree bit-identical to the flat round. Lives here (not in
+/// `fedsc-hier`) so the real-process `fedsc-agg` binary and the
+/// in-process tree driver seed identically.
+pub fn agg_seed(seed: u64, tier: usize, node: usize) -> u64 {
+    (seed ^ SERVER_RNG_SALT)
+        ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul((((tier as u64) + 1) << 32) | ((node as u64) + 1))
+}
+
+/// Telemetry posture of one sending round: what (if anything) rides
+/// in-band on the uplink. The default attaches nothing, keeping the
+/// payload byte-identical to an untraced round.
+#[derive(Debug, Clone, Default)]
+pub struct WireTelemetry {
+    /// Causal context stamped onto the uplink envelope. Its
+    /// `parent_span` is overwritten with the id of the sender's completed
+    /// local-output span, so the receiver's handling span records a
+    /// parent that actually ships.
+    pub ctx: Option<TraceContext>,
+    /// Also ship this process's completed spans and a metrics snapshot
+    /// in-band, shifted into the parent's clock via
+    /// [`DeviceTransport::clock_sync`]. Real-process mode only —
+    /// in-process drivers share one ring and registry, and shipping
+    /// would double-count both.
+    pub ship: bool,
+    /// Process lane (Chrome `pid`) for shipped spans.
+    pub pid: u64,
+}
 
 /// Server-side straggler and reliability policy for one round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +150,11 @@ pub struct WireRunOutput {
     /// Devices whose uplink never arrived before the deadline; empty on a
     /// clean run.
     pub excluded: Vec<usize>,
+    /// Serialized telemetry-envelope bytes the server absorbed from
+    /// uplink payloads — the exact overhead tracing added to
+    /// `uplink_bytes` (0 when telemetry is off, so
+    /// `uplink_bytes - envelope_bytes` is invariant under tracing).
+    pub envelope_bytes: usize,
 }
 
 /// Maps a link failure into the workspace error type, preserving the
@@ -187,14 +226,37 @@ pub fn device_round<D: DeviceTransport>(
     link: &mut D,
     policy: &RoundPolicy,
 ) -> Result<Vec<usize>> {
+    device_round_traced(data, z, cfg, link, policy, &WireTelemetry::default())
+}
+
+/// [`device_round`] with an explicit telemetry posture: the uplink
+/// payload is prefixed with an in-band [`Envelope`] carrying the round's
+/// [`TraceContext`] and — in real-process mode — the device's completed
+/// spans (shifted into the server's clock) and metrics snapshot. The
+/// default posture attaches nothing and is byte-identical to
+/// [`device_round`].
+pub fn device_round_traced<D: DeviceTransport>(
+    data: &Matrix,
+    z: usize,
+    cfg: &FedScConfig,
+    link: &mut D,
+    policy: &RoundPolicy,
+    telemetry: &WireTelemetry,
+) -> Result<Vec<usize>> {
     let _span = fedsc_obs::span("wire", "wire.device_round").field("device", z);
     let sw = Stopwatch::start();
+    // The local computation gets its own span so a *completed* span id
+    // exists by uplink time — the round span is still open when the
+    // payload ships, so it cannot serve as the cross-process parent.
+    let local_span = fedsc_obs::span("wire", "wire.local_output").field("device", z);
+    let local_span_id = local_span.id();
     let out = device_local_output(data, z, cfg)?;
+    drop(local_span);
     let msg = UplinkMessage {
         dim: out.samples.rows(),
         samples: out.samples.clone(),
     };
-    let payload = msg.encode();
+    let payload = wrap_uplink(msg.encode(), link, telemetry, local_span_id)?;
     with_retry(policy.max_retries, policy.retry_backoff, || {
         link.send_uplink(&payload)
     })
@@ -226,6 +288,41 @@ pub fn device_round<D: DeviceTransport>(
         .collect())
 }
 
+/// Prefixes an encoded uplink with the round's telemetry envelope. With
+/// the default (empty) posture the payload is returned untouched; with
+/// `ship` set, the link's clock offset is estimated first and every
+/// shipped span is shifted into the receiver's clock, so offsets compose
+/// transitively up an aggregation tree.
+fn wrap_uplink<D: DeviceTransport>(
+    inner: Bytes,
+    link: &mut D,
+    telemetry: &WireTelemetry,
+    parent_span: u64,
+) -> Result<Bytes> {
+    let ctx = telemetry.ctx.map(|mut c| {
+        c.parent_span = parent_span;
+        c
+    });
+    let env = if telemetry.ship {
+        let offset = link.clock_sync().map_err(wire_err)?;
+        let mut fleet = FleetCollector::new();
+        fleet.add_local_events(&fedsc_obs::trace::drain(), telemetry.pid);
+        fleet.merge_metrics(&fedsc_obs::metrics::snapshot());
+        fleet.shift(offset);
+        fleet.to_envelope(ctx)
+    } else {
+        Envelope {
+            ctx,
+            ..Envelope::default()
+        }
+    };
+    if env.is_empty() {
+        Ok(inner)
+    } else {
+        Ok(Bytes::from(env.wrap(inner.as_slice())))
+    }
+}
+
 /// Runs the server's side of the round over `link`: collect uplinks until
 /// every device reports or the policy deadline expires, pool in ascending
 /// device order, cluster centrally, answer each included device. Returns
@@ -238,8 +335,23 @@ pub fn server_round<S: ServerTransport>(
     cfg: &FedScConfig,
     policy: &RoundPolicy,
 ) -> Result<Vec<usize>> {
+    server_round_fleet(link, z_count, cfg, policy, None)
+}
+
+/// [`server_round`] absorbing in-band telemetry into `fleet`: every
+/// uplink envelope's context, spans, and metrics land in the collector
+/// (and its `envelope_bytes` tallies the exact payload overhead), ready
+/// to export at the root or forward from an aggregator. Passing `None`
+/// strips and discards envelopes, which is [`server_round`] exactly.
+pub fn server_round_fleet<S: ServerTransport>(
+    link: &mut S,
+    z_count: usize,
+    cfg: &FedScConfig,
+    policy: &RoundPolicy,
+    fleet: Option<&mut FleetCollector>,
+) -> Result<Vec<usize>> {
     let _span = fedsc_obs::span("wire", "wire.server_round").field("devices", z_count);
-    let payloads = collect_uplinks(link, z_count, policy.deadline)?;
+    let payloads = collect_uplinks_fleet(link, z_count, policy.deadline, fleet)?;
     let received = payloads.iter().filter(|p| p.is_some()).count();
 
     let excluded: Vec<usize> = payloads
@@ -299,6 +411,22 @@ pub fn collect_uplinks<S: ServerTransport>(
     expected: usize,
     deadline: Duration,
 ) -> Result<Vec<Option<UplinkMessage>>> {
+    collect_uplinks_fleet(link, expected, deadline, None)
+}
+
+/// [`collect_uplinks`] absorbing in-band telemetry: each payload's
+/// optional [`Envelope`] prefix is stripped before the uplink decoder
+/// sees it, the per-uplink span records the sender's span as its remote
+/// parent, and — when a collector is given — the envelope's spans,
+/// metrics, and context are absorbed. A payload carrying the envelope
+/// magic but failing to decode is an error (never fed to the inner
+/// decoder); a payload without the magic passes through untouched.
+pub fn collect_uplinks_fleet<S: ServerTransport>(
+    link: &mut S,
+    expected: usize,
+    deadline: Duration,
+    mut fleet: Option<&mut FleetCollector>,
+) -> Result<Vec<Option<UplinkMessage>>> {
     let mut payloads: Vec<Option<UplinkMessage>> = (0..expected).map(|_| None).collect();
     let deadline = Deadline::after(deadline);
     let mut received = 0usize;
@@ -317,8 +445,23 @@ pub fn collect_uplinks<S: ServerTransport>(
                 if z >= expected || payloads[z].is_some() {
                     continue;
                 }
-                let _uplink_span = fedsc_obs::span("wire", "wire.uplink").field("device", z);
-                let msg = UplinkMessage::decode(bytes)
+                let (env, inner_at) = Envelope::strip(bytes.as_slice())
+                    .map_err(|_| LinalgError::InvalidArgument("malformed uplink envelope"))?;
+                let mut uplink_span = fedsc_obs::span("wire", "wire.uplink").field("device", z);
+                if let Some(env) = env {
+                    if let Some(ctx) = env.ctx {
+                        uplink_span = uplink_span.remote_parent(ctx.pid, ctx.parent_span);
+                    }
+                    if let Some(fleet) = fleet.as_deref_mut() {
+                        fleet.absorb(&env, inner_at);
+                    }
+                }
+                let inner = if inner_at == 0 {
+                    bytes
+                } else {
+                    bytes.slice(inner_at..bytes.len())
+                };
+                let msg = UplinkMessage::decode(inner)
                     .ok_or(LinalgError::InvalidArgument("malformed uplink"))?;
                 payloads[z] = Some(msg);
                 received += 1;
@@ -370,6 +513,11 @@ pub fn run_round<T: Transport>(
     let z_count = fed.devices.len();
     let _span = fedsc_obs::span("wire", "wire.run_round").field("devices", z_count);
     let (mut server_link, device_links) = transport.open(z_count).map_err(wire_err)?;
+    // With tracing on, every uplink carries its causal context in-band
+    // (spans/metrics stay local: one process, one ring). Telemetry off
+    // attaches nothing, keeping the payloads byte-identical.
+    let traced = fedsc_obs::trace::is_enabled();
+    let mut fleet = FleetCollector::new();
 
     // Per-device results come back through a channel so the scope can end
     // cleanly even if the server fails.
@@ -380,12 +528,27 @@ pub fn run_round<T: Transport>(
             let result_tx = result_tx.clone();
             let device = &fed.devices[z];
             scope.spawn(move |_| {
-                let _ = result_tx.send((z, device_round(&device.data, z, cfg, &mut link, policy)));
+                let telemetry = WireTelemetry {
+                    ctx: traced.then_some(TraceContext {
+                        run_id: cfg.seed,
+                        round: 0,
+                        tier: 0,
+                        node: z as u64,
+                        parent: 0,
+                        pid: 1,
+                        parent_span: 0,
+                    }),
+                    ..WireTelemetry::default()
+                };
+                let _ = result_tx.send((
+                    z,
+                    device_round_traced(&device.data, z, cfg, &mut link, policy, &telemetry),
+                ));
             });
         }
         drop(result_tx);
 
-        let served = server_round(&mut server_link, z_count, cfg, policy)
+        let served = server_round_fleet(&mut server_link, z_count, cfg, policy, Some(&mut fleet))
             .map(|excluded| (excluded, server_link.stats()));
         // Dropping the server endpoint closes every link: excluded devices
         // still blocked in recv_downlink observe closure instead of
@@ -428,6 +591,7 @@ pub fn run_round<T: Transport>(
         uplink_bytes: stats.bytes_received,
         downlink_bytes: stats.bytes_sent,
         excluded,
+        envelope_bytes: fleet.envelope_bytes,
     })
 }
 
@@ -612,6 +776,133 @@ mod tests {
             ..RoundPolicy::default()
         };
         assert!(server_round(&mut server_link, z_count, &cfg, &policy).is_err());
+    }
+
+    #[test]
+    fn enveloped_uplinks_strip_absorb_and_decode() {
+        let (mut server, mut devices) = InMemoryTransport
+            .open(2)
+            .expect("open in-memory links for the envelope round-trip");
+        let cols: [&[f64]; 2] = [&[1.0, 2.0], &[3.0, 4.0]];
+        let msg = UplinkMessage {
+            dim: 2,
+            samples: Matrix::from_columns(&cols).expect("2x2 sample matrix"),
+        };
+        let inner = msg.encode();
+        let ctx = TraceContext {
+            run_id: 9,
+            node: 0,
+            pid: 1000,
+            parent_span: 77,
+            ..TraceContext::default()
+        };
+        let env = Envelope {
+            ctx: Some(ctx),
+            ..Envelope::default()
+        };
+        devices[0]
+            .send_uplink(&Bytes::from(env.wrap(inner.as_slice())))
+            .expect("enveloped uplink");
+        devices[1].send_uplink(&inner).expect("plain uplink");
+
+        let mut fleet = FleetCollector::new();
+        let payloads =
+            collect_uplinks_fleet(&mut server, 2, Duration::from_secs(5), Some(&mut fleet))
+                .expect("collect the two uplinks");
+        for (z, p) in payloads.iter().enumerate() {
+            let m = p.as_ref().unwrap_or_else(|| panic!("uplink {z} missing"));
+            assert_eq!(m.samples.col(0), &[1.0, 2.0], "uplink {z} col 0");
+            assert_eq!(m.samples.col(1), &[3.0, 4.0], "uplink {z} col 1");
+        }
+        assert_eq!(fleet.contexts, vec![ctx]);
+        assert_eq!(fleet.envelope_bytes, env.encoded_len());
+    }
+
+    #[test]
+    fn magic_with_malformed_envelope_fails_the_collect() {
+        let (mut server, mut devices) = InMemoryTransport
+            .open(1)
+            .expect("open in-memory link for the malformed envelope");
+        // Envelope magic followed by an unsupported version: must error,
+        // never reach the uplink decoder.
+        let mut bogus = b"FSCE".to_vec();
+        bogus.extend_from_slice(&[0u8; 20]);
+        devices[0]
+            .send_uplink(&Bytes::from(bogus))
+            .expect("send the corrupt payload");
+        assert!(collect_uplinks_fleet(&mut server, 1, Duration::from_secs(5), None).is_err());
+    }
+
+    #[test]
+    fn ctx_envelopes_add_declared_bytes_without_perturbing_predictions() {
+        let (fed, cfg) = fixture(10);
+        let clean = run_over_wire(&fed, &cfg).expect("untraced reference round (seed-10 fixture)");
+        assert_eq!(clean.envelope_bytes, 0, "telemetry off ships no envelopes");
+
+        let z_count = fed.devices.len();
+        let (mut server_link, mut device_links) = InMemoryTransport
+            .open(z_count)
+            .expect("open in-memory links for the ctx round");
+        let policy = RoundPolicy::default();
+        let mut fleet = FleetCollector::new();
+        let mut gathered: Vec<Option<Vec<usize>>> = (0..z_count).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (z, mut link) in device_links.drain(..).enumerate() {
+                let device = &fed.devices[z];
+                let (cfg, policy) = (&cfg, &policy);
+                handles.push((
+                    z,
+                    scope.spawn(move |_| {
+                        let telemetry = WireTelemetry {
+                            ctx: Some(TraceContext {
+                                run_id: cfg.seed,
+                                node: z as u64,
+                                pid: 1,
+                                ..TraceContext::default()
+                            }),
+                            ..WireTelemetry::default()
+                        };
+                        device_round_traced(&device.data, z, cfg, &mut link, policy, &telemetry)
+                    }),
+                ));
+            }
+            let excluded =
+                server_round_fleet(&mut server_link, z_count, &cfg, &policy, Some(&mut fleet))
+                    .expect("ctx round server side");
+            assert!(excluded.is_empty());
+            // The envelope overhead is exactly accounted: observed uplink
+            // bytes are the untraced payload plus the absorbed envelopes.
+            let stats = server_link.stats();
+            assert_eq!(
+                stats.bytes_received,
+                clean.uplink_bytes + fleet.envelope_bytes
+            );
+            drop(server_link);
+            for (z, h) in handles {
+                let labels = h
+                    .join()
+                    .unwrap_or_else(|_| panic!("device {z} thread panicked"))
+                    .unwrap_or_else(|e| panic!("device {z} round failed: {e:?}"));
+                gathered[z] = Some(labels);
+            }
+        })
+        .expect("ctx-round scope should not leak a panic");
+
+        let per_ctx = Envelope {
+            ctx: Some(TraceContext::default()),
+            ..Envelope::default()
+        }
+        .encoded_len();
+        assert_eq!(fleet.envelope_bytes, per_ctx * z_count);
+        assert_eq!(fleet.contexts.len(), z_count);
+        let gathered: Vec<Vec<usize>> = gathered
+            .into_iter()
+            .map(|v| v.expect("every device reported"))
+            .collect();
+        // The in-band telemetry never reaches the clustering: predictions
+        // are bit-identical to the untraced round.
+        assert_eq!(fed.scatter_predictions(&gathered), clean.predictions);
     }
 
     /// A device's label vector (or round error); `None` for dead devices.

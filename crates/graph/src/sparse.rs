@@ -133,6 +133,38 @@ impl SparseAffinity {
     pub fn to_graph(&self) -> AffinityGraph {
         AffinityGraph::from_symmetric(&self.w.to_dense())
     }
+
+    /// Number of connected components, counting edges with `|w| > tol`
+    /// (isolated nodes are singleton components). One BFS sweep over the
+    /// CSR rows — `O(n + nnz)`, no densification.
+    ///
+    /// The spectral guard needs this: a `c`-component graph's normalized
+    /// Laplacian carries an exact `c`-fold zero eigenvalue, so an
+    /// eigensolver that returns fewer zeros than components has provably
+    /// missed part of the degenerate cluster.
+    pub fn connected_components(&self, tol: f64) -> usize {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut queue = Vec::new();
+        let mut components = 0usize;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            queue.push(start);
+            while let Some(i) = queue.pop() {
+                for (j, w) in self.w.row(i) {
+                    if j != i && w.abs() > tol && !seen[j] {
+                        seen[j] = true;
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+        components
+    }
 }
 
 /// Builds the normalized Laplacian `I - D^{-1/2} W D^{-1/2}` in CSR,
@@ -250,6 +282,25 @@ mod tests {
         let lap = sparse_normalized_laplacian(&sparse);
         assert_eq!(lap.get(2, 2), 1.0);
         assert_eq!(lap.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn connected_components_counts_blocks_and_singletons() {
+        // Two 2-cliques plus an isolated node: 3 components, one of which
+        // is a degree-0 singleton.
+        let codes = vec![
+            SparseVec::from_parts(5, vec![1], vec![0.5]),
+            SparseVec::from_parts(5, vec![0], vec![0.5]),
+            SparseVec::from_parts(5, vec![3], vec![0.5]),
+            SparseVec::from_parts(5, vec![2], vec![0.5]),
+            SparseVec::from_parts(5, vec![], vec![]),
+        ];
+        let sparse = SparseAffinity::from_codes(&codes);
+        assert_eq!(sparse.connected_components(0.0), 3);
+        // A tolerance above the edge weight disconnects everything.
+        assert_eq!(sparse.connected_components(2.0), 5);
+        // Empty graph: zero components.
+        assert_eq!(SparseAffinity::from_codes(&[]).connected_components(0.0), 0);
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub struct TierTraffic {
     /// roots of failed subtrees below. Indices are node ids at the
     /// tier's child level (device ids at tier 0).
     pub excluded_children: Vec<usize>,
+    /// Wall time the driver spent working this tier: its children's
+    /// compute-and-send stage (tier 0 only), its parents' uplink
+    /// collection and clustering, and its downlink relay. Always
+    /// non-zero on a completed round.
+    pub wall_ns: u64,
+    /// Serialized telemetry-envelope bytes this tier's parents absorbed
+    /// from their children's uplinks — the exact share of `uplink_bytes`
+    /// that is telemetry, 0 when tracing is off.
+    pub envelope_bytes: usize,
 }
 
 /// Result of a hierarchical run: the flat [`WireRunOutput`] view (the

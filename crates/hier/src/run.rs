@@ -31,16 +31,17 @@
 
 use crate::output::{HierRunOutput, TierTraffic};
 use crate::topology::{HierPolicy, HierTopology};
+use bytes::Bytes;
 use fedsc::central::{central_cluster, central_cluster_auto};
 use fedsc::local::LocalOutput;
 use fedsc::{
-    collect_uplinks, device_local_output, majority_relabel, pool_uplinks, wire_err, FedScConfig,
-    SERVER_RNG_SALT,
+    agg_seed, collect_uplinks_fleet, device_local_output, majority_relabel, pool_uplinks, wire_err,
+    FedScConfig, SERVER_RNG_SALT,
 };
 use fedsc_federated::channel::{DownlinkMessage, UplinkMessage};
 use fedsc_federated::partition::FederatedDataset;
 use fedsc_linalg::{LinalgError, Matrix, Result};
-use fedsc_obs::LazyCounter;
+use fedsc_obs::{Envelope, FleetCollector, LazyCounter, Stopwatch, TraceContext};
 use fedsc_transport::{with_retry, DeviceTransport, LinkStats, ServerTransport, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,14 +61,22 @@ static HIER_UPLINK_BYTES: LazyCounter = LazyCounter::new("hier.uplink_bytes");
 /// Downlink bytes sent by parents, summed over every tier.
 static HIER_DOWNLINK_BYTES: LazyCounter = LazyCounter::new("hier.downlink_bytes");
 
-/// Rng seed for the aggregator at tier `t`, node `p` — the root's salt
-/// stream mixed with a per-node offset so sibling aggregators draw
-/// independent spectral-clustering initializations. The root itself uses
-/// the unmixed `seed ^ SERVER_RNG_SALT`, which is what keeps the
-/// degenerate tree bit-identical to the flat round.
-fn agg_seed(seed: u64, tier: usize, node: usize) -> u64 {
-    (seed ^ SERVER_RNG_SALT)
-        ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul((((tier as u64) + 1) << 32) | ((node as u64) + 1))
+/// Wraps an uplink payload with a ctx-only telemetry envelope when
+/// tracing is on. The whole tree runs in one process here, so spans and
+/// metrics stay in the shared ring/registry and only the causal context
+/// rides the wire — the receiver's per-uplink span links to
+/// `ctx.parent_span` as its remote parent.
+fn wrap_ctx(payload: Bytes, traced: bool, ctx: TraceContext) -> Bytes {
+    if !traced {
+        return payload;
+    }
+    Bytes::from(
+        Envelope {
+            ctx: Some(ctx),
+            ..Envelope::default()
+        }
+        .wrap(payload.as_slice()),
+    )
 }
 
 /// What an aggregator remembers between the uplink and downlink sweeps.
@@ -121,6 +130,22 @@ pub fn run_hier_round_with_dead<T: Transport>(
     let _span = fedsc_obs::span("hier", "hier.run")
         .field("devices", z_count)
         .field("tiers", num_tiers);
+    let traced = fedsc_obs::trace::is_enabled();
+    // Child → parent index per tier, for stamping trace contexts.
+    let parent_of: Vec<Vec<usize>> = (0..num_tiers)
+        .map(|t| {
+            let mut v = vec![0usize; widths[t]];
+            for p in 0..widths[t + 1] {
+                for c in topology.children_range(t, p) {
+                    v[c] = p;
+                }
+            }
+            v
+        })
+        .collect();
+    // Per-tier wall time and absorbed telemetry-envelope bytes.
+    let mut tier_wall_ns = vec![0u64; num_tiers];
+    let mut tier_env_bytes = vec![0usize; num_tiers];
 
     // Open every tier's fan-ins: one (server, children) group per parent.
     // Child endpoints land in a flat per-tier vector (group ranges are
@@ -150,16 +175,31 @@ pub fn run_hier_round_with_dead<T: Transport>(
     }
     let device_policy = policy.tier(0);
     let mut local_outs: Vec<Option<LocalOutput>> = (0..z_count).map(|_| None).collect();
+    let stage0_sw = Stopwatch::start();
     for z in 0..z_count {
         if is_dead[z] {
             continue;
         }
+        let dev_span = fedsc_obs::span("hier", "hier.device_uplink").field("device", z);
+        let dev_span_id = dev_span.id();
         let out = device_local_output(&fed.devices[z].data, z, cfg)?;
-        let payload = UplinkMessage {
-            dim: out.samples.rows(),
-            samples: out.samples.clone(),
-        }
-        .encode();
+        let payload = wrap_ctx(
+            UplinkMessage {
+                dim: out.samples.rows(),
+                samples: out.samples.clone(),
+            }
+            .encode(),
+            traced,
+            TraceContext {
+                run_id: cfg.seed,
+                round: 0,
+                tier: 0,
+                node: z as u64,
+                parent: parent_of[0][z] as u64,
+                pid: 1,
+                parent_span: dev_span_id,
+            },
+        );
         let link = &mut child_links[0][z];
         if with_retry(
             device_policy.max_retries,
@@ -174,6 +214,7 @@ pub fn run_hier_round_with_dead<T: Transport>(
         }
         local_outs[z] = Some(out);
     }
+    tier_wall_ns[0] += stage0_sw.elapsed_ns();
 
     // ---- Uplink sweep, stages 1..: tier-by-tier aggregation. ----
     // `agg_states[t][p]`: what parent `p` of tier `t` remembers for the
@@ -189,8 +230,10 @@ pub fn run_hier_round_with_dead<T: Transport>(
     let mut excluded_at: Vec<Vec<usize>> = (0..num_tiers).map(|_| Vec::new()).collect();
 
     for t in 0..num_tiers {
+        let tier_sw = Stopwatch::start();
         let is_root = t + 1 == num_tiers;
         let tier_policy = policy.tier(t);
+        let mut tier_fleet = FleetCollector::new();
         for p in 0..widths[t + 1] {
             let range = topology.children_range(t, p);
             let n_children = range.len();
@@ -205,7 +248,13 @@ pub fn run_hier_round_with_dead<T: Transport>(
             .field("tier", t)
             .field("node", p)
             .field("children", n_children);
-            let payloads = collect_uplinks(&mut servers[t][p], n_children, tier_policy.deadline)?;
+            let agg_span_id = agg_span.id();
+            let payloads = collect_uplinks_fleet(
+                &mut servers[t][p],
+                n_children,
+                tier_policy.deadline,
+                Some(&mut tier_fleet),
+            )?;
             let received = payloads.iter().filter(|m| m.is_some()).count();
             for (local, m) in payloads.iter().enumerate() {
                 if m.is_none() {
@@ -287,11 +336,23 @@ pub fn run_hier_round_with_dead<T: Transport>(
                     }
                 }
                 let reps = Matrix::from_columns(&rep_cols)?;
-                let payload = UplinkMessage {
-                    dim: reps.rows(),
-                    samples: reps,
-                }
-                .encode();
+                let payload = wrap_ctx(
+                    UplinkMessage {
+                        dim: reps.rows(),
+                        samples: reps,
+                    }
+                    .encode(),
+                    traced,
+                    TraceContext {
+                        run_id: cfg.seed,
+                        round: 0,
+                        tier: (t + 1) as u32,
+                        node: p as u64,
+                        parent: parent_of[t + 1][p] as u64,
+                        pid: 1,
+                        parent_span: agg_span_id,
+                    },
+                );
                 let up_policy = policy.tier(t + 1);
                 let link = &mut child_links[t + 1][p];
                 if with_retry(up_policy.max_retries, up_policy.retry_backoff, || {
@@ -313,10 +374,13 @@ pub fn run_hier_round_with_dead<T: Transport>(
                 });
             }
         }
+        tier_env_bytes[t] = tier_fleet.envelope_bytes;
+        tier_wall_ns[t] += tier_sw.elapsed_ns();
     }
 
     // ---- Downlink sweep: relay composed labels tier by tier. ----
     for t in (0..num_tiers.saturating_sub(1)).rev() {
+        let tier_sw = Stopwatch::start();
         let tier_policy = policy.tier(t);
         let parent_policy = policy.tier(t + 1);
         for p in 0..widths[t + 1] {
@@ -360,9 +424,11 @@ pub fn run_hier_round_with_dead<T: Transport>(
                 }
             }
         }
+        tier_wall_ns[t] += tier_sw.elapsed_ns();
     }
 
     // ---- Device finish: flat Phase 3 on every answered device. ----
+    let finish_sw = Stopwatch::start();
     let mut gathered: Vec<Vec<usize>> = Vec::with_capacity(z_count);
     let mut excluded_devices = Vec::new();
     for z in 0..z_count {
@@ -398,6 +464,7 @@ pub fn run_hier_round_with_dead<T: Transport>(
         );
         HIER_DEVICE_ROUNDS.inc();
     }
+    tier_wall_ns[0] += finish_sw.elapsed_ns();
 
     // ---- Per-tier accounting from the endpoints' own stats. ----
     let mut tiers = Vec::with_capacity(num_tiers);
@@ -417,17 +484,21 @@ pub fn run_hier_round_with_dead<T: Transport>(
             uplink_messages: stats.messages_received,
             downlink_messages: stats.messages_sent,
             excluded_children: std::mem::take(&mut excluded_at[t]),
+            wall_ns: tier_wall_ns[t],
+            envelope_bytes: tier_env_bytes[t],
         });
     }
 
     let root_uplink = tiers.last().map_or(0, |t| t.uplink_bytes);
     let root_downlink = tiers.last().map_or(0, |t| t.downlink_bytes);
+    let root_envelope = tiers.last().map_or(0, |t| t.envelope_bytes);
     Ok(HierRunOutput {
         wire: fedsc::WireRunOutput {
             predictions: fed.scatter_predictions(&gathered),
             uplink_bytes: root_uplink,
             downlink_bytes: root_downlink,
             excluded: excluded_devices,
+            envelope_bytes: root_envelope,
         },
         tiers,
     })

@@ -8,7 +8,7 @@ use fedsc::{device_local_output, run_over_wire, CentralBackend, FedScConfig, Rou
 use fedsc_clustering::clustering_accuracy;
 use fedsc_federated::channel::UplinkMessage;
 use fedsc_federated::partition::{partition_dataset, FederatedDataset, Partition};
-use fedsc_hier::{run_hier_round, run_hier_round_with_dead, HierPolicy, HierTopology};
+use fedsc_hier::{run_hier_round, run_hier_round_with_dead, HierPolicy, HierTopology, TierTraffic};
 use fedsc_subspace::SubspaceModel;
 use fedsc_transport::{FaultConfig, FaultyInMemoryTransport, InMemoryTransport, TcpTransport};
 use rand::rngs::StdRng;
@@ -119,7 +119,21 @@ fn two_tier_tree_clusters_correctly() {
     )
     .expect("repeat two-tier round (seed-3 fixture)");
     assert_eq!(again.wire.predictions, hier.wire.predictions);
-    assert_eq!(again.tiers, hier.tiers);
+    // Every tier spent real (but run-specific) wall time; the rest of the
+    // accounting is deterministic.
+    let normalize = |tiers: &[TierTraffic]| -> Vec<TierTraffic> {
+        tiers
+            .iter()
+            .map(|t| {
+                assert!(t.wall_ns > 0, "tier reported zero wall time");
+                TierTraffic {
+                    wall_ns: 0,
+                    ..t.clone()
+                }
+            })
+            .collect()
+    };
+    assert_eq!(normalize(&again.tiers), normalize(&hier.tiers));
 }
 
 #[test]

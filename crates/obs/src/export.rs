@@ -7,6 +7,7 @@
 //! from time containment per `tid`, which matches how the spans nested
 //! at runtime.
 
+use crate::fleet::FleetSpan;
 use crate::metrics::MetricsSnapshot;
 use crate::trace::{FieldValue, SpanEvent};
 use std::fmt::Write as _;
@@ -56,6 +57,20 @@ fn push_field_value(v: &FieldValue, out: &mut String) {
     }
 }
 
+/// Emits the span-identity args (`span_id`, and for parented spans
+/// `parent_span`/`parent_pid`, the latter resolved to `own_pid` when the
+/// parent is local). No-op for id 0 (pre-identity or synthetic events).
+fn push_identity_args(id: u64, parent: u64, parent_pid: u64, own_pid: u64, out: &mut String) {
+    if id == 0 {
+        return;
+    }
+    let _ = write!(out, "\"span_id\":{id}");
+    if parent != 0 {
+        let ppid = if parent_pid == 0 { own_pid } else { parent_pid };
+        let _ = write!(out, ",\"parent_span\":{parent},\"parent_pid\":{ppid}");
+    }
+}
+
 /// Serializes span events as a Chrome `trace_event` JSON document.
 pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
     let mut out = String::with_capacity(64 + events.len() * 96);
@@ -73,10 +88,11 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
         out.push_str(",\"dur\":");
         push_us(ev.dur_ns, &mut out);
         let _ = write!(out, ",\"pid\":1,\"tid\":{}", ev.tid);
-        if !ev.fields.is_empty() {
+        if !ev.fields.is_empty() || ev.id != 0 {
             out.push_str(",\"args\":{");
+            push_identity_args(ev.id, ev.parent, ev.parent_pid, 1, &mut out);
             for (j, (key, value)) in ev.fields.iter().enumerate() {
-                if j > 0 {
+                if j > 0 || ev.id != 0 {
                     out.push(',');
                 }
                 out.push('"');
@@ -84,6 +100,50 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
                 out.push_str("\":");
                 push_field_value(value, &mut out);
             }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Serializes a merged fleet trace: one Chrome `pid` lane per process
+/// (named via `process_name` metadata events from `process_names`), all
+/// timestamps already aligned to the root clock by the envelope path.
+pub fn fleet_chrome_trace_json(spans: &[FleetSpan], process_names: &[(u64, String)]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, name) in process_names {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"args\":{{\"name\":\""
+        );
+        escape_json(name, &mut out);
+        out.push_str("\"}}");
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_json(&s.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(&s.cat, &mut out);
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        push_us(s.start_ns, &mut out);
+        out.push_str(",\"dur\":");
+        push_us(s.dur_ns, &mut out);
+        let _ = write!(out, ",\"pid\":{},\"tid\":{}", s.pid, s.tid);
+        if s.id != 0 {
+            out.push_str(",\"args\":{");
+            push_identity_args(s.id, s.parent, s.parent_pid, s.pid, &mut out);
             out.push('}');
         }
         out.push('}');
@@ -428,6 +488,75 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     Ok(events.len())
 }
 
+/// Tolerance for the child-before-parent check, in microseconds. Clock
+/// offsets come from a midpoint estimator whose worst-case error is half
+/// the handshake RTT; on the loopback/LAN links the fleet runs over that
+/// is well under a millisecond.
+const CROSS_PROCESS_SLACK_US: f64 = 1_000.0;
+
+/// Validates cross-process causality on a (merged) Chrome trace, on top
+/// of [`validate_chrome_trace`]'s structural checks: every `X` event
+/// carrying a `parent_span` arg must name a parent `(parent_pid,
+/// parent_span)` that exists in the trace, and must not start earlier
+/// than its parent (beyond the clock-offset slack). Returns `(events,
+/// checked_edges)`; a trace with zero parented spans fails — a merged
+/// fleet trace with no causal links means propagation is broken.
+pub fn validate_cross_process(text: &str) -> Result<(usize, usize), String> {
+    let n = validate_chrome_trace(text)?;
+    let doc = parse_json(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("missing `traceEvents` array".to_string()),
+    };
+    let num = |ev: &Json, key: &str| -> Option<f64> {
+        match ev.get(key) {
+            Some(Json::Num(v)) => Some(*v),
+            _ => None,
+        }
+    };
+    let arg = |ev: &Json, key: &str| -> Option<f64> { ev.get("args").and_then(|a| num(a, key)) };
+    // First pass: index every span by (pid, span_id) → start ts.
+    let mut starts: std::collections::BTreeMap<(u64, u64), f64> = std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if let (Some(pid), Some(id), Some(ts)) = (num(ev, "pid"), arg(ev, "span_id"), num(ev, "ts"))
+        {
+            if id != 0.0 && starts.insert((pid as u64, id as u64), ts).is_some() {
+                return Err(format!(
+                    "traceEvents[{i}]: duplicate span id {id} in pid {pid}"
+                ));
+            }
+        }
+    }
+    // Second pass: resolve every parent edge.
+    let mut edges = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Some(parent) = arg(ev, "parent_span") else {
+            continue;
+        };
+        let ppid = arg(ev, "parent_pid")
+            .or_else(|| num(ev, "pid"))
+            .unwrap_or(0.0);
+        let key = (ppid as u64, parent as u64);
+        let Some(&parent_ts) = starts.get(&key) else {
+            return Err(format!(
+                "traceEvents[{i}]: parent span {parent} in pid {ppid} does not exist in the trace"
+            ));
+        };
+        let ts = num(ev, "ts").unwrap_or(0.0);
+        if ts + CROSS_PROCESS_SLACK_US < parent_ts {
+            return Err(format!(
+                "traceEvents[{i}]: starts at {ts}us, {}us before its pid-{ppid} parent at {parent_ts}us",
+                parent_ts - ts
+            ));
+        }
+        edges += 1;
+    }
+    if edges == 0 {
+        return Err("trace has no parent-linked spans — causal propagation is broken".to_string());
+    }
+    Ok((n, edges))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +567,9 @@ mod tests {
             cat: "phase",
             name: "local.ssc",
             tid: 2,
+            id: 0,
+            parent: 0,
+            parent_pid: 0,
             start_ns: 1_234_567,
             dur_ns: 89_012,
             fields: vec![
@@ -479,11 +611,11 @@ mod tests {
     #[test]
     fn metrics_export_is_parseable_and_sorted() {
         let mut snap = MetricsSnapshot::default();
-        snap.counters.insert("b.count", 2);
-        snap.counters.insert("a.count", 1);
-        snap.gauges.insert("g.depth", -3);
+        snap.counters.insert("b.count".to_string(), 2);
+        snap.counters.insert("a.count".to_string(), 1);
+        snap.gauges.insert("g.depth".to_string(), -3);
         snap.histograms.insert(
-            "h.lat",
+            "h.lat".to_string(),
             HistogramSnapshot {
                 bounds: vec![10, 100],
                 buckets: vec![1, 2, 3],
@@ -534,6 +666,86 @@ mod tests {
         ] {
             assert!(validate_chrome_trace(text).is_err(), "{why}");
         }
+    }
+
+    fn fleet_span(pid: u64, id: u64, parent: u64, parent_pid: u64, start_ns: u64) -> FleetSpan {
+        FleetSpan {
+            pid,
+            tid: 1,
+            id,
+            parent,
+            parent_pid,
+            start_ns,
+            dur_ns: 1_000,
+            cat: "wire".to_string(),
+            name: "wire.uplink".to_string(),
+        }
+    }
+
+    #[test]
+    fn identity_args_are_emitted_and_survive_validation() {
+        let mut ev = demo_event();
+        ev.id = 5;
+        ev.parent = 3;
+        let parent = SpanEvent {
+            id: 3,
+            parent: 0,
+            fields: Vec::new(),
+            start_ns: 1_000_000,
+            ..demo_event()
+        };
+        let text = chrome_trace_json(&[parent, ev]);
+        assert!(text.contains("\"span_id\":5"), "{text}");
+        assert!(
+            text.contains("\"parent_span\":3,\"parent_pid\":1"),
+            "local parent resolves to pid 1: {text}"
+        );
+        let (events, edges) = validate_cross_process(&text).expect("valid");
+        assert_eq!((events, edges), (2, 1));
+    }
+
+    #[test]
+    fn fleet_export_names_lanes_and_validates() {
+        let spans = vec![
+            fleet_span(1000, 1, 0, 0, 5_000_000),
+            fleet_span(1, 2, 1, 1000, 9_000_000),
+        ];
+        let names = vec![
+            (1u64, "root".to_string()),
+            (1000u64, "device-0".to_string()),
+        ];
+        let text = fleet_chrome_trace_json(&spans, &names);
+        assert!(text.contains("\"process_name\""), "{text}");
+        assert!(text.contains("\"pid\":1000"), "{text}");
+        let (events, edges) = validate_cross_process(&text).expect("valid fleet trace");
+        assert_eq!(events, 4, "2 metadata + 2 spans");
+        assert_eq!(edges, 1);
+    }
+
+    #[test]
+    fn cross_process_validation_catches_broken_causality() {
+        // Missing parent: the child names (pid 1000, id 9) which no one owns.
+        let orphan = vec![fleet_span(1, 2, 9, 1000, 9_000_000)];
+        let text = fleet_chrome_trace_json(&orphan, &[]);
+        assert!(validate_cross_process(&text).is_err_and(|e| e.contains("does not exist")));
+
+        // Child starts (beyond slack) before its parent: offsets are wrong.
+        let skewed = vec![
+            fleet_span(1000, 1, 0, 0, 9_000_000),
+            fleet_span(1, 2, 1, 1000, 1_000_000),
+        ];
+        let text = fleet_chrome_trace_json(&skewed, &[]);
+        assert!(validate_cross_process(&text).is_err_and(|e| e.contains("before its")));
+
+        // No links at all: a merged trace must carry causal edges.
+        let flat = vec![fleet_span(1, 1, 0, 0, 0), fleet_span(2, 1, 0, 0, 0)];
+        let text = fleet_chrome_trace_json(&flat, &[]);
+        assert!(validate_cross_process(&text).is_err_and(|e| e.contains("no parent-linked")));
+
+        // Duplicate (pid, id): lanes collided.
+        let dup = vec![fleet_span(1, 1, 0, 0, 0), fleet_span(1, 1, 0, 0, 5)];
+        let text = fleet_chrome_trace_json(&dup, &[]);
+        assert!(validate_cross_process(&text).is_err_and(|e| e.contains("duplicate")));
     }
 
     #[test]

@@ -42,9 +42,11 @@
 
 pub mod clock;
 pub mod export;
+pub mod fleet;
 pub mod metrics;
 pub mod trace;
 
 pub use clock::{now_ns, Stopwatch};
+pub use fleet::{Envelope, FleetCollector, FleetSpan, TraceContext};
 pub use metrics::{LazyCounter, LazyGauge, LazyHistogram, MetricsSnapshot};
 pub use trace::{span, FieldValue, Span, SpanEvent};

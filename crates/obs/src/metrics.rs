@@ -324,7 +324,7 @@ impl LazyHistogram {
 }
 
 /// Point-in-time copy of one histogram.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Upper bucket bounds, ascending.
     pub bounds: Vec<u64>,
@@ -337,15 +337,63 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
-/// Point-in-time copy of the whole registry, sorted by name.
+impl HistogramSnapshot {
+    /// Merges `other` into `self` by **union of bounds**: each bucket
+    /// count stays attached to its original upper bound, the merged bound
+    /// set is the sorted union, and the overflow buckets add. Because a
+    /// count never moves to a different bound, the operation is
+    /// associative and commutative — any merge order across an
+    /// aggregation tree yields the identical snapshot. The price is that
+    /// a merged bucket's count only means "observations ≤ this bound
+    /// recorded by a process using this bound", not a re-bucketing.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut per_bound: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut overflow = 0u64;
+        for snap in [&*self, other] {
+            for (i, &c) in snap.buckets.iter().enumerate() {
+                match snap.bounds.get(i) {
+                    Some(&b) => *per_bound.entry(b).or_insert(0) += c,
+                    None => overflow += c,
+                }
+            }
+        }
+        self.bounds = per_bound.keys().copied().collect();
+        self.buckets = per_bound.values().copied().collect();
+        self.buckets.push(overflow);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// Point-in-time copy of the whole registry, sorted by name. Keys are
+/// owned strings so snapshots can cross process boundaries via the fleet
+/// envelope (see [`crate::fleet`]) and merge up an aggregation tree.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
-    pub counters: BTreeMap<&'static str, u64>,
+    pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
-    pub gauges: BTreeMap<&'static str, i64>,
+    pub gauges: BTreeMap<String, i64>,
     /// Histograms by name.
-    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self`: counters and gauges add per name,
+    /// histograms merge by union of bounds (see
+    /// [`HistogramSnapshot::merge`]). Associative and commutative, so a
+    /// root export is independent of the tier merge order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
 }
 
 /// Snapshots every registered metric.
@@ -354,14 +402,14 @@ pub fn snapshot() -> MetricsSnapshot {
     for (&name, metric) in read_registry().iter() {
         match metric {
             Metric::Counter(c) => {
-                snap.counters.insert(name, c.get());
+                snap.counters.insert(name.to_string(), c.get());
             }
             Metric::Gauge(g) => {
-                snap.gauges.insert(name, g.get());
+                snap.gauges.insert(name.to_string(), g.get());
             }
             Metric::Histogram(h) => {
                 snap.histograms.insert(
-                    name,
+                    name.to_string(),
                     HistogramSnapshot {
                         bounds: h.bounds.clone(),
                         buckets: h

@@ -75,6 +75,17 @@ pub struct SpanEvent {
     pub name: &'static str,
     /// Small dense id of the recording thread (see [`thread_id`]).
     pub tid: u64,
+    /// Process-unique span id (never 0 for a recorded span). Ids are only
+    /// unique *within* a process; cross-process consumers key on
+    /// `(pid, id)` where the pid lane comes from the fleet envelope.
+    pub id: u64,
+    /// Span id of the causal parent, or 0 for a root span. Local by
+    /// default (the enclosing span on the same thread); a remote parent
+    /// set via [`Span::remote_parent`] additionally carries `parent_pid`.
+    pub parent: u64,
+    /// Process lane of a remote parent, or 0 when the parent (if any)
+    /// lives in the same process.
+    pub parent_pid: u64,
     /// Start, nanoseconds since the process trace epoch.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -202,6 +213,20 @@ thread_local! {
     static TID: Cell<u64> = const { Cell::new(0) };
 }
 
+/// Process-wide span id allocator; 0 is reserved for "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    /// The top of the stack is the default parent for a new span.
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn next_span_id() -> u64 {
+    // ORDERING: Relaxed — the RMW alone guarantees unique ids; nothing
+    // else is ordered by the span-id counter.
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Small dense id for the calling thread (1, 2, … in first-use order),
 /// used as the Chrome-trace `tid`.
 pub fn thread_id() -> u64 {
@@ -223,6 +248,9 @@ struct SpanInner {
     cat: &'static str,
     name: &'static str,
     tid: u64,
+    id: u64,
+    parent: u64,
+    parent_pid: u64,
     start_ns: u64,
     fields: Vec<(&'static str, FieldValue)>,
 }
@@ -243,6 +271,26 @@ impl Span {
         self
     }
 
+    /// Declares a causal parent in another process (builder style; no-op
+    /// when inert, or when `id` is 0 — i.e. the sender was untraced).
+    /// Overrides the positional local parent.
+    pub fn remote_parent(mut self, pid: u64, id: u64) -> Self {
+        if id != 0 {
+            if let Some(inner) = &mut self.inner {
+                inner.parent = id;
+                inner.parent_pid = pid;
+            }
+        }
+        self
+    }
+
+    /// This span's process-unique id, or 0 when inert. Carry it in a
+    /// fleet envelope so the receiving process can link its span back
+    /// here via [`Span::remote_parent`].
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.id)
+    }
+
     /// Whether this span will record an event on drop.
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
@@ -253,10 +301,23 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             let end = now_ns();
+            // Pop by id, scanning from the top: robust to non-LIFO drops
+            // (a span returned from a function and closed later). A span
+            // dropped on a different thread than it was opened on simply
+            // isn't found — its entry is cleaned up when that stack drains.
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                    stack.remove(pos);
+                }
+            });
             inner.ring.push(SpanEvent {
                 cat: inner.cat,
                 name: inner.name,
                 tid: inner.tid,
+                id: inner.id,
+                parent: inner.parent,
+                parent_pid: inner.parent_pid,
                 start_ns: inner.start_ns,
                 dur_ns: end.saturating_sub(inner.start_ns),
                 fields: inner.fields,
@@ -276,12 +337,22 @@ pub fn span(cat: &'static str, name: &'static str) -> Span {
     let Some(ring) = recorder() else {
         return Span { inner: None };
     };
+    let id = next_span_id();
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
     Span {
         inner: Some(SpanInner {
             ring,
             cat,
             name,
             tid: thread_id(),
+            id,
+            parent,
+            parent_pid: 0,
             start_ns: now_ns(),
             fields: Vec::new(),
         }),
@@ -361,6 +432,69 @@ mod tests {
         let events = uninstall();
         assert_eq!(events.len(), 64);
         assert!(events.iter().all(|e| e.name == "mt"));
+    }
+
+    #[test]
+    fn span_ids_link_children_to_parents() {
+        let _g = guard();
+        install_ring(16);
+        {
+            let outer = span("t", "outer");
+            let outer_id = outer.id();
+            assert_ne!(outer_id, 0);
+            {
+                let inner = span("t", "inner");
+                assert_ne!(inner.id(), outer_id);
+            }
+            let _sibling = span("t", "sibling");
+        }
+        let events = uninstall();
+        assert_eq!(events.len(), 3);
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let sibling = events.iter().find(|e| e.name == "sibling").unwrap();
+        assert_eq!(outer.parent, 0, "outer is a root span");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(sibling.parent, outer.id, "stack popped inner on drop");
+        assert_eq!(inner.parent_pid, 0, "local parent has no pid");
+    }
+
+    #[test]
+    fn remote_parent_overrides_local_nesting() {
+        let _g = guard();
+        install_ring(16);
+        {
+            let _outer = span("t", "outer");
+            let _linked = span("t", "linked").remote_parent(42, 7);
+        }
+        let events = uninstall();
+        let linked = events.iter().find(|e| e.name == "linked").unwrap();
+        assert_eq!(linked.parent, 7);
+        assert_eq!(linked.parent_pid, 42);
+        // An untraced sender (id 0) must not clobber the local parent.
+        install_ring(16);
+        {
+            let outer_id;
+            {
+                let outer = span("t", "outer2");
+                outer_id = outer.id();
+                let _kept = span("t", "kept").remote_parent(42, 0);
+            }
+            let events = uninstall();
+            let kept = events.iter().find(|e| e.name == "kept").unwrap();
+            assert_eq!(kept.parent, outer_id);
+            assert_eq!(kept.parent_pid, 0);
+        }
+    }
+
+    #[test]
+    fn inert_spans_report_id_zero() {
+        let _g = guard();
+        let _ = uninstall();
+        let s = span("t", "noop");
+        assert_eq!(s.id(), 0);
+        let s = s.remote_parent(1, 2);
+        assert!(!s.is_recording());
     }
 
     #[test]

@@ -324,6 +324,7 @@ impl DeviceTransport for FaultyDevice {
     fn send_uplink(&mut self, payload: &Bytes) -> Result<()> {
         let frame = Frame {
             kind: FrameKind::Uplink,
+            flags: 0,
             device: self.device as u64,
             seq: self.link.attempt + 1,
             payload: payload.clone(),
@@ -412,6 +413,7 @@ impl ServerTransport for FaultyServer {
             .ok_or(TransportError::Closed("unknown device id"))?;
         let frame = Frame {
             kind: FrameKind::Downlink,
+            flags: 0,
             device: device as u64,
             seq: link.attempt + 1,
             payload: payload.clone(),

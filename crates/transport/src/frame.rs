@@ -8,7 +8,8 @@
 //!      0     4  magic        "FSCW"
 //!      4     2  version      protocol version (currently 1)
 //!      6     1  kind         0 Hello / 1 HelloAck / 2 Uplink / 3 Downlink
-//!      7     1  flags        reserved, must be 0
+//!      7     1  flags        bit 0 = timed handshake (clock-offset
+//!                            estimation); other bits reserved, must be 0
 //!      8     8  device       sender/addressee device id
 //!     16     8  seq          per-link sequence / attempt number
 //!     24     4  payload_len  bytes of payload that follow the header
@@ -32,6 +33,11 @@ pub const MAGIC: [u8; 4] = *b"FSCW";
 pub const VERSION: u16 = 1;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 32;
+/// Flag bit 0: a timed handshake. A Hello with this bit asks the server
+/// to answer with a HelloAck carrying `[t1, t2]` receive/transmit
+/// timestamps (two little-endian u64 nanoseconds) so the device can run
+/// the midpoint clock-offset estimator. All other flag bits are reserved.
+pub const FLAG_TIMED: u8 = 0x01;
 /// Upper bound on a single frame's payload (defends length-field
 /// corruption slipping past the magic check from allocating wildly; the
 /// CRC would still catch it, but only after the allocation).
@@ -76,6 +82,8 @@ impl FrameKind {
 pub struct Frame {
     /// Message kind.
     pub kind: FrameKind,
+    /// Flag bits (see [`FLAG_TIMED`]); 0 for ordinary frames.
+    pub flags: u8,
     /// Device id the frame is from (uplink) or for (downlink).
     pub device: u64,
     /// Per-link sequence / attempt number (diagnostic; receivers dedup by
@@ -90,10 +98,17 @@ impl Frame {
     pub fn control(kind: FrameKind, device: u64) -> Self {
         Frame {
             kind,
+            flags: 0,
             device,
             seq: 0,
             payload: Bytes::new(),
         }
+    }
+
+    /// Sets flag bits (builder style).
+    pub fn with_flags(mut self, flags: u8) -> Self {
+        self.flags = flags;
+        self
     }
 
     /// Total on-the-wire size of this frame.
@@ -106,7 +121,7 @@ impl Frame {
         let mut buf = BytesMut::with_capacity(self.wire_len());
         buf.put_slice(&MAGIC);
         buf.put_slice(&VERSION.to_le_bytes());
-        buf.put_slice(&[self.kind.to_byte(), 0]);
+        buf.put_slice(&[self.kind.to_byte(), self.flags]);
         buf.put_u64_le(self.device);
         buf.put_u64_le(self.seq);
         buf.put_u32_le(self.payload.len() as u32);
@@ -177,12 +192,13 @@ impl Frame {
                 theirs: version,
             });
         }
-        if bytes[7] != 0 {
+        if bytes[7] & !FLAG_TIMED != 0 {
             return Err(TransportError::Malformed("reserved flags set"));
         }
         let kind = FrameKind::from_byte(bytes[6])?;
         Ok(Frame {
             kind,
+            flags: bytes[7],
             device: le64(8),
             seq: le64(16),
             payload: Bytes::from(bytes[HEADER_LEN..].to_vec()),
@@ -309,6 +325,7 @@ mod tests {
     fn encode_decode_round_trip() {
         let f = Frame {
             kind: FrameKind::Uplink,
+            flags: 0,
             device: 7,
             seq: 3,
             payload: Bytes::from(vec![1, 2, 3, 4, 5]),
@@ -329,6 +346,7 @@ mod tests {
     fn every_single_bit_flip_is_detected() {
         let f = Frame {
             kind: FrameKind::Downlink,
+            flags: 0,
             device: 2,
             seq: 9,
             payload: Bytes::from(vec![0xAB; 24]),
@@ -348,6 +366,7 @@ mod tests {
     fn truncation_is_detected_at_every_length() {
         let f = Frame {
             kind: FrameKind::Uplink,
+            flags: 0,
             device: 0,
             seq: 0,
             payload: Bytes::from(vec![9; 16]),
@@ -411,6 +430,7 @@ mod tests {
     fn reader_writer_round_trip() {
         let f = Frame {
             kind: FrameKind::Uplink,
+            flags: 0,
             device: 4,
             seq: 1,
             payload: Bytes::from(vec![7; 100]),
@@ -422,6 +442,22 @@ mod tests {
         let (back, read) = read_frame(&mut cursor).expect("read back");
         assert_eq!(back, f);
         assert_eq!(read, n);
+    }
+
+    #[test]
+    fn timed_flag_round_trips_but_reserved_bits_do_not() {
+        // Bit 0 is the sanctioned timed-handshake flag.
+        let f = Frame::control(FrameKind::Hello, 3).with_flags(FLAG_TIMED);
+        let back = Frame::decode(f.encode().as_slice()).expect("timed flag is legal");
+        assert_eq!(back.flags, FLAG_TIMED);
+        // A genuine peer (valid CRC) setting any reserved bit is malformed.
+        let mut bytes = Frame::control(FrameKind::Hello, 3).encode().to_vec();
+        bytes[7] = 0x02;
+        restamp_crc(&mut bytes);
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(TransportError::Malformed("reserved flags set"))
+        );
     }
 
     #[test]

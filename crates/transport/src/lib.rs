@@ -111,6 +111,16 @@ pub trait DeviceTransport: Send {
     /// Awaits the server's downlink payload for at most `timeout`.
     fn recv_downlink(&mut self, timeout: Duration) -> Result<Bytes>;
 
+    /// Estimates this endpoint's clock offset to the server in
+    /// nanoseconds (`server_time ≈ local_time + offset`), for aligning
+    /// per-process trace timestamps. The in-process links share one
+    /// clock, so the default is a no-op `0`; the TCP link piggybacks a
+    /// timed version handshake and applies the NTP midpoint estimator
+    /// (see `tcp::TcpDevice`).
+    fn clock_sync(&mut self) -> Result<i64> {
+        Ok(0)
+    }
+
     /// Wire accounting so far.
     fn stats(&self) -> LinkStats;
 }

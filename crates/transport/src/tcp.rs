@@ -26,7 +26,7 @@
 //! drains from `recv_uplink`.
 
 use crate::error::{io_error, Result, TransportError};
-use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use crate::frame::{read_frame, write_frame, Frame, FrameKind, FLAG_TIMED};
 use crate::timing::{with_retry, Deadline};
 use crate::{DeviceTransport, LinkStats, ServerTransport, Transport};
 use bytes::Bytes;
@@ -206,15 +206,29 @@ fn serve_connection(mut stream: TcpStream, tx: &Sender<Inbound>, opts: TcpOption
         .set_write_timeout(Some(opts.io_timeout))
         .map_err(|e| io_error("arm write timeout", &e))?;
     let (hello, n_hello) = read_frame(&mut stream)?;
+    let t1 = fedsc_obs::now_ns(); // receive timestamp for a timed handshake
     if hello.kind != FrameKind::Hello {
         return Err(TransportError::Malformed("expected hello frame"));
     }
     let device = usize::try_from(hello.device)
         .map_err(|_| TransportError::Malformed("device id out of range"))?;
-    let n_ack = write_frame(
-        &mut stream,
-        &Frame::control(FrameKind::HelloAck, hello.device),
-    )?;
+    // A timed Hello asks for our receive/transmit timestamps in the ack
+    // so the device can run the midpoint clock-offset estimator.
+    let ack = if hello.flags & FLAG_TIMED != 0 {
+        let mut ts = Vec::with_capacity(16);
+        ts.extend_from_slice(&t1.to_le_bytes());
+        ts.extend_from_slice(&fedsc_obs::now_ns().to_le_bytes()); // t2: transmit
+        Frame {
+            kind: FrameKind::HelloAck,
+            flags: FLAG_TIMED,
+            device: hello.device,
+            seq: 0,
+            payload: Bytes::from(ts),
+        }
+    } else {
+        Frame::control(FrameKind::HelloAck, hello.device)
+    };
+    let n_ack = write_frame(&mut stream, &ack)?;
     let (up, n_up) = read_frame(&mut stream)?;
     if up.kind != FrameKind::Uplink || up.device != hello.device {
         return Err(TransportError::Malformed("expected uplink frame"));
@@ -252,6 +266,7 @@ impl ServerTransport for TcpServer {
             .ok_or(TransportError::Closed("device never completed an uplink"))?;
         let frame = Frame {
             kind: FrameKind::Downlink,
+            flags: 0,
             device: device as u64,
             seq: self.stats.messages_sent + 1,
             payload: payload.clone(),
@@ -316,13 +331,11 @@ impl TcpDevice {
                 .map_err(|e| io_error("connect", &e))
         })
     }
-}
 
-impl DeviceTransport for TcpDevice {
-    fn send_uplink(&mut self, payload: &Bytes) -> Result<()> {
-        // One attempt = one fresh connection + handshake + upload. Tear
-        // down any previous half-finished attempt first.
-        self.stream = None;
+    /// Dials and handshakes, returning the live stream plus the byte
+    /// counts of the exchange. A timed handshake (`FLAG_TIMED`) also
+    /// returns the midpoint clock-offset estimate.
+    fn handshake(&self, timed: bool) -> Result<(TcpStream, usize, usize, i64)> {
         let mut stream = self.connect()?;
         let _ = stream.set_nodelay(true); // latency hint; correctness never depends on it
         stream
@@ -332,20 +345,71 @@ impl DeviceTransport for TcpDevice {
             .set_write_timeout(Some(self.opts.io_timeout))
             .map_err(|e| io_error("arm write timeout", &e))?;
         let id = self.device as u64;
-        let mut sent = write_frame(&mut stream, &Frame::control(FrameKind::Hello, id))?;
+        let hello =
+            Frame::control(FrameKind::Hello, id).with_flags(if timed { FLAG_TIMED } else { 0 });
+        let t0 = fedsc_obs::now_ns();
+        let sent = write_frame(&mut stream, &hello)?;
         let (ack, n_ack) = read_frame(&mut stream)?;
+        let t3 = fedsc_obs::now_ns();
         if ack.kind != FrameKind::HelloAck || ack.device != id {
             return Err(TransportError::Malformed("bad handshake ack"));
         }
-        sent += write_frame(
-            &mut stream,
+        let mut offset = 0i64;
+        if timed {
+            if ack.flags & FLAG_TIMED == 0 || ack.payload.len() != 16 {
+                return Err(TransportError::Malformed("peer did not time the handshake"));
+            }
+            let le64 = |at: usize| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&ack.payload.as_slice()[at..at + 8]);
+                u64::from_le_bytes(b)
+            };
+            let (t1, t2) = (le64(0) as i128, le64(8) as i128);
+            // NTP midpoint estimator: server_time ≈ device_time + offset,
+            // assuming symmetric network delay; the worst-case error is
+            // half the handshake round-trip time.
+            offset = (((t1 - t0 as i128) + (t2 - t3 as i128)) / 2) as i64;
+        }
+        Ok((stream, sent, n_ack, offset))
+    }
+
+    fn upload(&mut self, stream: &mut TcpStream, payload: &Bytes) -> Result<usize> {
+        write_frame(
+            stream,
             &Frame {
                 kind: FrameKind::Uplink,
-                device: id,
+                flags: 0,
+                device: self.device as u64,
                 seq: self.stats.messages_sent + 1,
                 payload: payload.clone(),
             },
-        )?;
+        )
+    }
+}
+
+impl DeviceTransport for TcpDevice {
+    fn send_uplink(&mut self, payload: &Bytes) -> Result<()> {
+        // A connection kept by `clock_sync` is already handshaken: reuse
+        // it for the upload. Any failure clears it, so the caller's retry
+        // re-runs a full fresh attempt.
+        if let Some(mut stream) = self.stream.take() {
+            match self.upload(&mut stream, payload) {
+                Ok(sent) => {
+                    self.stats.on_bytes_sent(sent);
+                    self.stats.on_msg_sent();
+                    crate::metrics::TCP_BYTES_SENT.add(sent as u64);
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(_) => {
+                    // Fall through to a fresh connection + handshake.
+                }
+            }
+        }
+        // One attempt = one fresh connection + handshake + upload; any
+        // failure tears the attempt down (no half-handshaken state).
+        let (mut stream, mut sent, n_ack, _) = self.handshake(false)?;
+        sent += self.upload(&mut stream, payload)?;
         self.stats.on_bytes_sent(sent);
         self.stats.on_bytes_received(n_ack);
         self.stats.on_msg_sent();
@@ -353,6 +417,20 @@ impl DeviceTransport for TcpDevice {
         crate::metrics::TCP_BYTES_RECEIVED.add(n_ack as u64);
         self.stream = Some(stream);
         Ok(())
+    }
+
+    fn clock_sync(&mut self) -> Result<i64> {
+        // Tear down any previous attempt, then dial with a timed Hello;
+        // the connection is kept for the subsequent `send_uplink`, which
+        // skips its own handshake.
+        self.stream = None;
+        let (stream, sent, n_ack, offset) = self.handshake(true)?;
+        self.stats.on_bytes_sent(sent);
+        self.stats.on_bytes_received(n_ack);
+        crate::metrics::TCP_BYTES_SENT.add(sent as u64);
+        crate::metrics::TCP_BYTES_RECEIVED.add(n_ack as u64);
+        self.stream = Some(stream);
+        Ok(offset)
     }
 
     fn recv_downlink(&mut self, timeout: Duration) -> Result<Bytes> {
@@ -438,6 +516,65 @@ mod tests {
         }
         assert_eq!(srv.stats().bytes_received, 3 * (2 * HEADER_LEN + 50));
         assert_eq!(srv.stats().bytes_sent, 3 * (2 * HEADER_LEN + 8));
+    }
+
+    #[test]
+    fn clock_sync_estimates_near_zero_offset_in_process() {
+        // Both ends share one process trace epoch, so the true offset is
+        // 0; the estimate is bounded by half the loopback RTT.
+        let t = TcpTransport {
+            opts: fast_opts(),
+            ..TcpTransport::loopback()
+        };
+        let (mut srv, mut devs) = t.open(1).expect("open");
+        let offset = devs[0].clock_sync().expect("timed handshake");
+        assert!(
+            offset.abs() < 100_000_000,
+            "loopback offset {offset} ns is implausible"
+        );
+        // The synced connection is reused: one upload, no second handshake.
+        devs[0]
+            .send_uplink(&Bytes::from(vec![3; 40]))
+            .expect("uplink");
+        let (z, p) = srv.recv_uplink(Duration::from_secs(5)).expect("recv");
+        assert_eq!((z, p.len()), (0, 40));
+        srv.send_downlink(0, &Bytes::from(vec![1; 4]))
+            .expect("downlink");
+        let got = devs[0]
+            .recv_downlink(Duration::from_secs(5))
+            .expect("reply");
+        assert_eq!(got.len(), 4);
+        // Accounting: hello + uplink out; the timed ack carries 16 extra
+        // payload bytes versus the plain handshake.
+        assert_eq!(devs[0].stats().bytes_sent, 2 * HEADER_LEN + 40);
+        assert_eq!(devs[0].stats().bytes_received, 2 * HEADER_LEN + 16 + 4);
+        assert_eq!(srv.stats().bytes_received, 2 * HEADER_LEN + 40);
+        assert_eq!(srv.stats().bytes_sent, 2 * HEADER_LEN + 16 + 4);
+    }
+
+    #[test]
+    fn send_uplink_after_failed_sync_connection_recovers_fresh() {
+        let t = TcpTransport {
+            opts: fast_opts(),
+            ..TcpTransport::loopback()
+        };
+        let (srv, mut devs) = t.open(1).expect("open");
+        let _ = devs[0].clock_sync().expect("timed handshake");
+        // Kill the synced connection from the server side: dropping the
+        // server closes every accepted socket. Rebind a fresh server on
+        // the same address for the fallback path to dial.
+        let addr = srv.local_addr();
+        drop(srv);
+        let mut srv = TcpServer::bind(addr, fast_opts()).expect("rebind");
+        // A payload larger than the socket buffer cannot be swallowed by
+        // the dead connection: the reuse write deterministically errors
+        // and the fresh-attempt fallback must deliver the whole upload.
+        let big = 8 << 20;
+        devs[0]
+            .send_uplink(&Bytes::from(vec![9; big]))
+            .expect("reuse fails, fresh attempt succeeds");
+        let (z, p) = srv.recv_uplink(Duration::from_secs(5)).expect("recv");
+        assert_eq!((z, p.len()), (0, big));
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn uplink_message_round_trips_through_a_frame() {
     let msg = uplink_fixture();
     let frame = Frame {
         kind: FrameKind::Uplink,
+        flags: 0,
         device: 5,
         seq: 1,
         payload: msg.encode(),
@@ -41,6 +42,7 @@ fn downlink_message_round_trips_through_a_frame() {
     };
     let frame = Frame {
         kind: FrameKind::Downlink,
+        flags: 0,
         device: 2,
         seq: 1,
         payload: msg.encode(),
@@ -54,12 +56,14 @@ fn downlink_message_round_trips_through_a_frame() {
 fn messages_round_trip_through_reader_and_writer() {
     let up = Frame {
         kind: FrameKind::Uplink,
+        flags: 0,
         device: 0,
         seq: 1,
         payload: uplink_fixture().encode(),
     };
     let down = Frame {
         kind: FrameKind::Downlink,
+        flags: 0,
         device: 0,
         seq: 2,
         payload: DownlinkMessage {
@@ -81,6 +85,7 @@ fn messages_round_trip_through_reader_and_writer() {
 fn crc_detects_every_single_bit_flip_of_a_real_uplink() {
     let frame = Frame {
         kind: FrameKind::Uplink,
+        flags: 0,
         device: 3,
         seq: 7,
         payload: uplink_fixture().encode(),
@@ -100,6 +105,7 @@ fn crc_detects_every_single_bit_flip_of_a_real_uplink() {
 fn truncation_of_a_real_uplink_errors_at_every_cut() {
     let frame = Frame {
         kind: FrameKind::Uplink,
+        flags: 0,
         device: 1,
         seq: 1,
         payload: uplink_fixture().encode(),
@@ -117,6 +123,7 @@ fn truncation_of_a_real_uplink_errors_at_every_cut() {
 fn truncated_streams_error_through_the_reader_too() {
     let frame = Frame {
         kind: FrameKind::Downlink,
+        flags: 0,
         device: 0,
         seq: 1,
         payload: Bytes::from(vec![1u8; 64]),

@@ -38,8 +38,12 @@
 //! `cargo xtask check` is a thin alias running only rules 1–6 (the legacy
 //! scanner's scope), so existing CI invocations stay meaningful.
 //!
-//! `cargo xtask validate-trace <file.json>` checks that an exported Chrome
-//! trace (`--trace-out`) is well-formed `trace_event` JSON.
+//! `cargo xtask validate-trace [--cross-process] <file.json>` checks that
+//! an exported Chrome trace (`--trace-out`) is well-formed `trace_event`
+//! JSON. With `--cross-process` it additionally validates a merged fleet
+//! trace's causality: every span's `(parent_pid, parent_span)` must exist
+//! in the trace, no child may start before its parent beyond the
+//! clock-offset slack, and at least one parent edge must be present.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -94,13 +98,24 @@ fn main() -> ExitCode {
             run_rules("audit", RuleSet::Full, report_out.as_deref())
         }
         Some("check") => run_rules("check", RuleSet::Core, None),
-        Some("validate-trace") => match args.next() {
-            Some(path) => run_validate_trace(&path),
-            None => {
-                eprintln!("usage: cargo xtask validate-trace <trace.json>");
-                ExitCode::FAILURE
+        Some("validate-trace") => {
+            let mut cross_process = false;
+            let mut path = None;
+            for arg in args {
+                if arg == "--cross-process" {
+                    cross_process = true;
+                } else {
+                    path = Some(arg);
+                }
             }
-        },
+            match path {
+                Some(path) => run_validate_trace(&path, cross_process),
+                None => {
+                    eprintln!("usage: cargo xtask validate-trace [--cross-process] <trace.json>");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some(other) => {
             eprintln!("unknown xtask command `{other}`; available: audit, check, validate-trace");
             ExitCode::FAILURE
@@ -108,15 +123,17 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: cargo xtask audit [--report-out <report.json>] | cargo xtask check | \
-                 cargo xtask validate-trace <trace.json>"
+                 cargo xtask validate-trace [--cross-process] <trace.json>"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-/// Validates `path` as well-formed Chrome `trace_event` JSON.
-fn run_validate_trace(path: &str) -> ExitCode {
+/// Validates `path` as well-formed Chrome `trace_event` JSON; with
+/// `cross_process`, additionally checks merged-fleet causality (every
+/// parent edge resolves and respects clock-corrected ordering).
+fn run_validate_trace(path: &str, cross_process: bool) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -124,6 +141,21 @@ fn run_validate_trace(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cross_process {
+        return match fedsc_obs::export::validate_cross_process(&text) {
+            Ok((n, edges)) => {
+                println!(
+                    "xtask validate-trace: {path}: {n} well-formed trace events, \
+                     {edges} resolved parent edges"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xtask validate-trace: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match fedsc_obs::export::validate_chrome_trace(&text) {
         Ok(n) => {
             println!("xtask validate-trace: {path}: {n} well-formed trace events");

@@ -66,6 +66,37 @@ proptest! {
     }
 }
 
+/// The wire path must hold the same invariant plus exact byte
+/// accounting: with the ring installed every uplink carries a ctx-only
+/// telemetry envelope in-band, and the server's declared
+/// `envelope_bytes` is exactly the uplink delta — so
+/// `uplink_bytes - envelope_bytes` (and the downlink) are invariant
+/// under tracing, and the clustering output is bitwise unchanged.
+#[test]
+fn traced_wire_round_is_identical_and_byte_exact() {
+    let _g = guard();
+    let (fed, cfg) = demo_fixture(42, 6, 3);
+    let plain = fed_sc::run_over_wire(&fed, &cfg).expect("untraced wire round");
+    fed_sc::obs::trace::install_ring(1 << 14);
+    let traced = fed_sc::run_over_wire(&fed, &cfg);
+    let events = fed_sc::obs::trace::uninstall();
+    let traced = traced.expect("traced wire round");
+    assert!(!events.is_empty(), "traced wire round recorded no spans");
+    assert_eq!(plain.predictions, traced.predictions);
+    assert_eq!(plain.excluded, traced.excluded);
+    assert_eq!(plain.envelope_bytes, 0, "untraced uplinks must ship bare");
+    assert!(
+        traced.envelope_bytes > 0,
+        "traced uplinks carried no envelope"
+    );
+    assert_eq!(
+        traced.uplink_bytes,
+        plain.uplink_bytes + traced.envelope_bytes,
+        "uplink delta must be exactly the declared envelope bytes"
+    );
+    assert_eq!(traced.downlink_bytes, plain.downlink_bytes);
+}
+
 /// Thread count itself must not change the answer either — the traced
 /// 1-thread and traced 8-thread runs agree, so the recorder is invariant
 /// to scheduling as well as to presence.
