@@ -16,6 +16,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod instances;
 pub mod methods;
 
 pub use harness::{scale, Scale};

@@ -8,8 +8,8 @@ use crate::kmeans::{kmeans, KMeansOptions};
 use fedsc_graph::laplacian::normalized_laplacian;
 use fedsc_graph::sparse::sparse_normalized_laplacian;
 use fedsc_graph::{AffinityGraph, SparseAffinity};
-use fedsc_linalg::eigh::{k_smallest, SymmetricEig};
-use fedsc_linalg::lanczos::lanczos_smallest_op;
+use fedsc_linalg::eigh::{k_smallest, lanczos_beats_dense, SymmetricEig};
+use fedsc_linalg::thick_restart::{thick_restart_smallest, ThickRestartOptions};
 use fedsc_linalg::{vector, Matrix, Result};
 use rand::Rng;
 
@@ -20,6 +20,10 @@ pub struct SpectralOptions {
     pub k: usize,
     /// k-means options for the embedding step (its `k` field is overridden).
     pub kmeans: KMeansOptions,
+    /// Parallelism hint for the sparse eigensolver's blocked operator
+    /// applies (clamped to at least 1). Labels are bitwise identical for
+    /// every value.
+    pub threads: usize,
 }
 
 impl SpectralOptions {
@@ -32,6 +36,7 @@ impl SpectralOptions {
                 restarts: 5,
                 ..Default::default()
             },
+            threads: 1,
         }
     }
 }
@@ -56,15 +61,21 @@ pub fn spectral_clustering<R: Rng + ?Sized>(
 
 /// [`spectral_clustering`] over a CSR affinity — the subquadratic pipeline's
 /// segmentation step. The Laplacian stays in CSR and the eigenpairs come
-/// from the matrix-free Lanczos solver, so no `n x n` dense array is ever
-/// materialized at scale.
+/// from the matrix-free thick-restart block Lanczos solver, so no `n x n`
+/// dense array is ever materialized at scale.
 ///
 /// Below the dense eigensolver cutover (where `k_smallest` would run the
 /// full `tred2`/`tql2` factorization anyway) the graph is densified and the
 /// call is **bitwise** the dense [`spectral_clustering`] — the CSR
-/// round trip and Laplacian mirror the dense arithmetic exactly. Above the
-/// cutover both representations run the same deflated Lanczos with the same
-/// parameters.
+/// round trip and Laplacian mirror the dense arithmetic exactly.
+///
+/// Above the cutover the solver is seeded with [`kernel_seeds`] — the exact
+/// zero eigenvectors `D^{1/2} 1_c` of every edged component — so the
+/// degenerate zero eigenvalue of a disconnected graph is captured by
+/// construction rather than dug out by restarts (the legacy deflated
+/// solver provably missed copies on e.g. disconnected path chains). A
+/// debug-build cross-check still compares the zero count against
+/// `connected_components`.
 pub fn spectral_clustering_sparse<R: Rng + ?Sized>(
     w: &SparseAffinity,
     opts: &SpectralOptions,
@@ -77,35 +88,79 @@ pub fn spectral_clustering_sparse<R: Rng + ?Sized>(
     let k = opts.k.clamp(1, n);
     // Mirror the `k_smallest` backend cutover: small graphs take the dense
     // path verbatim (bitwise parity), large graphs stay sparse end to end.
-    if !(n > 400 && k.saturating_mul(8) < n) {
+    if !lanczos_beats_dense(n, k) {
         return spectral_clustering(&w.to_graph(), opts, rng);
     }
+    let _span = fedsc_obs::span("fedsc", "spectral")
+        .field("n", n as u64)
+        .field("k", k as u64);
     let lap = sparse_normalized_laplacian(w);
-    let eig = lanczos_smallest_op(&lap, k, k + 40)?;
-    // Disconnection guard. A graph with `c` edged components carries an
-    // exact `c`-fold zero eigenvalue (isolated nodes instead keep
-    // identity rows, eigenvalue 1), and the deflated restarts are not
-    // guaranteed to dig out every copy before the restart budget runs
-    // out — on weakly-coupled chains the stagnation path can lock a
-    // near-zero bulk eigenvalue from one component instead of the exact
-    // zero of another, which silently splits/merges clusters. Fewer
-    // zeros than components is therefore a provable miss: fail loudly
-    // instead of returning a wrong labelling.
-    let isolated = w.degrees().iter().filter(|&&d| d == 0.0).count();
-    let zero_mult = (w.connected_components(0.0) - isolated).min(k);
-    let zeros_found = eig
-        .eigenvalues
-        .iter()
-        .filter(|&&v| v.abs() <= ZERO_EIGENVALUE_TOL)
-        .count();
-    if zeros_found < zero_mult {
-        return Err(fedsc_linalg::LinalgError::InvalidArgument(
-            "deflated Lanczos missed zero eigenvalues of a disconnected Laplacian \
-             (fewer zeros than connected components); densify the graph or cluster \
-             the components independently",
-        ));
-    }
+    let seeds = kernel_seeds(w);
+    let zero_mult = seeds.len().min(k);
+    let tr_opts = ThickRestartOptions {
+        seeds,
+        threads: opts.threads.max(1),
+        ..ThickRestartOptions::default()
+    };
+    let eig = thick_restart_smallest(&lap, k, &tr_opts)?;
+    // Cross-check (debug builds): a graph with `c` edged components
+    // carries an exact `c`-fold zero eigenvalue (isolated nodes instead
+    // keep identity rows, eigenvalue 1). Kernel seeding makes recovering
+    // all copies structural, so fewer zeros than components is a solver
+    // bug, not an input condition — assert instead of erroring.
+    debug_assert!(
+        eig.eigenvalues
+            .iter()
+            .filter(|&&v| v.abs() <= ZERO_EIGENVALUE_TOL)
+            .count()
+            >= zero_mult,
+        "seeded solver returned fewer zero eigenvalues than edged components \
+         ({} < {zero_mult})",
+        eig.eigenvalues
+            .iter()
+            .filter(|&&v| v.abs() <= ZERO_EIGENVALUE_TOL)
+            .count(),
+    );
     embed_and_cluster(&eig, n, k, opts, rng)
+}
+
+/// Exact kernel vectors of `w`'s normalized Laplacian, one per **edged**
+/// connected component: `D^{1/2} 1_c`, normalized. For node `i` in
+/// component `c` the Laplacian row gives
+/// `sqrt(d_i) - (1/sqrt(d_i)) * sum_{j in c} w_ij = 0` exactly, so these
+/// span the degenerate zero eigenspace by construction. Isolated nodes
+/// (degree 0) keep identity rows in the Laplacian — eigenvalue 1, not part
+/// of the kernel — and contribute no seed.
+pub fn kernel_seeds(w: &SparseAffinity) -> Vec<Vec<f64>> {
+    let n = w.len();
+    let labels = w.component_labels(0.0);
+    let deg = w.degrees();
+    let ncomp = labels.iter().map(|&c| c + 1).max().unwrap_or(0);
+    let mut comp_deg = vec![0.0f64; ncomp];
+    for i in 0..n {
+        comp_deg[labels[i]] += deg[i];
+    }
+    // Seed slots only for components with at least one edge, so a graph
+    // with many isolated nodes doesn't allocate `n` length-`n` vectors.
+    let mut slot = vec![usize::MAX; ncomp];
+    let mut count = 0usize;
+    for (c, s) in slot.iter_mut().enumerate() {
+        if comp_deg[c] > 0.0 {
+            *s = count;
+            count += 1;
+        }
+    }
+    let mut seeds = vec![vec![0.0f64; n]; count];
+    for i in 0..n {
+        let s = slot[labels[i]];
+        if s != usize::MAX && deg[i] > 0.0 {
+            seeds[s][i] = deg[i].sqrt();
+        }
+    }
+    for s in &mut seeds {
+        vector::normalize(s, 1e-300);
+    }
+    seeds
 }
 
 /// Exact zero eigenvalues of the normalized Laplacian come back from the
@@ -317,17 +372,15 @@ mod tests {
         fedsc_graph::SparseAffinity::from_codes(&codes)
     }
 
-    /// Failing-by-design witness for the deflated-Lanczos miss on
-    /// disconnected Laplacians past the `n > 400` dense cutover: 5
-    /// disconnected path chains of 100 nodes carry an exact 5-fold zero
-    /// eigenvalue, but the restarted solver stagnation-locks five ~2e-4
-    /// Ritz values instead (measured: zero exact zeros found on every
-    /// probed chain configuration). The correct behavior asserted here —
-    /// each chain recovered as one pure cluster — fails today with the
-    /// guard's `InvalidArgument`; un-ignore once the solver digs out
-    /// degenerate zero clusters (e.g. component-wise deflation seeds).
+    /// Regression witness for the deflated-Lanczos miss on disconnected
+    /// Laplacians past the dense cutover: 5 disconnected path chains of
+    /// 100 nodes carry an exact 5-fold zero eigenvalue, which the legacy
+    /// lock-and-restart solver provably missed (it stagnation-locked five
+    /// ~2e-4 bulk Ritz values instead and the pipeline could only fail
+    /// loudly). The thick-restart solver is seeded with the per-component
+    /// kernel vectors `D^{1/2} 1_c`, so every copy of the zero is captured
+    /// by construction and each chain comes back as one pure cluster.
     #[test]
-    #[ignore = "known deflated-Lanczos miss on disconnected Laplacians; guarded at the cutover"]
     fn disconnected_chains_above_cutover_recover_components() {
         let w = path_chains(5, 100);
         let mut rng = StdRng::seed_from_u64(9);
@@ -347,18 +400,35 @@ mod tests {
     }
 
     #[test]
-    fn disconnection_guard_rejects_missed_zero_cluster() {
-        // Companion to the ignored witness above: until the solver handles
-        // degenerate zeros of disconnected graphs, the pipeline must refuse
-        // to return a silently wrong labelling.
-        let w = path_chains(5, 100);
-        let mut rng = StdRng::seed_from_u64(9);
-        let err = spectral_clustering_sparse(&w, &SpectralOptions::new(5), &mut rng).unwrap_err();
-        assert!(
-            matches!(err, fedsc_linalg::LinalgError::InvalidArgument(msg)
-                if msg.contains("disconnected")),
-            "expected the disconnection guard, got {err:?}"
-        );
+    fn kernel_seeds_are_exact_zero_eigenvectors() {
+        // Companion to the witness above: the seeds the sparse path feeds
+        // the eigensolver must be exact kernel vectors — orthonormal, one
+        // per edged component (isolated nodes excluded), each with a
+        // Laplacian residual at rounding level.
+        let w = path_chains(3, 50);
+        let seeds = kernel_seeds(&w);
+        assert_eq!(seeds.len(), 3);
+        let lap = sparse_normalized_laplacian(&w);
+        for (a, sa) in seeds.iter().enumerate() {
+            let r = lap.matvec(sa);
+            let worst = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            assert!(worst < 1e-12, "seed {a} residual {worst}");
+            for (b, sb) in seeds.iter().enumerate() {
+                let d = fedsc_linalg::vector::dot(sa, sb);
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-12, "seed gram ({a},{b}) = {d}");
+            }
+        }
+        // Isolated nodes contribute no seed.
+        use fedsc_sparse::SparseVec;
+        let mut codes = vec![
+            SparseVec::from_parts(3, vec![1], vec![0.5]),
+            SparseVec::from_parts(3, vec![0], vec![0.5]),
+            SparseVec::from_parts(3, vec![], vec![]),
+        ];
+        codes.truncate(3);
+        let small = fedsc_graph::SparseAffinity::from_codes(&codes);
+        assert_eq!(kernel_seeds(&small).len(), 1);
     }
 
     #[test]

@@ -7,11 +7,44 @@
 
 use fedsc_clustering::hungarian::{max_weight_assignment, min_cost_assignment};
 use fedsc_clustering::kmeans::{kmeans, KMeansOptions};
+use fedsc_clustering::spectral::kernel_seeds;
 use fedsc_clustering::{adjusted_rand_index, clustering_accuracy};
+use fedsc_graph::sparse::sparse_normalized_laplacian;
+use fedsc_graph::SparseAffinity;
+use fedsc_linalg::thick_restart::{thick_restart_smallest, ThickRestartOptions};
 use fedsc_linalg::Matrix;
+use fedsc_sparse::SparseVec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Disjoint union of complete graphs with uniform coefficient 0.5 — the
+/// normalized Laplacian has an exact zero eigenvalue per block and the rest
+/// of the spectrum clustered near `s / (s - 1)`.
+fn block_affinity(sizes: &[usize]) -> SparseAffinity {
+    let n: usize = sizes.iter().sum();
+    let mut block = vec![0usize; n];
+    let mut idx = 0;
+    for (b, &s) in sizes.iter().enumerate() {
+        for _ in 0..s {
+            block[idx] = b;
+            idx += 1;
+        }
+    }
+    let mut codes = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut ind = Vec::new();
+        let mut val = Vec::new();
+        for j in 0..n {
+            if j != i && block[j] == block[i] {
+                ind.push(j);
+                val.push(0.5);
+            }
+        }
+        codes.push(SparseVec::from_parts(n, ind, val));
+    }
+    SparseAffinity::from_codes(&codes)
+}
 
 fn points(n: usize, dim: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f64..10.0, n * dim)
@@ -68,6 +101,30 @@ proptest! {
         let neg: Vec<f64> = cost.iter().map(|c| -c).collect();
         let (_, worst_neg) = min_cost_assignment(n, &neg);
         prop_assert!((best + worst_neg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_block_graphs_above_cutover_recover_exact_zero_multiplicity(
+        sizes in proptest::collection::vec(101usize..135, 4..7),
+    ) {
+        // 4..7 blocks of 101..135 nodes: n in [404, 810], always past the
+        // dense cutover (n > 400, k small), without needing a filter.
+        // Satellite (PR 10): a q-component block graph past the dense
+        // cutover must yield exactly q zero eigenvalues from the seeded
+        // thick-restart solver — no copy of the degenerate kernel missed
+        // (the legacy lock-and-restart failure mode) and no spurious
+        // extras. Asking for q + 2 pairs checks both sides of the gap.
+        let q = sizes.len();
+        let w = block_affinity(&sizes);
+        let seeds = kernel_seeds(&w);
+        prop_assert_eq!(seeds.len(), q);
+        let lap = sparse_normalized_laplacian(&w);
+        let opts = ThickRestartOptions { seeds, ..ThickRestartOptions::default() };
+        let eig = thick_restart_smallest(&lap, q + 2, &opts).unwrap();
+        let zeros = eig.eigenvalues.iter().filter(|&&v| v.abs() <= 1e-8).count();
+        prop_assert_eq!(zeros, q, "eigenvalues: {:?}", eig.eigenvalues);
+        // The first nonzero of a complete block K_s sits at s / (s - 1).
+        prop_assert!(eig.eigenvalues[q] > 0.9, "gap collapsed: {:?}", eig.eigenvalues);
     }
 
     #[test]

@@ -31,8 +31,11 @@ pub struct CentralOutput {
 /// `candidate_threshold` is the pooled-sample count at or above which the
 /// SSC backend switches to the subquadratic sketched-candidate pipeline:
 /// sparse CSR affinity straight from the certified codes, spectral
-/// clustering through the CSR Lanczos path. Below it (and for TSC) the
-/// dense path runs bitwise-unchanged.
+/// clustering through the kernel-seeded thick-restart block Lanczos on
+/// the CSR Laplacian (DESIGN.md §13; the dense `tred2`/`tql2` still runs
+/// below the measured `lanczos_beats_dense` cutover inside that path).
+/// Below the threshold (and for TSC) the dense path runs
+/// bitwise-unchanged.
 pub fn central_cluster<R: Rng + ?Sized>(
     samples: &Matrix,
     l: usize,

@@ -143,27 +143,45 @@ impl SparseAffinity {
     /// eigensolver that returns fewer zeros than components has provably
     /// missed part of the degenerate cluster.
     pub fn connected_components(&self, tol: f64) -> usize {
+        self.component_labels(tol)
+            .iter()
+            .map(|&c| c + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-node component label in `0..connected_components(tol)`, assigned
+    /// in discovery order (node 0's component is label 0, the next
+    /// undiscovered node starts label 1, ...). Same BFS and edge predicate
+    /// as [`SparseAffinity::connected_components`].
+    ///
+    /// The spectral stage uses the labels to build **kernel seeds**: for
+    /// each component `c` the vector `D^{1/2} 1_c` is an *exact* zero
+    /// eigenvector of the normalized Laplacian, so seeding the eigensolver
+    /// with them captures the full degenerate zero eigenspace of a
+    /// disconnected graph by construction.
+    pub fn component_labels(&self, tol: f64) -> Vec<usize> {
         let n = self.len();
-        let mut seen = vec![false; n];
+        let mut label = vec![usize::MAX; n];
         let mut queue = Vec::new();
         let mut components = 0usize;
         for start in 0..n {
-            if seen[start] {
+            if label[start] != usize::MAX {
                 continue;
             }
-            components += 1;
-            seen[start] = true;
+            label[start] = components;
             queue.push(start);
             while let Some(i) = queue.pop() {
                 for (j, w) in self.w.row(i) {
-                    if j != i && w.abs() > tol && !seen[j] {
-                        seen[j] = true;
+                    if j != i && w.abs() > tol && label[j] == usize::MAX {
+                        label[j] = components;
                         queue.push(j);
                     }
                 }
             }
+            components += 1;
         }
-        components
+        label
     }
 }
 
@@ -297,10 +315,15 @@ mod tests {
         ];
         let sparse = SparseAffinity::from_codes(&codes);
         assert_eq!(sparse.connected_components(0.0), 3);
+        assert_eq!(sparse.component_labels(0.0), vec![0, 0, 1, 1, 2]);
         // A tolerance above the edge weight disconnects everything.
         assert_eq!(sparse.connected_components(2.0), 5);
+        assert_eq!(sparse.component_labels(2.0), vec![0, 1, 2, 3, 4]);
         // Empty graph: zero components.
         assert_eq!(SparseAffinity::from_codes(&[]).connected_components(0.0), 0);
+        assert!(SparseAffinity::from_codes(&[])
+            .component_labels(0.0)
+            .is_empty());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn eigh(a: &Matrix) -> Result<SymmetricEig> {
 /// path at federated scale.
 pub fn k_smallest(a: &Matrix, k: usize) -> Result<SymmetricEig> {
     let n = a.rows();
-    if n > 400 && k.saturating_mul(8) < n {
+    if lanczos_beats_dense(n, k) {
         return crate::lanczos::lanczos_smallest(a, k, k + 40);
     }
     let full = eigh(a)?;
@@ -76,6 +76,25 @@ pub fn k_smallest(a: &Matrix, k: usize) -> Result<SymmetricEig> {
         eigenvalues: full.eigenvalues[..k].to_vec(),
         eigenvectors: full.eigenvectors.select_columns(&cols),
     })
+}
+
+/// Shared dense-vs-Lanczos cutover: `true` when the thick-restart Lanczos
+/// path (see [`crate::thick_restart`]) is expected to beat a full dense
+/// `tred2`/`tql2` factorization for the `k` smallest eigenpairs of an
+/// `n × n` symmetric operator.
+///
+/// The thresholds were retuned from measurement after the thick-restart
+/// rewrite (see DESIGN.md §13): dense eigh is O(n³) with a small constant,
+/// the iterative path is roughly O(restarts · m · nnz + m²n), so the
+/// crossover depends on how small `k` is relative to `n`. On the bench
+/// instances (block affinities, k = #clusters) the iterative path wins from
+/// a few hundred rows whenever `k` stays under ~n/6; we keep a margin and
+/// require `n > 400` and `k·6 < n`. Both `eigh::k_smallest` and the sparse
+/// spectral pipeline in `fedsc-clustering` consult this single predicate so
+/// the two layers can never disagree about which backend ran.
+#[must_use]
+pub fn lanczos_beats_dense(n: usize, k: usize) -> bool {
+    n > 400 && k.saturating_mul(6) < n
 }
 
 fn sort_ascending(d: &mut [f64], v: &mut Matrix) {

@@ -17,8 +17,12 @@
 //! * [`qr`] — Householder QR, least squares, rank-revealing orthonormal
 //!   bases.
 //! * [`eigh`] — symmetric eigendecomposition (tred2/tql2), ascending order.
-//! * [`lanczos`] — Lanczos iteration for the k smallest eigenpairs of
-//!   large symmetric matrices (big spectral-clustering instances).
+//! * [`lanczos`] — the `SymOp` operator abstraction (single and blocked
+//!   applies) plus the legacy lock-and-restart Lanczos baseline.
+//! * [`thick_restart`] — thick-restart block Lanczos, the production
+//!   solver for the k smallest eigenpairs of large (sparse) symmetric
+//!   operators: blocked operator applies, ω-recurrence selective
+//!   reorthogonalization, kernel-aware seeding.
 //! * [`svd`] — thin SVD via Gram eigendecomposition, one-sided Jacobi SVD,
 //!   truncated SVD for the paper's basis estimates.
 //! * [`solve`] — LU and Cholesky direct solvers.
@@ -46,6 +50,7 @@ pub mod random;
 pub mod sketch;
 pub mod solve;
 pub mod svd;
+pub mod thick_restart;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
